@@ -1,0 +1,237 @@
+//! Candidates: the interface between link scheduling and switch scheduling.
+//!
+//! Each flit cycle, every input link's scheduler forwards its *k*
+//! highest-priority head flits to the switch scheduler as a **candidate
+//! vector**: level 1 is the highest-priority candidate, level 2 the next,
+//! and so on (paper §4).  The switch scheduler sees only these vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A scheduling priority.
+///
+/// Stored as `f64` so one type serves every priority function (SIABP
+/// produces integers, IABP produces ratios).  Values must be finite; the
+/// ordering is total (`f64::total_cmp`), which keeps arbitration
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Priority(pub f64);
+
+impl Priority {
+    /// The lowest priority.
+    pub const ZERO: Priority = Priority(0.0);
+
+    /// Build from a value, checking finiteness.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(v.is_finite(), "priority must be finite, got {v}");
+        Priority(v)
+    }
+}
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One candidate: a head flit offered to the switch scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Input physical port offering the flit.
+    pub input: usize,
+    /// Virtual channel (connection slot) the flit heads.
+    pub vc: usize,
+    /// Output port the flit requests.
+    pub output: usize,
+    /// Link-scheduler priority of the head flit.
+    pub priority: Priority,
+}
+
+/// The candidate vectors of all input ports for one scheduling cycle.
+///
+/// Dense layout: `levels` slots per input, level-major within an input,
+/// sorted by descending priority (level 1 first).  Empty slots are `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSet {
+    ports: usize,
+    levels: usize,
+    slots: Vec<Option<Candidate>>,
+}
+
+impl CandidateSet {
+    /// An empty set for `ports` inputs with `levels` candidate levels.
+    pub fn new(ports: usize, levels: usize) -> Self {
+        assert!(ports > 0 && levels > 0);
+        CandidateSet { ports, levels, slots: vec![None; ports * levels] }
+    }
+
+    /// Number of input/output ports.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of candidate levels (k).
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Remove all candidates (reuse between cycles without reallocating).
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// Install the candidate vector for one input.  `candidates` must be
+    /// sorted by descending priority and contain at most `levels` entries,
+    /// each with `input` equal to `input`.
+    pub fn set_input(&mut self, input: usize, candidates: &[Candidate]) {
+        assert!(candidates.len() <= self.levels, "too many candidates");
+        let base = input * self.levels;
+        for l in 0..self.levels {
+            self.slots[base + l] = candidates.get(l).copied();
+        }
+        debug_assert!(
+            candidates.windows(2).all(|w| w[0].priority >= w[1].priority),
+            "candidates must be sorted by descending priority"
+        );
+        debug_assert!(candidates.iter().all(|c| c.input == input && c.output < self.ports));
+    }
+
+    /// Push one candidate into the next free level of its input; returns
+    /// false if the input's vector is full.
+    pub fn push(&mut self, c: Candidate) -> bool {
+        let base = c.input * self.levels;
+        for l in 0..self.levels {
+            if self.slots[base + l].is_none() {
+                debug_assert!(
+                    l == 0
+                        || self.slots[base + l - 1]
+                            .is_some_and(|prev| prev.priority >= c.priority),
+                    "push order must be descending priority"
+                );
+                self.slots[base + l] = Some(c);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The candidate of `input` at `level` (0-based; level 0 = paper's
+    /// "level one").
+    #[inline]
+    pub fn get(&self, input: usize, level: usize) -> Option<Candidate> {
+        self.slots[input * self.levels + level]
+    }
+
+    /// Iterate over all present candidates.
+    pub fn iter(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.slots.iter().flatten().copied()
+    }
+
+    /// Candidates of one input, best first.
+    pub fn input_candidates(&self, input: usize) -> impl Iterator<Item = Candidate> + '_ {
+        let base = input * self.levels;
+        self.slots[base..base + self.levels].iter().flatten().copied()
+    }
+
+    /// The best (lowest-level) candidate of `input` requesting `output`.
+    pub fn best_for(&self, input: usize, output: usize) -> Option<Candidate> {
+        self.input_candidates(input).find(|c| c.output == output)
+    }
+
+    /// True if `input` has any candidate for `output`.
+    #[inline]
+    pub fn requests(&self, input: usize, output: usize) -> bool {
+        self.best_for(input, output).is_some()
+    }
+
+    /// Total number of candidates present.
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// True if no candidates at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
+        Candidate { input, vc, output, priority: Priority::new(prio) }
+    }
+
+    #[test]
+    fn priority_total_order() {
+        let mut ps = vec![Priority::new(3.0), Priority::new(1.0), Priority::new(2.0)];
+        ps.sort();
+        assert_eq!(ps, vec![Priority::new(1.0), Priority::new(2.0), Priority::new(3.0)]);
+        assert!(Priority::new(5.0) > Priority::ZERO);
+    }
+
+    #[test]
+    fn set_input_and_get() {
+        let mut cs = CandidateSet::new(4, 2);
+        cs.set_input(1, &[cand(1, 0, 3, 10.0), cand(1, 5, 0, 4.0)]);
+        assert_eq!(cs.get(1, 0).unwrap().output, 3);
+        assert_eq!(cs.get(1, 1).unwrap().output, 0);
+        assert_eq!(cs.get(0, 0), None);
+        assert_eq!(cs.len(), 2);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn push_fills_levels_in_order() {
+        let mut cs = CandidateSet::new(2, 2);
+        assert!(cs.push(cand(0, 0, 1, 9.0)));
+        assert!(cs.push(cand(0, 1, 0, 5.0)));
+        assert!(!cs.push(cand(0, 2, 1, 1.0)), "third push must fail with 2 levels");
+        assert_eq!(cs.get(0, 0).unwrap().vc, 0);
+        assert_eq!(cs.get(0, 1).unwrap().vc, 1);
+    }
+
+    #[test]
+    fn best_for_prefers_lower_level() {
+        let mut cs = CandidateSet::new(2, 3);
+        cs.set_input(0, &[cand(0, 0, 1, 9.0), cand(0, 1, 1, 5.0), cand(0, 2, 0, 1.0)]);
+        let best = cs.best_for(0, 1).unwrap();
+        assert_eq!(best.vc, 0);
+        assert!(cs.requests(0, 0));
+        assert!(!cs.requests(0, 2)); // within ports but unrequested
+        assert!(cs.best_for(1, 0).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cs = CandidateSet::new(2, 2);
+        cs.push(cand(0, 0, 1, 1.0));
+        cs.clear();
+        assert!(cs.is_empty());
+        assert_eq!(cs.len(), 0);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut cs = CandidateSet::new(3, 2);
+        cs.set_input(0, &[cand(0, 0, 1, 3.0)]);
+        cs.set_input(2, &[cand(2, 1, 0, 7.0), cand(2, 2, 1, 2.0)]);
+        let all: Vec<_> = cs.iter().collect();
+        assert_eq!(all.len(), 3);
+        let inputs: Vec<_> = all.iter().map(|c| c.input).collect();
+        assert_eq!(inputs, vec![0, 2, 2]);
+    }
+}

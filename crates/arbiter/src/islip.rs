@@ -1,0 +1,203 @@
+//! iSLIP (McKeown) — iterative round-robin matching.
+//!
+//! One of the related-work schedulers the paper cites (§4, via \[14\]).
+//! Each iteration runs three phases over the *unmatched* ports:
+//!
+//! * **Request** — every unmatched input requests every output it has a
+//!   candidate for.
+//! * **Grant** — every unmatched output grants the requesting input that
+//!   appears next at-or-after its grant pointer.
+//! * **Accept** — every input that received grants accepts the output
+//!   next at-or-after its accept pointer.
+//!
+//! Pointers advance one position past the granted/accepted port, and only
+//! when the grant was accepted in the *first* iteration — the rule that
+//! gives iSLIP its starvation freedom.  Like WFA it is priority-blind.
+
+use crate::candidate::CandidateSet;
+use crate::matching::{Grant, Matching};
+use crate::scheduler::SwitchScheduler;
+use mmr_sim::rng::SimRng;
+
+/// iSLIP with a configurable iteration count.
+#[derive(Debug, Clone)]
+pub struct IslipArbiter {
+    ports: usize,
+    iterations: usize,
+    grant_ptr: Vec<usize>,
+    accept_ptr: Vec<usize>,
+}
+
+impl IslipArbiter {
+    /// iSLIP for `ports` ports running `iterations` passes per cycle.
+    pub fn new(ports: usize, iterations: usize) -> Self {
+        assert!(ports > 0 && iterations > 0);
+        IslipArbiter { ports, iterations, grant_ptr: vec![0; ports], accept_ptr: vec![0; ports] }
+    }
+
+    /// Current grant pointers (for tests).
+    pub fn grant_pointers(&self) -> &[usize] {
+        &self.grant_ptr
+    }
+}
+
+impl SwitchScheduler for IslipArbiter {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule(&mut self, cs: &CandidateSet, _rng: &mut SimRng) -> Matching {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        let mut matching = Matching::new(n);
+        let mut input_free = vec![true; n];
+        let mut output_free = vec![true; n];
+
+        for iter in 0..self.iterations {
+            // Grant phase: each free output picks one requesting free
+            // input by round-robin from its pointer.
+            let mut granted_to: Vec<Option<usize>> = vec![None; n]; // per input: granting output? No: per output -> input
+            for output in 0..n {
+                if !output_free[output] {
+                    continue;
+                }
+                let start = self.grant_ptr[output];
+                for off in 0..n {
+                    let input = (start + off) % n;
+                    if input_free[input] && cs.requests(input, output) {
+                        granted_to[output] = Some(input);
+                        break;
+                    }
+                }
+            }
+            // Accept phase: each input with grants accepts one output by
+            // round-robin from its pointer.
+            let mut any_accept = false;
+            for input in 0..n {
+                if !input_free[input] {
+                    continue;
+                }
+                let start = self.accept_ptr[input];
+                let mut accepted: Option<usize> = None;
+                for off in 0..n {
+                    let output = (start + off) % n;
+                    if granted_to[output] == Some(input) {
+                        accepted = Some(output);
+                        break;
+                    }
+                }
+                let Some(output) = accepted else { continue };
+                let c = cs.best_for(input, output).expect("granted request exists");
+                let level = cs
+                    .input_candidates(input)
+                    .position(|x| x.vc == c.vc && x.output == c.output)
+                    .expect("candidate present");
+                matching.add(Grant { input, output, vc: c.vc, level });
+                input_free[input] = false;
+                output_free[output] = false;
+                any_accept = true;
+                if iter == 0 {
+                    self.grant_ptr[output] = (input + 1) % n;
+                    self.accept_ptr[input] = (output + 1) % n;
+                }
+            }
+            if !any_accept {
+                break; // converged early
+            }
+        }
+        debug_assert!(matching.is_consistent_with(cs));
+        matching
+    }
+
+    fn name(&self) -> &'static str {
+        "iSLIP"
+    }
+
+    fn reset(&mut self) {
+        self.grant_ptr.fill(0);
+        self.accept_ptr.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{Candidate, Priority};
+
+    fn cand(input: usize, vc: usize, output: usize) -> Candidate {
+        Candidate { input, vc, output, priority: Priority::new(1.0) }
+    }
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn permutation_fully_matched() {
+        let mut cs = CandidateSet::new(4, 1);
+        for i in 0..4 {
+            cs.push(cand(i, 0, (i + 3) % 4));
+        }
+        let m = IslipArbiter::new(4, 1).schedule(&cs, &mut rng());
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn pointers_rotate_service_under_contention() {
+        // Two inputs permanently contending for output 0: iSLIP must
+        // alternate service between them (starvation freedom).
+        let mut islip = IslipArbiter::new(4, 1);
+        let mut cs = CandidateSet::new(4, 1);
+        cs.push(cand(0, 0, 0));
+        cs.push(cand(1, 0, 0));
+        let mut wins = [0u32; 2];
+        for _ in 0..10 {
+            let m = islip.schedule(&cs, &mut rng());
+            assert_eq!(m.size(), 1);
+            if m.grant_for(0).is_some() {
+                wins[0] += 1;
+            } else {
+                wins[1] += 1;
+            }
+        }
+        assert_eq!(wins[0], 5);
+        assert_eq!(wins[1], 5);
+    }
+
+    #[test]
+    fn second_iteration_fills_holes() {
+        // Inputs 0 and 1 both request outputs {0, 1}.  With all pointers
+        // at zero, iteration 1 has both outputs granting input 0, which
+        // accepts only output 0 — output 1's grant is wasted.  Iteration 2
+        // must add (1 -> 1).
+        let mut cs = CandidateSet::new(4, 2);
+        cs.set_input(0, &[cand(0, 0, 0), cand(0, 1, 1)]);
+        cs.set_input(1, &[cand(1, 0, 0), cand(1, 1, 1)]);
+        let one_iter = IslipArbiter::new(4, 1).schedule(&cs, &mut rng()).size();
+        let two_iter = IslipArbiter::new(4, 2).schedule(&cs, &mut rng()).size();
+        assert_eq!(one_iter, 1);
+        assert_eq!(two_iter, 2);
+    }
+
+    #[test]
+    fn pointer_updates_only_on_first_iteration_accepts() {
+        let mut islip = IslipArbiter::new(4, 2);
+        let mut cs = CandidateSet::new(4, 2);
+        cs.set_input(0, &[cand(0, 0, 0), cand(0, 1, 1)]);
+        cs.set_input(1, &[cand(1, 0, 0), cand(1, 1, 1)]);
+        islip.schedule(&cs, &mut rng());
+        // Output 0 accepted input 0 in iteration 1 -> pointer at 1.
+        assert_eq!(islip.grant_pointers()[0], 1);
+        // Output 1 matched (input 1) only in iteration 2 -> pointer
+        // unchanged.
+        assert_eq!(islip.grant_pointers()[1], 0);
+    }
+
+    #[test]
+    fn reset_clears_pointers() {
+        let mut islip = IslipArbiter::new(2, 1);
+        let mut cs = CandidateSet::new(2, 1);
+        cs.push(cand(0, 0, 0));
+        islip.schedule(&cs, &mut rng());
+        assert_ne!(islip.grant_pointers()[0], 0);
+        islip.reset();
+        assert_eq!(islip.grant_pointers(), &[0, 0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # mmr-arbiter — link- and switch-scheduling algorithms for the MMR
+//!
+//! The MMR splits resource scheduling into three decisions (paper §3):
+//! **candidate selection** (link scheduling), **port ordering** and
+//! **arbitration** (switch scheduling).  This crate implements both halves:
+//!
+//! * [`priority`] — the biased-priority functions that drive candidate
+//!   selection: **SIABP** (the hardware-friendly shift-based function of
+//!   §3.1), **IABP** (the division-based original), plus FIFO and static
+//!   baselines.
+//! * [`candidate`] — the candidate vectors each input link produces: up to
+//!   *k* (output port, priority) pairs ordered by priority.
+//! * [`coa`] — the **Candidate-Order Arbiter**, the paper's contribution
+//!   (§4): selection matrix → conflict vector → port ordering (level first,
+//!   then ascending conflict, random ties) → highest-priority arbitration,
+//!   iterated with recomputation after every match.
+//! * [`wfa`] — the **Wave Front Arbiter** (Tamir & Chi), the paper's
+//!   comparison baseline, in its wrapped form with a rotating priority
+//!   diagonal.
+//! * [`islip`], [`pim`], [`greedy`], [`random`] — the related-work
+//!   baselines §4 cites (iSLIP, Parallel Iterative Matching, greedy
+//!   priority matching, random maximal matching).
+//! * [`hw`] — an analytic hardware-cost model covering the paper's §6
+//!   future work: gate-count and delay estimates for the priority functions
+//!   and arbiters.
+//!
+//! All schedulers implement [`SwitchScheduler`] and can be swapped freely
+//! in the router; every scheduler produces *conflict-free* matchings (at
+//! most one grant per input and per output), a property the test suite
+//! checks exhaustively and property-based tests re-check on random inputs.
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod coa;
+pub mod greedy;
+pub mod hw;
+pub mod islip;
+pub mod matching;
+pub mod pim;
+pub mod priority;
+pub mod random;
+pub mod scheduler;
+pub mod wfa;
+
+pub use candidate::{Candidate, CandidateSet, Priority};
+pub use coa::CandidateOrderArbiter;
+pub use greedy::GreedyPriorityArbiter;
+pub use islip::IslipArbiter;
+pub use matching::{Grant, Matching};
+pub use pim::PimArbiter;
+pub use priority::{Fifo, Iabp, LinkPriority, PriorityKind, Siabp, StaticPriority};
+pub use random::RandomArbiter;
+pub use scheduler::{ArbiterKind, SwitchScheduler};
+pub use wfa::WaveFrontArbiter;

@@ -1,0 +1,169 @@
+//! Matchings: the output of a switch scheduler.
+//!
+//! A matching is conflict-free by construction of the [`Matching`] type:
+//! inserting a grant for an already-used input or output panics in debug
+//! builds and is rejected in release builds, so no scheduler can smuggle a
+//! conflicting grant into the crossbar.
+
+use crate::candidate::CandidateSet;
+use serde::{Deserialize, Serialize};
+
+/// One granted input→output connection for the coming flit cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grant {
+    /// Granted input port.
+    pub input: usize,
+    /// Granted output port.
+    pub output: usize,
+    /// Virtual channel whose head flit crosses.
+    pub vc: usize,
+    /// Candidate level (0-based) the grant was taken from.
+    pub level: usize,
+}
+
+/// A conflict-free set of grants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matching {
+    by_input: Vec<Option<Grant>>,
+    output_used: Vec<bool>,
+    size: usize,
+}
+
+impl Matching {
+    /// An empty matching for a router with `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        Matching { by_input: vec![None; ports], output_used: vec![false; ports], size: 0 }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.by_input.len()
+    }
+
+    /// Try to add a grant; returns false (and changes nothing) if its
+    /// input or output is already matched.
+    pub fn add(&mut self, grant: Grant) -> bool {
+        if self.by_input[grant.input].is_some() || self.output_used[grant.output] {
+            debug_assert!(false, "scheduler produced a conflicting grant: {grant:?}");
+            return false;
+        }
+        self.by_input[grant.input] = Some(grant);
+        self.output_used[grant.output] = true;
+        self.size += 1;
+        true
+    }
+
+    /// The grant for `input`, if any.
+    #[inline]
+    pub fn grant_for(&self, input: usize) -> Option<Grant> {
+        self.by_input[input]
+    }
+
+    /// True if `input` is matched.
+    #[inline]
+    pub fn input_matched(&self, input: usize) -> bool {
+        self.by_input[input].is_some()
+    }
+
+    /// True if `output` is matched.
+    #[inline]
+    pub fn output_matched(&self, output: usize) -> bool {
+        self.output_used[output]
+    }
+
+    /// Number of grants (matching cardinality).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Iterate over grants in input order.
+    pub fn grants(&self) -> impl Iterator<Item = Grant> + '_ {
+        self.by_input.iter().flatten().copied()
+    }
+
+    /// Crossbar utilization this cycle: grants / ports.
+    pub fn utilization(&self) -> f64 {
+        self.size as f64 / self.by_input.len() as f64
+    }
+
+    /// Validate the matching against the candidate set it was computed
+    /// from: every grant must correspond to an actual candidate.  Used by
+    /// tests and debug assertions.
+    pub fn is_consistent_with(&self, cs: &CandidateSet) -> bool {
+        self.grants().all(|g| {
+            cs.get(g.input, g.level).is_some_and(|c| {
+                c.output == g.output && c.vc == g.vc && c.input == g.input
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{Candidate, Priority};
+
+    fn grant(input: usize, output: usize) -> Grant {
+        Grant { input, output, vc: 0, level: 0 }
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut m = Matching::new(4);
+        assert!(m.add(grant(0, 2)));
+        assert!(m.input_matched(0));
+        assert!(m.output_matched(2));
+        assert!(!m.input_matched(1));
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.grant_for(0).unwrap().output, 2);
+        assert_eq!(m.utilization(), 0.25);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "conflicting grant"))]
+    fn conflicting_input_rejected() {
+        let mut m = Matching::new(4);
+        m.add(grant(0, 2));
+        let accepted = m.add(grant(0, 3));
+        // In release builds (debug_assertions off) we reach here.
+        assert!(!accepted);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "conflicting grant"))]
+    fn conflicting_output_rejected() {
+        let mut m = Matching::new(4);
+        m.add(grant(0, 2));
+        let accepted = m.add(grant(1, 2));
+        assert!(!accepted);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn full_matching_utilization_one() {
+        let mut m = Matching::new(3);
+        for i in 0..3 {
+            m.add(grant(i, (i + 1) % 3));
+        }
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.utilization(), 1.0);
+        assert_eq!(m.grants().count(), 3);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut cs = CandidateSet::new(2, 2);
+        cs.push(Candidate { input: 0, vc: 7, output: 1, priority: Priority::new(5.0) });
+        let mut good = Matching::new(2);
+        good.add(Grant { input: 0, output: 1, vc: 7, level: 0 });
+        assert!(good.is_consistent_with(&cs));
+        let mut bad = Matching::new(2);
+        bad.add(Grant { input: 0, output: 1, vc: 3, level: 0 }); // wrong vc
+        assert!(!bad.is_consistent_with(&cs));
+        let mut phantom = Matching::new(2);
+        phantom.add(Grant { input: 1, output: 0, vc: 0, level: 0 }); // no candidate
+        assert!(!phantom.is_consistent_with(&cs));
+    }
+}

@@ -1,0 +1,153 @@
+//! Parallel Iterative Matching (Anderson et al.) — random iterative
+//! matching, cited by the paper (§4, \[1\]) as the scheme WFA beats on
+//! hardware cost.
+//!
+//! Structure mirrors iSLIP, but grant and accept choices are uniformly
+//! random instead of round-robin, and no pointer state is kept.
+
+use crate::candidate::CandidateSet;
+use crate::matching::{Grant, Matching};
+use crate::scheduler::SwitchScheduler;
+use mmr_sim::rng::SimRng;
+
+/// PIM with a configurable iteration count.
+#[derive(Debug, Clone)]
+pub struct PimArbiter {
+    ports: usize,
+    iterations: usize,
+}
+
+impl PimArbiter {
+    /// PIM for `ports` ports running `iterations` passes per cycle.
+    pub fn new(ports: usize, iterations: usize) -> Self {
+        assert!(ports > 0 && iterations > 0);
+        PimArbiter { ports, iterations }
+    }
+}
+
+impl SwitchScheduler for PimArbiter {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule(&mut self, cs: &CandidateSet, rng: &mut SimRng) -> Matching {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        let mut matching = Matching::new(n);
+        let mut input_free = vec![true; n];
+        let mut output_free = vec![true; n];
+        let mut requesters: Vec<usize> = Vec::with_capacity(n);
+
+        for _ in 0..self.iterations {
+            // Grant: each free output picks a random requesting free input.
+            let mut granted_to: Vec<Option<usize>> = vec![None; n];
+            for output in 0..n {
+                if !output_free[output] {
+                    continue;
+                }
+                requesters.clear();
+                requesters.extend(
+                    (0..n).filter(|&i| input_free[i] && cs.requests(i, output)),
+                );
+                if !requesters.is_empty() {
+                    granted_to[output] = Some(requesters[rng.index(requesters.len())]);
+                }
+            }
+            // Accept: each input picks a random output among its grants.
+            let mut any_accept = false;
+            for input in 0..n {
+                if !input_free[input] {
+                    continue;
+                }
+                requesters.clear(); // reuse as grant list
+                requesters.extend((0..n).filter(|&o| granted_to[o] == Some(input)));
+                if requesters.is_empty() {
+                    continue;
+                }
+                let output = requesters[rng.index(requesters.len())];
+                let c = cs.best_for(input, output).expect("granted request exists");
+                let level = cs
+                    .input_candidates(input)
+                    .position(|x| x.vc == c.vc && x.output == c.output)
+                    .expect("candidate present");
+                matching.add(Grant { input, output, vc: c.vc, level });
+                input_free[input] = false;
+                output_free[output] = false;
+                any_accept = true;
+            }
+            if !any_accept {
+                break;
+            }
+        }
+        debug_assert!(matching.is_consistent_with(cs));
+        matching
+    }
+
+    fn name(&self) -> &'static str {
+        "Parallel Iterative Matching"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{Candidate, Priority};
+
+    fn cand(input: usize, vc: usize, output: usize) -> Candidate {
+        Candidate { input, vc, output, priority: Priority::new(1.0) }
+    }
+
+    #[test]
+    fn permutation_fully_matched() {
+        let mut cs = CandidateSet::new(4, 1);
+        for i in 0..4 {
+            cs.push(cand(i, 0, (i + 1) % 4));
+        }
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = PimArbiter::new(4, 1).schedule(&cs, &mut rng);
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn contention_yields_single_grant() {
+        let mut cs = CandidateSet::new(4, 1);
+        for i in 0..4 {
+            cs.push(cand(i, 0, 2));
+        }
+        let mut rng = SimRng::seed_from_u64(2);
+        let m = PimArbiter::new(4, 3).schedule(&cs, &mut rng);
+        assert_eq!(m.size(), 1);
+        assert!(m.output_matched(2));
+    }
+
+    #[test]
+    fn service_is_statistically_fair() {
+        // Two inputs fight for one output; over many cycles each should
+        // win roughly half the time.
+        let mut cs = CandidateSet::new(2, 1);
+        cs.push(cand(0, 0, 0));
+        cs.push(cand(1, 0, 0));
+        let mut pim = PimArbiter::new(2, 1);
+        let mut rng = SimRng::seed_from_u64(3);
+        let wins0 = (0..2000)
+            .filter(|_| pim.schedule(&cs, &mut rng).grant_for(0).is_some())
+            .count();
+        assert!((800..1200).contains(&wins0), "wins0 = {wins0}");
+    }
+
+    #[test]
+    fn more_iterations_never_shrink_matching() {
+        for seed in 0..20u64 {
+            let mut gen = SimRng::seed_from_u64(seed);
+            let mut cs = CandidateSet::new(4, 2);
+            for input in 0..4 {
+                let c1 = cand(input, 0, gen.index(4));
+                let mut c2 = cand(input, 1, gen.index(4));
+                c2.priority = Priority::new(0.5);
+                cs.set_input(input, &[c1, c2]);
+            }
+            let mut rng_a = SimRng::seed_from_u64(seed + 100);
+            let mut rng_b = SimRng::seed_from_u64(seed + 100);
+            let one = PimArbiter::new(4, 1).schedule(&cs, &mut rng_a).size();
+            let four = PimArbiter::new(4, 4).schedule(&cs, &mut rng_b).size();
+            assert!(four >= one, "seed {seed}: {four} < {one}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Random maximal matching — the "no policy at all" floor baseline.
+//!
+//! Shuffles the distinct (input, output) request pairs and takes them
+//! greedily.  The result is a uniformly random maximal matching on the
+//! request graph, blind to both priority and conflict structure.
+
+use crate::candidate::CandidateSet;
+use crate::matching::{Grant, Matching};
+use crate::scheduler::SwitchScheduler;
+use mmr_sim::rng::SimRng;
+
+/// Random maximal matching arbiter.
+#[derive(Debug, Clone)]
+pub struct RandomArbiter {
+    ports: usize,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl RandomArbiter {
+    /// Random arbiter for `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        RandomArbiter { ports, pairs: Vec::new() }
+    }
+}
+
+impl SwitchScheduler for RandomArbiter {
+    fn schedule(&mut self, cs: &CandidateSet, rng: &mut SimRng) -> Matching {
+        assert_eq!(cs.ports(), self.ports);
+        self.pairs.clear();
+        for input in 0..self.ports {
+            for output in 0..self.ports {
+                if cs.requests(input, output) {
+                    self.pairs.push((input, output));
+                }
+            }
+        }
+        rng.shuffle(&mut self.pairs);
+        let mut matching = Matching::new(self.ports);
+        let mut input_free = vec![true; self.ports];
+        let mut output_free = vec![true; self.ports];
+        for &(input, output) in &self.pairs {
+            if input_free[input] && output_free[output] {
+                let c = cs.best_for(input, output).expect("pair built from candidates");
+                let level = cs
+                    .input_candidates(input)
+                    .position(|x| x.vc == c.vc && x.output == c.output)
+                    .expect("candidate present");
+                matching.add(Grant { input, output, vc: c.vc, level });
+                input_free[input] = false;
+                output_free[output] = false;
+            }
+        }
+        debug_assert!(matching.is_consistent_with(cs));
+        matching
+    }
+
+    fn name(&self) -> &'static str {
+        "Random maximal matching"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{Candidate, Priority};
+
+    fn cand(input: usize, vc: usize, output: usize) -> Candidate {
+        Candidate { input, vc, output, priority: Priority::new(1.0) }
+    }
+
+    #[test]
+    fn matching_is_maximal() {
+        for seed in 0..30u64 {
+            let mut gen = SimRng::seed_from_u64(seed);
+            let mut cs = CandidateSet::new(4, 2);
+            for input in 0..4 {
+                cs.set_input(input, &[cand(input, 0, gen.index(4)), cand(input, 1, gen.index(4))]);
+            }
+            let mut rng = SimRng::seed_from_u64(seed * 31 + 1);
+            let m = RandomArbiter::new(4).schedule(&cs, &mut rng);
+            for c in cs.iter() {
+                assert!(m.input_matched(c.input) || m.output_matched(c.output));
+            }
+        }
+    }
+
+    #[test]
+    fn contention_resolved_uniformly() {
+        let mut cs = CandidateSet::new(2, 1);
+        cs.push(cand(0, 0, 0));
+        cs.push(cand(1, 0, 0));
+        let mut arb = RandomArbiter::new(2);
+        let mut rng = SimRng::seed_from_u64(5);
+        let wins0 = (0..2000).filter(|_| arb.schedule(&cs, &mut rng).grant_for(0).is_some()).count();
+        assert!((800..1200).contains(&wins0), "wins0 = {wins0}");
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let cs = CandidateSet::new(3, 1);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(RandomArbiter::new(3).schedule(&cs, &mut rng).size(), 0);
+    }
+}

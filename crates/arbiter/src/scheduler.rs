@@ -1,0 +1,126 @@
+//! The switch-scheduler abstraction and the arbiter registry.
+
+use crate::candidate::CandidateSet;
+use crate::matching::Matching;
+use mmr_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A crossbar arbitration algorithm.
+///
+/// Schedulers may keep state across cycles (WFA's rotating diagonal,
+/// iSLIP's pointers); `schedule` is called once per flit cycle with the
+/// candidate vectors produced by link scheduling and must return a
+/// conflict-free matching.
+pub trait SwitchScheduler: Send {
+    /// Compute a matching for this cycle.  `rng` is the router's arbiter
+    /// RNG stream, used for tie-breaks.
+    fn schedule(&mut self, candidates: &CandidateSet, rng: &mut SimRng) -> Matching;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Reset any cross-cycle state (pointers, diagonals).
+    fn reset(&mut self) {}
+}
+
+/// Serializable arbiter selector used by experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbiterKind {
+    /// The paper's Candidate-Order Arbiter.
+    Coa,
+    /// Wrapped Wave Front Arbiter.
+    Wfa,
+    /// Unwrapped WFA (fixed priority diagonal) — study variant.
+    WfaFixed,
+    /// Wrapped WFA with requests from level-1 candidates only — study
+    /// variant adding coarse priority awareness.
+    WfaFirstLevel,
+    /// iSLIP with the given number of iterations.
+    Islip {
+        /// Request-grant-accept iterations per cycle.
+        iterations: usize,
+    },
+    /// Parallel Iterative Matching with the given number of iterations.
+    Pim {
+        /// Random grant/accept iterations per cycle.
+        iterations: usize,
+    },
+    /// Greedy by global priority order.
+    GreedyPriority,
+    /// Random maximal matching.
+    Random,
+}
+
+impl ArbiterKind {
+    /// Instantiate the scheduler for a router with `ports` ports.
+    pub fn instantiate(self, ports: usize) -> Box<dyn SwitchScheduler> {
+        match self {
+            ArbiterKind::Coa => Box::new(crate::coa::CandidateOrderArbiter::new(ports)),
+            ArbiterKind::Wfa => Box::new(crate::wfa::WaveFrontArbiter::new(ports)),
+            ArbiterKind::WfaFixed => Box::new(crate::wfa::WaveFrontArbiter::fixed(ports)),
+            ArbiterKind::WfaFirstLevel => {
+                Box::new(crate::wfa::WaveFrontArbiter::first_level_only(ports))
+            }
+            ArbiterKind::Islip { iterations } => {
+                Box::new(crate::islip::IslipArbiter::new(ports, iterations))
+            }
+            ArbiterKind::Pim { iterations } => {
+                Box::new(crate::pim::PimArbiter::new(ports, iterations))
+            }
+            ArbiterKind::GreedyPriority => {
+                Box::new(crate::greedy::GreedyPriorityArbiter::new(ports))
+            }
+            ArbiterKind::Random => Box::new(crate::random::RandomArbiter::new(ports)),
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArbiterKind::Coa => "COA",
+            ArbiterKind::Wfa => "WFA",
+            ArbiterKind::WfaFixed => "WFA-fix",
+            ArbiterKind::WfaFirstLevel => "WFA-L1",
+            ArbiterKind::Islip { .. } => "iSLIP",
+            ArbiterKind::Pim { .. } => "PIM",
+            ArbiterKind::GreedyPriority => "Greedy",
+            ArbiterKind::Random => "Random",
+        }
+    }
+
+    /// Every selectable arbiter with default parameters, for comparison
+    /// sweeps.
+    pub fn all() -> Vec<ArbiterKind> {
+        vec![
+            ArbiterKind::Coa,
+            ArbiterKind::Wfa,
+            ArbiterKind::WfaFixed,
+            ArbiterKind::WfaFirstLevel,
+            ArbiterKind::Islip { iterations: 2 },
+            ArbiterKind::Pim { iterations: 2 },
+            ArbiterKind::GreedyPriority,
+            ArbiterKind::Random,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_all_kinds() {
+        for kind in ArbiterKind::all() {
+            let sched = kind.instantiate(4);
+            assert!(!sched.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = ArbiterKind::all().into_iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ArbiterKind::all().len());
+    }
+}

@@ -1,0 +1,280 @@
+//! The Wave Front Arbiter (WFA) — the paper's comparison baseline.
+//!
+//! Tamir & Chi's symmetric crossbar arbiter propagates an arbitration wave
+//! diagonally across an N×N array of cells, one per crosspoint.  A cell
+//! grants its (input, output) pair iff a request is present and no grant
+//! exists earlier in the same row or column.  Cells on one anti-diagonal
+//! are independent and evaluate in parallel in hardware.
+//!
+//! This is the *wrapped* WFA: the starting diagonal rotates every cycle so
+//! that no crosspoint is permanently favoured.  Crucially — and this is
+//! the paper's point — WFA considers only *where* requests go, never their
+//! priority: it maximizes matching size per wave order, blind to QoS.
+
+use crate::candidate::CandidateSet;
+use crate::matching::{Grant, Matching};
+use crate::scheduler::SwitchScheduler;
+use mmr_sim::rng::SimRng;
+
+/// Wrapped Wave Front Arbiter (plus two study variants).
+#[derive(Debug, Clone)]
+pub struct WaveFrontArbiter {
+    ports: usize,
+    /// Anti-diagonal that gets top priority this cycle.
+    start_diag: usize,
+    /// Rotate the priority diagonal every cycle (the wrapped variant).
+    wrapped: bool,
+    /// Build the request matrix from level-1 candidates only, making the
+    /// wave see exactly what the link scheduler ranked best.
+    top_level_only: bool,
+    /// Dense request matrix scratch (row-major), rebuilt each cycle.
+    requests: Vec<bool>,
+}
+
+impl WaveFrontArbiter {
+    /// The paper's WFA: wrapped, requests from all candidate levels.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        WaveFrontArbiter {
+            ports,
+            start_diag: 0,
+            wrapped: true,
+            top_level_only: false,
+            requests: vec![false; ports * ports],
+        }
+    }
+
+    /// Study variant: the original *unwrapped* arbiter of Tamir & Chi's
+    /// first design — the priority diagonal never rotates, so crosspoint
+    /// (0,0) is permanently favoured.  Demonstrates why wrapping matters.
+    pub fn fixed(ports: usize) -> Self {
+        WaveFrontArbiter { wrapped: false, ..WaveFrontArbiter::new(ports) }
+    }
+
+    /// Study variant: requests restricted to each input's level-1
+    /// candidate — a cheap way to make the wave respect the link
+    /// scheduler's priority ranking, at the cost of matching cardinality.
+    pub fn first_level_only(ports: usize) -> Self {
+        WaveFrontArbiter { top_level_only: true, ..WaveFrontArbiter::new(ports) }
+    }
+
+    /// The diagonal that will be served first on the next call.
+    pub fn current_diagonal(&self) -> usize {
+        self.start_diag
+    }
+}
+
+impl SwitchScheduler for WaveFrontArbiter {
+    #[allow(clippy::needless_range_loop)] // crosspoint (row, column) indexing
+    fn schedule(&mut self, cs: &CandidateSet, _rng: &mut SimRng) -> Matching {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        // Build the request matrix: input i requests output o if *any* of
+        // its candidates targets o (the arbiter is priority-blind).  The
+        // first-level variant only admits level-1 candidates.
+        self.requests.fill(false);
+        if self.top_level_only {
+            for input in 0..n {
+                if let Some(c) = cs.get(input, 0) {
+                    self.requests[c.input * n + c.output] = true;
+                }
+            }
+        } else {
+            for c in cs.iter() {
+                self.requests[c.input * n + c.output] = true;
+            }
+        }
+
+        let mut matching = Matching::new(n);
+        let mut row_free = vec![true; n];
+        let mut col_free = vec![true; n];
+        // Sweep the N anti-diagonals starting from the rotating one.  The
+        // N cells of an anti-diagonal touch N distinct rows and columns,
+        // so their grants never conflict with each other.
+        for d in 0..n {
+            let diag = (self.start_diag + d) % n;
+            for input in 0..n {
+                let output = (diag + n - input) % n;
+                if self.requests[input * n + output] && row_free[input] && col_free[output] {
+                    let c = cs
+                        .best_for(input, output)
+                        .expect("request matrix was built from candidates");
+                    // Level is the candidate's index in its input vector.
+                    let level = cs
+                        .input_candidates(input)
+                        .position(|x| x.vc == c.vc && x.output == c.output)
+                        .expect("candidate present");
+                    matching.add(Grant { input, output, vc: c.vc, level });
+                    row_free[input] = false;
+                    col_free[output] = false;
+                }
+            }
+        }
+        if self.wrapped {
+            self.start_diag = (self.start_diag + 1) % n;
+        }
+        debug_assert!(matching.is_consistent_with(cs));
+        matching
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.wrapped, self.top_level_only) {
+            (true, false) => "Wave Front Arbiter",
+            (false, _) => "Wave Front Arbiter (fixed diagonal)",
+            (true, true) => "Wave Front Arbiter (level-1 requests)",
+        }
+    }
+
+    fn reset(&mut self) {
+        self.start_diag = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{Candidate, Priority};
+
+    fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
+        Candidate { input, vc, output, priority: Priority::new(prio) }
+    }
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn empty_in_empty_out() {
+        let cs = CandidateSet::new(4, 4);
+        let m = WaveFrontArbiter::new(4).schedule(&cs, &mut rng());
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn full_permutation_fully_granted() {
+        let mut cs = CandidateSet::new(4, 1);
+        for i in 0..4 {
+            cs.push(cand(i, 0, (i + 2) % 4, 1.0));
+        }
+        let m = WaveFrontArbiter::new(4).schedule(&cs, &mut rng());
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn ignores_priority() {
+        // Inputs 0 and 1 contend for output 0.  Input 1 has a vastly
+        // higher priority, but WFA's winner is decided purely by wave
+        // geometry: with start_diag = 0, cell (0,0) is on the first
+        // diagonal and wins.
+        let mut cs = CandidateSet::new(4, 1);
+        cs.push(cand(0, 0, 0, 0.001));
+        cs.push(cand(1, 0, 0, 1e9));
+        let m = WaveFrontArbiter::new(4).schedule(&cs, &mut rng());
+        assert_eq!(m.size(), 1);
+        assert!(m.grant_for(0).is_some(), "geometry, not priority, decides");
+    }
+
+    #[test]
+    fn diagonal_rotates_across_cycles() {
+        let mut wfa = WaveFrontArbiter::new(4);
+        let mut cs = CandidateSet::new(4, 1);
+        cs.push(cand(0, 0, 0, 1.0));
+        cs.push(cand(1, 0, 0, 1.0));
+        // Same contention every cycle; the winner must change as the
+        // starting diagonal rotates.
+        let mut winners = Vec::new();
+        for _ in 0..4 {
+            let m = wfa.schedule(&cs, &mut rng());
+            winners.push(if m.grant_for(0).is_some() { 0 } else { 1 });
+        }
+        assert!(winners.contains(&0) && winners.contains(&1), "winners {winners:?}");
+    }
+
+    #[test]
+    fn reset_restores_initial_diagonal() {
+        let mut wfa = WaveFrontArbiter::new(4);
+        let cs = CandidateSet::new(4, 1);
+        wfa.schedule(&cs, &mut rng());
+        assert_eq!(wfa.current_diagonal(), 1);
+        wfa.reset();
+        assert_eq!(wfa.current_diagonal(), 0);
+    }
+
+    #[test]
+    fn grants_use_lowest_level_candidate_for_output() {
+        let mut cs = CandidateSet::new(2, 2);
+        // Input 0: level-1 to output 1, level-2 to output 0.
+        cs.set_input(0, &[cand(0, 3, 1, 9.0), cand(0, 7, 0, 1.0)]);
+        let mut wfa = WaveFrontArbiter::new(2);
+        let m = wfa.schedule(&cs, &mut rng());
+        // Both grants impossible (one input); whichever output the wave
+        // reaches first, the vc must match the candidate for that output.
+        let g = m.grant_for(0).unwrap();
+        let expected_vc = if g.output == 1 { 3 } else { 7 };
+        assert_eq!(g.vc, expected_vc);
+        assert!(m.is_consistent_with(&cs));
+    }
+
+    #[test]
+    fn fixed_variant_never_rotates_and_starves() {
+        let mut wfa = WaveFrontArbiter::fixed(4);
+        let mut cs = CandidateSet::new(4, 1);
+        cs.push(cand(0, 0, 0, 1.0));
+        cs.push(cand(1, 0, 0, 1.0));
+        // Input 0 sits on the favoured crosspoint and wins every cycle.
+        for _ in 0..8 {
+            let m = wfa.schedule(&cs, &mut rng());
+            assert!(m.grant_for(0).is_some());
+            assert!(m.grant_for(1).is_none(), "fixed diagonal starves input 1");
+        }
+        assert_eq!(wfa.current_diagonal(), 0);
+    }
+
+    #[test]
+    fn first_level_variant_ignores_lower_levels() {
+        let mut wfa = WaveFrontArbiter::first_level_only(2);
+        let mut cs = CandidateSet::new(2, 2);
+        // Both inputs' level-1 candidates want output 0; input 1 has a
+        // level-2 candidate for output 1, which this variant must ignore.
+        cs.set_input(0, &[cand(0, 0, 0, 9.0)]);
+        cs.set_input(1, &[cand(1, 0, 0, 8.0), cand(1, 1, 1, 1.0)]);
+        let m = wfa.schedule(&cs, &mut rng());
+        assert_eq!(m.size(), 1, "level-2 fallback must not be used");
+        // The plain WFA with identical input uses it.
+        let mut plain = WaveFrontArbiter::new(2);
+        let m2 = plain.schedule(&cs, &mut rng());
+        assert_eq!(m2.size(), 2);
+    }
+
+    #[test]
+    fn variant_names_differ() {
+        let names = [
+            WaveFrontArbiter::new(2).name(),
+            WaveFrontArbiter::fixed(2).name(),
+            WaveFrontArbiter::first_level_only(2).name(),
+        ];
+        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn wave_front_is_maximal() {
+        // WFA yields a maximal matching: no request can link a free row
+        // to a free column afterwards.
+        for seed in 0..50u64 {
+            let mut gen = SimRng::seed_from_u64(seed);
+            let mut cs = CandidateSet::new(4, 2);
+            for input in 0..4 {
+                let mut cands: Vec<Candidate> = (0..2)
+                    .map(|vc| cand(input, vc, gen.index(4), gen.uniform()))
+                    .collect();
+                cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+                cs.set_input(input, &cands);
+            }
+            let mut wfa = WaveFrontArbiter::new(4);
+            let m = wfa.schedule(&cs, &mut rng());
+            for c in cs.iter() {
+                assert!(m.input_matched(c.input) || m.output_matched(c.output));
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion kernels: switch-scheduler matching throughput.
+//!
+//! The MMR must arbitrate once per flit cycle (826 ns); these benchmarks
+//! measure how each algorithm's software model scales with port count and
+//! contention, and back the hardware-cost comparison with wall-clock
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmr_arbiter::candidate::{Candidate, CandidateSet, Priority};
+use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_sim::rng::SimRng;
+use std::hint::black_box;
+
+/// Build a realistic candidate set: every input offers `levels`
+/// candidates at random outputs with SIABP-like priorities.
+fn candidate_set(ports: usize, levels: usize, seed: u64) -> CandidateSet {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut cs = CandidateSet::new(ports, levels);
+    for input in 0..ports {
+        let mut cands: Vec<Candidate> = (0..levels)
+            .map(|vc| Candidate {
+                input,
+                vc,
+                output: rng.index(ports),
+                priority: Priority::new((1u64 << (4 + rng.index(12))) as f64),
+            })
+            .collect();
+        cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+        cs.set_input(input, &cands);
+    }
+    cs
+}
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_schedule");
+    for ports in [4usize, 8, 16] {
+        let cs = candidate_set(ports, 4, 42);
+        for kind in ArbiterKind::all() {
+            let mut sched = kind.instantiate(ports);
+            let mut rng = SimRng::seed_from_u64(7);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{ports}x{ports}")),
+                &cs,
+                |b, cs| b.iter(|| black_box(sched.schedule(black_box(cs), &mut rng))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_contention_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coa_contention");
+    // Hotspot: every input's level-1 candidate targets output 0 — the
+    // worst case for COA's iterative recomputation.
+    let ports = 4;
+    let mut hotspot = CandidateSet::new(ports, 4);
+    for input in 0..ports {
+        let cands: Vec<Candidate> = (0..4)
+            .map(|vc| Candidate {
+                input,
+                vc,
+                output: if vc == 0 { 0 } else { vc },
+                priority: Priority::new((1000 - vc as u64) as f64),
+            })
+            .collect();
+        hotspot.set_input(input, &cands);
+    }
+    let uniform = candidate_set(ports, 4, 3);
+    let mut coa = ArbiterKind::Coa.instantiate(ports);
+    let mut rng = SimRng::seed_from_u64(1);
+    group.bench_function("hotspot", |b| {
+        b.iter(|| black_box(coa.schedule(black_box(&hotspot), &mut rng)))
+    });
+    group.bench_function("uniform", |b| {
+        b.iter(|| black_box(coa.schedule(black_box(&uniform), &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiters, bench_contention_profiles);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion kernels: priority-function evaluation and candidate
+//! selection.
+//!
+//! Link scheduling evaluates a priority per occupied VC per flit cycle;
+//! these kernels measure the software cost of each function and of the
+//! top-k selection over realistic VC counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmr_arbiter::candidate::CandidateSet;
+use mmr_arbiter::priority::PriorityKind;
+use mmr_router::link_scheduler::{LinkScheduler, VcQosInfo};
+use mmr_router::vcmem::VcMemory;
+use mmr_sim::rng::SimRng;
+use mmr_sim::time::RouterCycle;
+use mmr_traffic::connection::ConnectionId;
+use mmr_traffic::flit::Flit;
+use std::hint::black_box;
+
+fn bench_priority_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_eval");
+    let inputs: Vec<(u64, f64, u64)> =
+        (0..64).map(|i| (1 + i * 11 % 727, 1443.0 + i as f64, i * i * 37)).collect();
+    for kind in PriorityKind::all() {
+        let f = kind.instantiate();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(slots, iat, waited) in &inputs {
+                    acc += f.priority(black_box(slots), black_box(iat), black_box(waited)).0;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_select_topk");
+    for vcs in [16usize, 64, 256] {
+        let mut mem = VcMemory::new(vcs, 4, 4);
+        let mut rng = SimRng::seed_from_u64(5);
+        let qos: Vec<VcQosInfo> = (0..vcs)
+            .map(|i| VcQosInfo {
+                output: i % 4,
+                reserved_slots: 1 + (i as u64 * 31) % 727,
+                iat_rc: 1443.0,
+            })
+            .collect();
+        // ~60% of VCs occupied, random entry times.
+        for vc in 0..vcs {
+            if rng.uniform() < 0.6 {
+                mem.push(
+                    vc,
+                    Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)),
+                    RouterCycle(rng.below(1_000_000)),
+                );
+            }
+        }
+        let mut ls = LinkScheduler::new(0, (0..vcs).collect());
+        let siabp = PriorityKind::Siabp.instantiate();
+        group.bench_with_input(BenchmarkId::from_parameter(vcs), &vcs, |b, _| {
+            let mut cs = CandidateSet::new(4, 4);
+            b.iter(|| {
+                cs.clear();
+                black_box(ls.select(
+                    &mem,
+                    &qos,
+                    siabp.as_ref(),
+                    RouterCycle(2_000_000),
+                    &mut cs,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_priority_functions, bench_candidate_selection);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion kernel: whole-router cycle throughput.
+//!
+//! Measures simulated flit cycles per second for the full pipeline
+//! (sources → NIC → link scheduling → arbitration → crossbar) under the
+//! CBR mix, COA vs WFA — the number that determines how long the figure
+//! regenerations take.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_core::config::{RunLength, SimConfig, WorkloadSpec};
+use mmr_core::experiment::{build_router, build_workload};
+use mmr_sim::engine::CycleModel;
+use mmr_sim::time::FlitCycle;
+use std::hint::black_box;
+
+fn bench_router_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_cycles");
+    const BATCH: u64 = 1_000;
+    group.throughput(Throughput::Elements(BATCH));
+    for load in [0.5f64, 0.9] {
+        for kind in [ArbiterKind::Coa, ArbiterKind::Wfa] {
+            let cfg = SimConfig {
+                workload: WorkloadSpec::cbr(load),
+                arbiter: kind,
+                run: RunLength::Cycles(u64::MAX),
+                ..Default::default()
+            };
+            let mut router = build_router(&cfg, build_workload(&cfg));
+            let mut t = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("load{:.0}", load * 100.0)),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..BATCH {
+                            router.step(FlitCycle(t), true);
+                            t += 1;
+                        }
+                        black_box(t)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_step);
+criterion_main!(benches);

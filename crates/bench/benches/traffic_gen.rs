@@ -1,0 +1,85 @@
+//! Criterion kernels: traffic generation.
+//!
+//! Trace synthesis and workload construction run once per experiment
+//! point; source emission runs on the hot path of every cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmr_sim::rng::SimRng;
+use mmr_sim::time::{RouterCycle, TimeBase};
+use mmr_traffic::admission::RoundConfig;
+use mmr_traffic::connection::ConnectionId;
+use mmr_traffic::injection::InjectionModel;
+use mmr_traffic::mpeg::{standard_sequences, MpegTrace};
+use mmr_traffic::source::TrafficSource;
+use mmr_traffic::vbr::VbrSource;
+use mmr_traffic::workload::{CbrMixBuilder, VbrMixBuilder};
+use std::hint::black_box;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let params = standard_sequences();
+    let tb = TimeBase::default();
+    c.bench_function("mpeg_trace_4gops", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| black_box(MpegTrace::generate(&params[3], 4, &tb, &mut rng)))
+    });
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    let tb = TimeBase::default();
+    let mut group = c.benchmark_group("workload_build");
+    for load in [0.5f64, 0.9] {
+        group.bench_with_input(BenchmarkId::new("cbr", format!("{load}")), &load, |b, &l| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from_u64(2);
+                black_box(
+                    CbrMixBuilder::new(4, tb, RoundConfig::default())
+                        .target_load(l)
+                        .build(&mut rng),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vbr", format!("{load}")), &load, |b, &l| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from_u64(3);
+                black_box(
+                    VbrMixBuilder::new(4, tb, RoundConfig::default())
+                        .target_load(l)
+                        .gops(1)
+                        .build(&mut rng),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_source_emission(c: &mut Criterion) {
+    let tb = TimeBase::default();
+    let mut rng = SimRng::seed_from_u64(4);
+    let trace = MpegTrace::generate(&standard_sequences()[4], 8, &tb, &mut rng);
+    c.bench_function("vbr_emit_frame", |b| {
+        b.iter_batched(
+            || {
+                VbrSource::new(
+                    ConnectionId(0),
+                    trace.clone(),
+                    InjectionModel::SmoothRate,
+                    RouterCycle(0),
+                    &tb,
+                )
+            },
+            |mut src| {
+                let mut n = 0u32;
+                while src.peek_next().is_some() && n < 512 {
+                    black_box(src.emit());
+                    n += 1;
+                }
+                n
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_trace_generation, bench_workload_build, bench_source_emission);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 7 — the two VBR injection models, illustrated: flit emission
+//! timelines for one frame under Back-to-Back and Smooth-Rate.
+
+use mmr_bench::{banner, emit, fidelity_from_args};
+use mmr_sim::time::{RouterCycle, TimeBase};
+use mmr_sim::rng::SimRng;
+use mmr_traffic::connection::ConnectionId;
+use mmr_traffic::injection::InjectionModel;
+use mmr_traffic::mpeg::{standard_sequences, MpegTrace, FRAME_TIME_SECS};
+use mmr_traffic::source::TrafficSource;
+use mmr_traffic::vbr::VbrSource;
+
+fn timeline(model: InjectionModel, label: &str, out: &mut String) {
+    let tb = TimeBase::default();
+    let mut rng = SimRng::seed_from_u64(7);
+    let trace = MpegTrace::generate(&standard_sequences()[0], 1, &tb, &mut rng);
+    let mut src = VbrSource::new(ConnectionId(0), trace, model, RouterCycle(0), &tb);
+    // Bucket frame-0 emissions into 40 slots across the frame time.
+    const SLOTS: usize = 40;
+    let frame_rc = FRAME_TIME_SECS / tb.router_cycle_secs();
+    let mut buckets = [0u32; SLOTS];
+    let mut emitted = 0u64;
+    while let Some(t) = src.peek_next() {
+        let f = src.emit();
+        if f.frame.unwrap().index > 0 {
+            break;
+        }
+        let slot = ((t.0 as f64 / frame_rc) * SLOTS as f64) as usize;
+        buckets[slot.min(SLOTS - 1)] += 1;
+        emitted += 1;
+    }
+    out.push_str(&format!("\n{label} — {emitted} flits of frame 0 across one 33 ms frame time:\n"));
+    let max = *buckets.iter().max().unwrap() as f64;
+    for (i, &b) in buckets.iter().enumerate() {
+        let t_ms = i as f64 / SLOTS as f64 * 33.0;
+        let bar = "#".repeat(((b as f64 / max) * 50.0).round() as usize);
+        out.push_str(&format!("{t_ms:>6.1} ms |{bar:<50}| {b}\n"));
+    }
+}
+
+fn main() {
+    let fidelity = fidelity_from_args();
+    let mut out = banner("Fig. 7", "VBR injection models (BB vs SR)", fidelity);
+    let tb = TimeBase::default();
+    // Peak sized for a frame ~3x this trace's typical I frame, so the BB
+    // burst visibly finishes early.
+    let bb = InjectionModel::back_to_back_for(2500, FRAME_TIME_SECS, &tb);
+    timeline(bb, "(a) Back-to-Back: peak-rate burst, then idle", &mut out);
+    timeline(InjectionModel::SmoothRate, "(b) Smooth-Rate: evenly spread", &mut out);
+    emit("fig7_injection_models.txt", &out);
+}

@@ -1,0 +1,276 @@
+//! `mmr` — command-line front-end to the simulator.
+//!
+//! ```text
+//! mmr run   [--load 0.7] [--arbiter coa|wfa|islip|pim|greedy|random]
+//!           [--priority siabp|iabp|fifo|static] [--vbr sr|bb] [--gops 4]
+//!           [--cycles 50000] [--warmup 5000] [--seed N] [--json]
+//! mmr run   --config sim.json            # full SimConfig from JSON
+//! mmr sweep [--loads 0.5,0.7,0.9] [--arbiters coa,wfa] [run flags]
+//! mmr scenarios                          # list canned paper scenarios
+//! ```
+
+use mmr_arbiter::priority::PriorityKind;
+use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_core::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
+use mmr_core::experiment::run_experiment;
+use mmr_core::report::{render_xy_table, TextTable};
+use mmr_core::sweep::{sweep, SweepSpec};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mmr <run|sweep|scenarios> [flags]\n\
+         \n\
+         run flags:\n\
+           --config FILE          load a full SimConfig from JSON (other flags override)\n\
+           --load F               target offered load fraction (default 0.7)\n\
+           --arbiter NAME         coa|wfa|wfa-fix|wfa-l1|islip|pim|greedy|random (default coa)\n\
+           --priority NAME        siabp|iabp|fifo|static (default siabp)\n\
+           --vbr sr|bb            use MPEG-2 VBR with the given injection model\n\
+           --gops N               GOPs per VBR connection (default 4)\n\
+           --cycles N             flit cycles to run (default 50000; VBR runs until drained)\n\
+           --warmup N             warm-up cycles (default 5000)\n\
+           --seed N               master seed (default 0xB1ACA)\n\
+           --json                 emit the result as JSON\n\
+         \n\
+         sweep flags (plus run flags):\n\
+           --loads A,B,C          loads to visit (default 0.5,0.7,0.8,0.9)\n\
+           --arbiters A,B         arbiters to compare (default coa,wfa)\n"
+    );
+    exit(2)
+}
+
+fn parse_arbiter(s: &str) -> ArbiterKind {
+    match s {
+        "coa" => ArbiterKind::Coa,
+        "wfa" => ArbiterKind::Wfa,
+        "wfa-fix" => ArbiterKind::WfaFixed,
+        "wfa-l1" => ArbiterKind::WfaFirstLevel,
+        "islip" => ArbiterKind::Islip { iterations: 2 },
+        "pim" => ArbiterKind::Pim { iterations: 2 },
+        "greedy" => ArbiterKind::GreedyPriority,
+        "random" => ArbiterKind::Random,
+        other => {
+            eprintln!("unknown arbiter '{other}'");
+            usage()
+        }
+    }
+}
+
+fn parse_priority(s: &str) -> PriorityKind {
+    match s {
+        "siabp" => PriorityKind::Siabp,
+        "iabp" => PriorityKind::Iabp,
+        "fifo" => PriorityKind::Fifo,
+        "static" => PriorityKind::Static,
+        other => {
+            eprintln!("unknown priority function '{other}'");
+            usage()
+        }
+    }
+}
+
+/// Parse `--flag value` pairs plus bare `--json` style switches.
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if matches!(name, "json") {
+                switches.push(name.to_string());
+                i += 1;
+            } else if i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                eprintln!("flag --{name} needs a value");
+                usage()
+            }
+        } else {
+            eprintln!("unexpected argument '{a}'");
+            usage()
+        }
+    }
+    (flags, switches)
+}
+
+fn config_from_flags(flags: &HashMap<String, String>) -> SimConfig {
+    let mut cfg = if let Some(path) = flags.get("config") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("invalid config {path}: {e}");
+            exit(1)
+        })
+    } else {
+        SimConfig::default()
+    };
+    let parse_f64 = |s: &String| -> f64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("not a number: {s}");
+            usage()
+        })
+    };
+    let parse_u64 = |s: &String| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("not an integer: {s}");
+            usage()
+        })
+    };
+    if let Some(v) = flags.get("vbr") {
+        let injection = match v.as_str() {
+            "sr" => InjectionKind::SmoothRate,
+            "bb" => InjectionKind::BackToBack,
+            other => {
+                eprintln!("--vbr takes sr or bb, not '{other}'");
+                usage()
+            }
+        };
+        let gops = flags.get("gops").map(&parse_u64).unwrap_or(4) as usize;
+        cfg.workload = WorkloadSpec::Vbr {
+            target_load: cfg.workload.target_load(),
+            gops,
+            injection,
+            enforce_peak: false,
+        };
+        cfg.warmup_cycles = 0;
+        cfg.run = RunLength::UntilDrained {
+            max_cycles: mmr_core::scenarios::vbr_cycle_budget(gops),
+        };
+    }
+    if let Some(v) = flags.get("load") {
+        cfg.workload = cfg.workload.with_load(parse_f64(v));
+    }
+    if let Some(v) = flags.get("arbiter") {
+        cfg.arbiter = parse_arbiter(v);
+    }
+    if let Some(v) = flags.get("priority") {
+        cfg.priority = parse_priority(v);
+    }
+    if let Some(v) = flags.get("cycles") {
+        cfg.run = RunLength::Cycles(parse_u64(v));
+    }
+    if let Some(v) = flags.get("warmup") {
+        cfg.warmup_cycles = parse_u64(v);
+    }
+    if let Some(v) = flags.get("seed") {
+        cfg.seed = parse_u64(v);
+    }
+    cfg
+}
+
+fn cmd_run(args: &[String]) {
+    let (flags, switches) = parse_flags(args);
+    let cfg = config_from_flags(&flags);
+    let result = run_experiment(&cfg);
+    if switches.iter().any(|s| s == "json") {
+        println!("{}", serde_json::to_string_pretty(&result).expect("result serializes"));
+        return;
+    }
+    println!(
+        "{} | {} | load {:.1}% ({} connections) | {} cycles",
+        result.summary.arbiter,
+        result.summary.priority_fn,
+        result.achieved_load * 100.0,
+        result.connections,
+        result.executed_cycles
+    );
+    let mut t = TextTable::new(vec!["class", "generated", "delivered", "mean µs", "p99 µs"]);
+    for c in &result.summary.metrics.classes {
+        t.row(vec![
+            c.class.label().to_string(),
+            c.generated.to_string(),
+            c.delivered.to_string(),
+            format!("{:.2}", c.mean_delay_us),
+            format!("{:.2}", c.p99_delay_us),
+        ]);
+    }
+    println!("{}", t.render());
+    if result.summary.metrics.frames_delivered > 0 {
+        println!(
+            "frames: {} delivered, mean delay {:.1} µs, mean jitter {:.2} µs",
+            result.summary.metrics.frames_delivered,
+            result.summary.metrics.mean_frame_delay_us,
+            result.summary.metrics.mean_frame_jitter_us
+        );
+    }
+    println!(
+        "utilization {:.1}% | throughput {:.3} | fairness {:.3}",
+        result.summary.crossbar_utilization * 100.0,
+        result.summary.throughput_ratio(),
+        result.summary.reservation_fairness
+    );
+}
+
+fn cmd_sweep(args: &[String]) {
+    let (flags, _) = parse_flags(args);
+    let base = config_from_flags(&flags);
+    let loads: Vec<f64> = flags
+        .get("loads")
+        .map(|s| s.split(',').map(|x| x.trim().parse().expect("load")).collect())
+        .unwrap_or_else(|| vec![0.5, 0.7, 0.8, 0.9]);
+    let arbiters: Vec<ArbiterKind> = flags
+        .get("arbiters")
+        .map(|s| s.split(',').map(|x| parse_arbiter(x.trim())).collect())
+        .unwrap_or_else(|| vec![ArbiterKind::Coa, ArbiterKind::Wfa]);
+    let spec = SweepSpec { seeds: vec![base.seed], base, loads, arbiters };
+    eprintln!("running {} points…", spec.point_count());
+    let points = sweep(&spec);
+    let is_vbr = matches!(spec.base.workload, WorkloadSpec::Vbr { .. });
+    if is_vbr {
+        print!(
+            "{}",
+            render_xy_table("frame delay", "mean frame delay (µs)", &points, |p| p
+                .frame_delay_us())
+        );
+    } else {
+        print!(
+            "{}",
+            render_xy_table(
+                "high-class flit delay",
+                "mean 55 Mbps-class delay (µs)",
+                &points,
+                |p| p.class_delay_us(mmr_traffic::connection::TrafficClass::CbrHigh)
+            )
+        );
+    }
+    print!(
+        "{}",
+        render_xy_table("utilization", "crossbar utilization (%)", &points, |p| {
+            p.utilization() * 100.0
+        })
+    );
+}
+
+fn cmd_scenarios() {
+    println!("canned paper scenarios (see mmr-core::scenarios and the mmr-bench binaries):");
+    let mut t = TextTable::new(vec!["scenario", "binary", "paper artifact"]);
+    for (s, b, p) in [
+        ("CBR delay sweep", "fig5_cbr_delay", "Fig. 5 (a-c)"),
+        ("MPEG-2 trace stats", "table1_mpeg_stats", "Table 1"),
+        ("trace profile", "fig6_trace_profile", "Fig. 6"),
+        ("injection models", "fig7_injection_models", "Fig. 7"),
+        ("VBR utilization", "fig8_vbr_utilization", "Fig. 8"),
+        ("VBR frame delay", "fig9_vbr_frame_delay", "Fig. 9"),
+        ("frame jitter", "jitter_report", "§5.2"),
+        ("hardware cost", "hw_cost_report", "§3.1 / §6"),
+    ] {
+        t.row(vec![s, b, p]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("scenarios") => cmd_scenarios(),
+        _ => usage(),
+    }
+}

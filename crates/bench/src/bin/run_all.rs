@@ -1,0 +1,58 @@
+//! Run every figure/table reproduction in sequence (the EXPERIMENTS.md
+//! driver).  Forwards `--full` to each harness.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1_mpeg_stats",
+    "fig6_trace_profile",
+    "fig7_injection_models",
+    "fig5_cbr_delay",
+    "fig8_vbr_utilization",
+    "fig9_vbr_frame_delay",
+    "jitter_report",
+    "hw_cost_report",
+    "ablation_levels",
+    "ablation_priority",
+    "ablation_buffers",
+    "ablation_arbiters",
+    "ablation_concurrency",
+    "ablation_link_policy",
+    "ext_network",
+    "ext_besteffort",
+    "ext_hol_blocking",
+];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        eprintln!("\n=== {bin} ===");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if full {
+            cmd.arg("--full");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to launch: {e} (build with `cargo build --release -p mmr-bench` first)");
+                failures.push(*bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall {} experiments completed; outputs in results/", BINS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

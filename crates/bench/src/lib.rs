@@ -1,0 +1,77 @@
+//! # mmr-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index) plus ablations; Criterion micro-benchmarks for the arbitration
+//! and priority kernels live under `benches/`.
+//!
+//! Every binary accepts `--full` for paper-scale runs (minutes) and
+//! defaults to a quick mode (seconds) that preserves the shapes.  Results
+//! are printed and also written under `results/`.
+
+use mmr_core::scenarios::Fidelity;
+use std::path::{Path, PathBuf};
+
+/// Parse the common CLI convention: `--full` selects paper-scale runs.
+pub fn fidelity_from_args() -> Fidelity {
+    if std::env::args().any(|a| a == "--full") {
+        Fidelity::Full
+    } else {
+        Fidelity::Quick
+    }
+}
+
+/// Directory where experiment outputs are written (`results/` under the
+/// workspace root, or the current directory as a fallback).
+pub fn results_dir() -> PathBuf {
+    // The bench binaries run from the workspace; prefer a stable location
+    // relative to the manifest so `cargo run -p mmr-bench` always lands in
+    // the same place.
+    let base = std::env::var("MMR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    std::fs::create_dir_all(&base).ok();
+    base
+}
+
+/// Print a report section and append it to `results/<name>`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let path = results_dir().join(name);
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[written {}]", path.display());
+    }
+}
+
+/// Standard banner identifying a figure reproduction.
+pub fn banner(figure: &str, description: &str, fidelity: Fidelity) -> String {
+    let mode = match fidelity {
+        Fidelity::Quick => "quick (pass --full for paper-scale runs)",
+        Fidelity::Full => "full",
+    };
+    format!(
+        "==============================================================\n\
+         {figure}: {description}\n\
+         mode: {mode}\n\
+         ==============================================================\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn banner_mentions_figure() {
+        let b = banner("Fig. 5", "flit delay", Fidelity::Quick);
+        assert!(b.contains("Fig. 5"));
+        assert!(b.contains("--full"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Serializable simulation configuration.
+
+use mmr_arbiter::priority::PriorityKind;
+use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_router::config::RouterConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which injection model a VBR workload uses (mirrors
+/// [`mmr_traffic::workload::VbrInjection`] but serializable alongside the
+/// rest of the config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionKind {
+    /// Smooth-Rate (Fig. 7b).
+    SmoothRate,
+    /// Back-to-Back (Fig. 7a).
+    BackToBack,
+}
+
+impl InjectionKind {
+    /// Report label ("SR" / "BB").
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectionKind::SmoothRate => "SR",
+            InjectionKind::BackToBack => "BB",
+        }
+    }
+}
+
+/// The traffic side of a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's CBR mix (64 Kbps / 1.54 Mbps / 55 Mbps, equal pick
+    /// probability) at a target offered load.
+    Cbr {
+        /// Target offered load per input link, fraction of link bandwidth.
+        target_load: f64,
+    },
+    /// MPEG-2 VBR streams at a target generated load.
+    Vbr {
+        /// Target generated load per input link.
+        target_load: f64,
+        /// GOPs per connection (paper: 4).
+        gops: usize,
+        /// Injection model.
+        injection: InjectionKind,
+        /// Enforce the peak-bandwidth admission test (§2).
+        enforce_peak: bool,
+    },
+}
+
+impl WorkloadSpec {
+    /// CBR mix at `target_load`.
+    pub fn cbr(target_load: f64) -> Self {
+        WorkloadSpec::Cbr { target_load }
+    }
+
+    /// VBR at `target_load` with the paper's defaults (4 GOPs, SR, no
+    /// peak test).
+    pub fn vbr(target_load: f64, injection: InjectionKind) -> Self {
+        WorkloadSpec::Vbr { target_load, gops: 4, injection, enforce_peak: false }
+    }
+
+    /// The configured target load.
+    pub fn target_load(&self) -> f64 {
+        match *self {
+            WorkloadSpec::Cbr { target_load } | WorkloadSpec::Vbr { target_load, .. } => {
+                target_load
+            }
+        }
+    }
+
+    /// With a different target load (for sweeps).
+    pub fn with_load(&self, load: f64) -> Self {
+        let mut s = self.clone();
+        match &mut s {
+            WorkloadSpec::Cbr { target_load } | WorkloadSpec::Vbr { target_load, .. } => {
+                *target_load = load
+            }
+        }
+        s
+    }
+}
+
+/// How long to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunLength {
+    /// Exactly this many flit cycles (CBR experiments).
+    Cycles(u64),
+    /// Until every finite source is exhausted and all buffers drain, with
+    /// a safety bound (VBR experiments: "four complete GOPs from every
+    /// connection have been forwarded").
+    UntilDrained {
+        /// Hard upper bound in flit cycles.
+        max_cycles: u64,
+    },
+}
+
+/// Unreserved best-effort background traffic added on top of the
+/// reserved workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestEffortSpec {
+    /// Offered best-effort load per input link (fraction of link
+    /// bandwidth, on top of the reserved load).
+    pub per_link_load: f64,
+    /// Mean message length in flits.
+    pub mean_flits: f64,
+}
+
+impl Default for BestEffortSpec {
+    fn default() -> Self {
+        BestEffortSpec { per_link_load: 0.1, mean_flits: 8.0 }
+    }
+}
+
+/// A complete, reproducible description of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Router geometry/timing.
+    pub router: RouterConfig,
+    /// Traffic.
+    pub workload: WorkloadSpec,
+    /// Optional best-effort background traffic.
+    pub best_effort: Option<BestEffortSpec>,
+    /// Switch scheduler under test.
+    pub arbiter: ArbiterKind,
+    /// Link-priority function.
+    pub priority: PriorityKind,
+    /// Master seed (workload construction and arbitration tie-breaks).
+    pub seed: u64,
+    /// Warm-up flit cycles excluded from statistics.
+    pub warmup_cycles: u64,
+    /// Run length.
+    pub run: RunLength,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            router: RouterConfig::default(),
+            workload: WorkloadSpec::cbr(0.5),
+            best_effort: None,
+            arbiter: ArbiterKind::Coa,
+            priority: PriorityKind::Siabp,
+            seed: 0xB1ACA,
+            warmup_cycles: 2_000,
+            run: RunLength::Cycles(50_000),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A copy with a different load.
+    pub fn with_load(&self, load: f64) -> Self {
+        SimConfig { workload: self.workload.with_load(load), ..self.clone() }
+    }
+
+    /// A copy with a different arbiter.
+    pub fn with_arbiter(&self, arbiter: ArbiterKind) -> Self {
+        SimConfig { arbiter, ..self.clone() }
+    }
+
+    /// A copy with a different seed.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        SimConfig { seed, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_load_changes_only_load() {
+        let base = SimConfig::default();
+        let hot = base.with_load(0.9);
+        assert_eq!(hot.workload.target_load(), 0.9);
+        assert_eq!(hot.arbiter, base.arbiter);
+        assert_eq!(hot.seed, base.seed);
+    }
+
+    #[test]
+    fn vbr_spec_load_update() {
+        let v = WorkloadSpec::vbr(0.5, InjectionKind::BackToBack);
+        let v2 = v.with_load(0.8);
+        assert_eq!(v2.target_load(), 0.8);
+        match v2 {
+            WorkloadSpec::Vbr { gops, injection, enforce_peak, .. } => {
+                assert_eq!(gops, 4);
+                assert_eq!(injection, InjectionKind::BackToBack);
+                assert!(!enforce_peak);
+            }
+            _ => panic!("kind changed"),
+        }
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = SimConfig::default().with_arbiter(ArbiterKind::Islip { iterations: 3 });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn injection_labels() {
+        assert_eq!(InjectionKind::SmoothRate.label(), "SR");
+        assert_eq!(InjectionKind::BackToBack.label(), "BB");
+    }
+}

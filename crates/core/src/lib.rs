@@ -1,0 +1,55 @@
+//! # mmr-core — the public API of the MMR reproduction
+//!
+//! This crate ties the substrates together into the experiment layer used
+//! by every example, test, and benchmark:
+//!
+//! * [`config`] — a serializable description of one simulation: router
+//!   geometry, workload, switch scheduler, priority function, durations.
+//! * [`experiment`] — build-and-run: constructs the workload, instantiates
+//!   the router, drives it with warm-up, and returns a
+//!   [`experiment::ExperimentResult`].
+//! * [`sweep`](mod@sweep) — load sweeps across arbiters and seeds, parallelized with
+//!   rayon (each point is an independent deterministic simulation).
+//! * [`saturation`] — saturation-point detection over sweep results.
+//! * [`scenarios`] — the canned configurations reproducing each figure of
+//!   the paper (Fig. 5 CBR delay, Fig. 8 VBR utilization, Fig. 9 VBR frame
+//!   delay, §5.2 jitter).
+//! * [`report`] — text tables and CSV rendering of sweep results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mmr_core::config::{RunLength, SimConfig, WorkloadSpec};
+//! use mmr_core::experiment::run_experiment;
+//! use mmr_arbiter::scheduler::ArbiterKind;
+//!
+//! let cfg = SimConfig {
+//!     workload: WorkloadSpec::cbr(0.5),
+//!     arbiter: ArbiterKind::Coa,
+//!     run: RunLength::Cycles(5_000),
+//!     warmup_cycles: 500,
+//!     ..SimConfig::default()
+//! };
+//! let result = run_experiment(&cfg);
+//! assert!(result.summary.delivered_flits > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod report;
+pub mod saturation;
+pub mod scenarios;
+pub mod sweep;
+
+pub use config::{RunLength, SimConfig, WorkloadSpec};
+pub use experiment::{run_experiment, ExperimentResult};
+pub use saturation::{detect_saturation, SaturationCriteria};
+pub use sweep::{sweep, SweepPoint, SweepSpec};
+
+// Re-export the component crates so downstream users need one dependency.
+pub use mmr_arbiter as arbiter;
+pub use mmr_router as router;
+pub use mmr_sim as sim;
+pub use mmr_traffic as traffic;

@@ -1,0 +1,153 @@
+//! Saturation-point detection.
+//!
+//! The paper reads saturation off its delay plots: the load at which
+//! average delay turns vertical (equivalently, where the router stops
+//! keeping up with generation).  We detect it from sweep results with two
+//! complementary signals:
+//!
+//! * **throughput deficit** — delivered/generated drops below a threshold
+//!   (the backlog grows without bound), and
+//! * **delay blow-up** — mean delay exceeds a multiple of the low-load
+//!   baseline delay.
+
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for calling a load point saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationCriteria {
+    /// Saturated if delivered/generated falls below this.
+    pub min_throughput_ratio: f64,
+    /// Saturated if mean delay exceeds `baseline × delay_blowup`.
+    pub delay_blowup: f64,
+}
+
+impl Default for SaturationCriteria {
+    fn default() -> Self {
+        SaturationCriteria { min_throughput_ratio: 0.95, delay_blowup: 20.0 }
+    }
+}
+
+/// Find the saturation load for one arbiter's series (points must share
+/// the arbiter and be sorted by ascending load).
+///
+/// Returns the *achieved load of the first saturated point*, or `None` if
+/// the series never saturates.  `delay_of` extracts the delay metric the
+/// figure plots (class flit delay for Fig. 5, frame delay for Fig. 9).
+pub fn detect_saturation<F>(
+    points: &[SweepPoint],
+    criteria: SaturationCriteria,
+    delay_of: F,
+) -> Option<f64>
+where
+    F: Fn(&SweepPoint) -> f64,
+{
+    if points.is_empty() {
+        return None;
+    }
+    // Baseline: the delay at the lowest measured load.
+    let baseline = delay_of(&points[0]).max(1e-9);
+    for p in points {
+        let saturated_by_throughput = p.throughput_ratio() < criteria.min_throughput_ratio;
+        let saturated_by_delay = delay_of(p) > baseline * criteria.delay_blowup;
+        if saturated_by_throughput || saturated_by_delay {
+            return Some(p.achieved_load);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::experiment::ExperimentResult;
+    use mmr_arbiter::scheduler::ArbiterKind;
+    use mmr_router::metrics::MetricsReport;
+    use mmr_router::router::RouterSummary;
+
+    /// Hand-build a sweep point with the given load, throughput ratio and
+    /// frame delay.
+    fn point(load: f64, throughput: f64, frame_delay_us: f64) -> SweepPoint {
+        let metrics = MetricsReport {
+            classes: vec![mmr_router::metrics::ClassStats {
+                class: mmr_traffic::connection::TrafficClass::Vbr,
+                generated: 1000,
+                delivered: (1000.0 * throughput) as u64,
+                mean_delay_us: frame_delay_us,
+                p99_delay_us: frame_delay_us,
+                max_delay_us: frame_delay_us,
+            }],
+            frames_delivered: 10,
+            mean_frame_delay_us: frame_delay_us,
+            max_frame_delay_us: frame_delay_us,
+            p99_frame_delay_us: frame_delay_us,
+            mean_frame_jitter_us: 0.0,
+            max_frame_jitter_us: 0.0,
+        };
+        let summary = RouterSummary {
+            arbiter: "x".into(),
+            priority_fn: "y".into(),
+            reservation_fairness: 1.0,
+            metrics,
+            crossbar_utilization: load,
+            crossbar_busy_fraction: 1.0,
+            reconfigurations: 0,
+            measured_cycles: 1000,
+            generated_flits: 1000,
+            delivered_flits: (1000.0 * throughput) as u64,
+            delivered_per_output: vec![],
+            peak_nic_depth: 0,
+            peak_vc_occupancy: 0,
+            backlog_flits: 0,
+            generation_window_cycles: None,
+            delivered_in_window: 0,
+        };
+        SweepPoint {
+            arbiter: ArbiterKind::Coa,
+            target_load: load,
+            achieved_load: load,
+            results: vec![ExperimentResult {
+                config: SimConfig::default(),
+                achieved_load: load,
+                connections: 1,
+                executed_cycles: 1000,
+                drained: true,
+                summary,
+            }],
+        }
+    }
+
+    #[test]
+    fn no_saturation_in_healthy_series() {
+        let series = vec![point(0.2, 1.0, 10.0), point(0.4, 1.0, 11.0), point(0.6, 1.0, 14.0)];
+        assert_eq!(
+            detect_saturation(&series, SaturationCriteria::default(), |p| p.frame_delay_us()),
+            None
+        );
+    }
+
+    #[test]
+    fn throughput_deficit_triggers() {
+        let series = vec![point(0.5, 1.0, 10.0), point(0.7, 0.99, 12.0), point(0.8, 0.80, 15.0)];
+        let sat =
+            detect_saturation(&series, SaturationCriteria::default(), |p| p.frame_delay_us());
+        assert_eq!(sat, Some(0.8));
+    }
+
+    #[test]
+    fn delay_blowup_triggers() {
+        let series = vec![point(0.5, 1.0, 10.0), point(0.7, 0.99, 500.0)];
+        let sat =
+            detect_saturation(&series, SaturationCriteria::default(), |p| p.frame_delay_us());
+        assert_eq!(sat, Some(0.7));
+    }
+
+    #[test]
+    fn empty_series_is_none() {
+        assert_eq!(
+            detect_saturation(&[], SaturationCriteria::default(), |p| p.frame_delay_us()),
+            None
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Canned configurations reproducing each experiment of the paper.
+//!
+//! Every figure has a [`Fidelity::Quick`] variant (seconds; used by tests
+//! and CI) and a [`Fidelity::Full`] variant (minutes; used by the bench
+//! binaries that regenerate the figures).  The quick variants use shorter
+//! runs and fewer GOPs but identical structure, so shapes are preserved —
+//! only statistical smoothness differs.
+
+use crate::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
+use crate::sweep::SweepSpec;
+use mmr_arbiter::scheduler::ArbiterKind;
+
+/// How much simulation to spend per point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Short runs for tests and smoke checks.
+    Quick,
+    /// Paper-scale runs for figure regeneration.
+    Full,
+}
+
+/// Flit cycles needed for `gops` GOPs (15 frames × 33 ms each) plus a
+/// drain margin.
+pub fn vbr_cycle_budget(gops: usize) -> u64 {
+    let tb = mmr_sim::time::TimeBase::default();
+    let frames = gops as u64 * mmr_traffic::mpeg::GOP_PATTERN.len() as u64;
+    let per_frame = (mmr_traffic::mpeg::FRAME_TIME_SECS / tb.flit_cycle_secs()).ceil() as u64;
+    // 3x margin: GOP-phase offsets plus post-saturation drain.
+    frames * per_frame * 3
+}
+
+/// Fig. 5 — average flit delay vs offered load, CBR mix, COA vs WFA.
+pub fn fig5(fidelity: Fidelity) -> SweepSpec {
+    let (warmup, cycles, loads): (u64, u64, Vec<f64>) = match fidelity {
+        Fidelity::Quick => (2_000, 25_000, vec![0.3, 0.5, 0.7, 0.8, 0.9]),
+        Fidelity::Full => (
+            20_000,
+            400_000,
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9],
+        ),
+    };
+    let base = SimConfig {
+        workload: WorkloadSpec::cbr(0.5),
+        warmup_cycles: warmup,
+        run: RunLength::Cycles(cycles),
+        ..Default::default()
+    };
+    SweepSpec::coa_vs_wfa(base, loads)
+}
+
+/// Figs. 8 & 9 — VBR (MPEG-2) sweeps; `injection` selects the SR or BB
+/// panel.  Fig. 8 reads crossbar utilization off the results, Fig. 9 the
+/// frame delay — same runs.
+pub fn fig8_fig9(injection: InjectionKind, fidelity: Fidelity) -> SweepSpec {
+    let (gops, loads): (usize, Vec<f64>) = match fidelity {
+        Fidelity::Quick => (1, vec![0.4, 0.6, 0.75, 0.85]),
+        Fidelity::Full => (4, vec![0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95]),
+    };
+    let base = SimConfig {
+        workload: WorkloadSpec::Vbr { target_load: 0.5, gops, injection, enforce_peak: false },
+        warmup_cycles: 0,
+        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(gops) },
+        ..Default::default()
+    };
+    SweepSpec::coa_vs_wfa(base, loads)
+}
+
+/// §5.2 jitter measurements reuse the Fig. 9 runs.
+pub fn jitter(injection: InjectionKind, fidelity: Fidelity) -> SweepSpec {
+    fig8_fig9(injection, fidelity)
+}
+
+/// Arbiter-field comparison (ablation): all schedulers on the CBR mix.
+pub fn arbiter_field(fidelity: Fidelity) -> SweepSpec {
+    let mut spec = fig5(fidelity);
+    spec.arbiters = ArbiterKind::all();
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vbr_budget_covers_gops() {
+        // 4 GOPs = 60 frames x ~39,950 flit cycles/frame ≈ 2.4M; with 3x
+        // margin the budget lands around 7M.
+        let b = vbr_cycle_budget(4);
+        assert!(b > 2_400_000 * 2 && b < 2_400_000 * 4, "budget {b}");
+    }
+
+    #[test]
+    fn fig5_spec_is_coa_vs_wfa() {
+        let s = fig5(Fidelity::Quick);
+        assert_eq!(s.arbiters, vec![ArbiterKind::Coa, ArbiterKind::Wfa]);
+        assert!(s.loads.len() >= 4);
+        assert!(matches!(s.base.run, RunLength::Cycles(_)));
+    }
+
+    #[test]
+    fn fig8_spec_drains_vbr() {
+        let s = fig8_fig9(InjectionKind::BackToBack, Fidelity::Quick);
+        match &s.base.workload {
+            WorkloadSpec::Vbr { injection, gops, .. } => {
+                assert_eq!(*injection, InjectionKind::BackToBack);
+                assert!(*gops >= 1);
+            }
+            _ => panic!("wrong workload kind"),
+        }
+        assert!(matches!(s.base.run, RunLength::UntilDrained { .. }));
+    }
+
+    #[test]
+    fn full_fidelity_is_strictly_larger() {
+        let q = fig5(Fidelity::Quick);
+        let f = fig5(Fidelity::Full);
+        assert!(f.loads.len() > q.loads.len());
+        let (RunLength::Cycles(qc), RunLength::Cycles(fc)) = (q.base.run, f.base.run) else {
+            panic!()
+        };
+        assert!(fc > qc);
+    }
+
+    #[test]
+    fn arbiter_field_covers_all() {
+        let s = arbiter_field(Fidelity::Quick);
+        assert_eq!(s.arbiters.len(), ArbiterKind::all().len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Load sweeps: the x-axes of the paper's figures.
+//!
+//! A sweep is a grid of (load, arbiter, seed) points over a base config.
+//! Points are independent deterministic simulations, so they parallelize
+//! embarrassingly; rayon fans them out across cores.
+
+use crate::config::SimConfig;
+use crate::experiment::{run_experiment, ExperimentResult};
+use mmr_arbiter::scheduler::ArbiterKind;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A sweep definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Base configuration (its load/arbiter/seed fields are overridden).
+    pub base: SimConfig,
+    /// Target loads to visit.
+    pub loads: Vec<f64>,
+    /// Arbiters to compare.
+    pub arbiters: Vec<ArbiterKind>,
+    /// Seeds to average over (≥1).
+    pub seeds: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// Sweep `base` over `loads` for the COA-vs-WFA comparison with one
+    /// seed (the paper's setup).
+    pub fn coa_vs_wfa(base: SimConfig, loads: Vec<f64>) -> Self {
+        SweepSpec {
+            seeds: vec![base.seed],
+            base,
+            loads,
+            arbiters: vec![ArbiterKind::Coa, ArbiterKind::Wfa],
+        }
+    }
+
+    /// Total number of simulation points.
+    pub fn point_count(&self) -> usize {
+        self.loads.len() * self.arbiters.len() * self.seeds.len()
+    }
+
+    /// Enumerate the configs in deterministic order.
+    pub fn configs(&self) -> Vec<SimConfig> {
+        let mut out = Vec::with_capacity(self.point_count());
+        for &arbiter in &self.arbiters {
+            for &load in &self.loads {
+                for &seed in &self.seeds {
+                    out.push(self.base.with_load(load).with_arbiter(arbiter).with_seed(seed));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One aggregated sweep point: the seed-averaged results for a
+/// (load, arbiter) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Arbiter used.
+    pub arbiter: ArbiterKind,
+    /// Target load.
+    pub target_load: f64,
+    /// Mean achieved load across seeds.
+    pub achieved_load: f64,
+    /// Per-seed results.
+    pub results: Vec<ExperimentResult>,
+}
+
+impl SweepPoint {
+    /// Seed-mean of an arbitrary metric.
+    pub fn mean_of<F: Fn(&ExperimentResult) -> f64>(&self, f: F) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(&f).sum::<f64>() / self.results.len() as f64
+    }
+
+    /// Seed-mean crossbar utilization.
+    pub fn utilization(&self) -> f64 {
+        self.mean_of(|r| r.summary.crossbar_utilization)
+    }
+
+    /// Seed-mean frame delay (µs).
+    pub fn frame_delay_us(&self) -> f64 {
+        self.mean_of(|r| r.summary.metrics.mean_frame_delay_us)
+    }
+
+    /// Seed-mean flit delay for a class (µs); 0 if the class is absent.
+    pub fn class_delay_us(&self, class: mmr_traffic::connection::TrafficClass) -> f64 {
+        self.mean_of(|r| {
+            r.summary.metrics.class(class).map(|c| c.mean_delay_us).unwrap_or(0.0)
+        })
+    }
+
+    /// Seed-mean throughput ratio (delivered/generated).
+    pub fn throughput_ratio(&self) -> f64 {
+        self.mean_of(|r| r.summary.throughput_ratio())
+    }
+}
+
+/// Run a sweep, parallelized across points, returning aggregated points
+/// grouped by (arbiter, load) in the spec's order.
+pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
+    let configs = spec.configs();
+    let results: Vec<ExperimentResult> =
+        configs.par_iter().map(run_experiment).collect();
+    // Regroup: configs() nests seeds innermost.
+    let s = spec.seeds.len();
+    let mut points = Vec::with_capacity(spec.loads.len() * spec.arbiters.len());
+    let mut it = results.into_iter();
+    for &arbiter in &spec.arbiters {
+        for &load in &spec.loads {
+            let group: Vec<ExperimentResult> = (&mut it).take(s).collect();
+            let achieved =
+                group.iter().map(|r| r.achieved_load).sum::<f64>() / group.len() as f64;
+            points.push(SweepPoint {
+                arbiter,
+                target_load: load,
+                achieved_load: achieved,
+                results: group,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RunLength, WorkloadSpec};
+
+    fn quick_base() -> SimConfig {
+        SimConfig {
+            workload: WorkloadSpec::cbr(0.3),
+            warmup_cycles: 100,
+            run: RunLength::Cycles(1_500),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_visits_full_grid() {
+        let spec = SweepSpec {
+            base: quick_base(),
+            loads: vec![0.2, 0.4],
+            arbiters: vec![ArbiterKind::Coa, ArbiterKind::Wfa],
+            seeds: vec![1, 2],
+        };
+        assert_eq!(spec.point_count(), 8);
+        let points = sweep(&spec);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert_eq!(p.results.len(), 2);
+            assert!(p.utilization() > 0.0);
+        }
+        // Order: arbiter-major, then load.
+        assert_eq!(points[0].arbiter, ArbiterKind::Coa);
+        assert_eq!(points[0].target_load, 0.2);
+        assert_eq!(points[1].target_load, 0.4);
+        assert_eq!(points[2].arbiter, ArbiterKind::Wfa);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let spec = SweepSpec::coa_vs_wfa(quick_base(), vec![0.3]);
+        let parallel = sweep(&spec);
+        let sequential: Vec<ExperimentResult> =
+            spec.configs().iter().map(crate::experiment::run_experiment).collect();
+        assert_eq!(parallel[0].results[0], sequential[0]);
+        assert_eq!(parallel[1].results[0], sequential[1]);
+    }
+
+    #[test]
+    fn point_metric_helpers() {
+        let spec = SweepSpec::coa_vs_wfa(quick_base(), vec![0.3]);
+        let points = sweep(&spec);
+        let p = &points[0];
+        assert!(p.throughput_ratio() > 0.9);
+        assert!(p.class_delay_us(mmr_traffic::connection::TrafficClass::CbrHigh) > 0.0);
+        assert_eq!(p.frame_delay_us(), 0.0, "CBR workloads have no frames");
+    }
+}

@@ -1,0 +1,108 @@
+//! Router configuration.
+
+use mmr_sim::time::TimeBase;
+use mmr_traffic::admission::RoundConfig;
+use serde::{Deserialize, Serialize};
+
+/// How each input link selects its candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPolicy {
+    /// Dynamic biased-priority selection (the MMR's design, §3.1).
+    Priority,
+    /// Static TDM slot table derived from the reservations (§2's round
+    /// structure made literal); see [`crate::tdm`].
+    SlotTable {
+        /// Re-offer idle and unreserved slots to backlogged VCs.
+        backfill: bool,
+        /// Table entries representing one round.
+        table_len: usize,
+    },
+}
+
+/// Geometry and timing of one MMR.
+///
+/// Defaults reproduce the paper's evaluation setup: a 4×4 router with
+/// four candidate levels, a few flits of buffering per virtual channel,
+/// 1.24 Gbps 16-bit links and 1024-bit flits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Physical input/output ports.
+    pub ports: usize,
+    /// Candidate levels k offered per input to the switch scheduler.
+    pub candidate_levels: usize,
+    /// Per-virtual-channel buffer capacity, in flits ("a few flits").
+    pub vc_buffer_flits: usize,
+    /// Link/flit timing.
+    pub time: TimeBase,
+    /// Bandwidth-round configuration (slot accounting).
+    pub round: RoundConfig,
+    /// Flit cycles a flit spends crossing the router + output link after
+    /// being granted (phit-pipelined, so throughput is unaffected).
+    pub crossing_latency_flits: u64,
+    /// Number of interleaved RAM banks forming each VC memory (Fig. 2).
+    pub vc_ram_banks: usize,
+    /// Link-scheduling policy.
+    pub link_policy: LinkPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            ports: 4,
+            candidate_levels: 4,
+            vc_buffer_flits: 4,
+            time: TimeBase::default(),
+            round: RoundConfig::default(),
+            crossing_latency_flits: 1,
+            vc_ram_banks: 4,
+            link_policy: LinkPolicy::Priority,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Validate internal consistency; panics with a descriptive message on
+    /// nonsense configurations.
+    pub fn validate(&self) {
+        assert!(self.ports > 0, "router needs at least one port");
+        assert!(self.candidate_levels > 0, "need at least one candidate level");
+        assert!(self.vc_buffer_flits > 0, "VC buffers need capacity for one flit");
+        assert!(self.vc_ram_banks > 0, "VC memory needs at least one bank");
+        assert!(self.round.cycles_per_round > 0, "round must contain slots");
+        if let LinkPolicy::SlotTable { table_len, .. } = self.link_policy {
+            assert!(table_len > 0, "slot table needs entries");
+        }
+    }
+
+    /// Router cycles per flit cycle, from the time base.
+    pub fn router_cycles_per_flit(&self) -> u64 {
+        self.time.router_cycles_per_flit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = RouterConfig::default();
+        c.validate();
+        assert_eq!(c.ports, 4);
+        assert_eq!(c.candidate_levels, 4);
+        assert_eq!(c.vc_buffer_flits, 4);
+        assert_eq!(c.router_cycles_per_flit(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate level")]
+    fn zero_levels_rejected() {
+        RouterConfig { candidate_levels: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        RouterConfig { ports: 0, ..Default::default() }.validate();
+    }
+}

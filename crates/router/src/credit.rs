@@ -1,0 +1,109 @@
+//! Credit-based flow control (paper §2, "Flow Control").
+//!
+//! The MMR avoids flit loss with per-connection credits: the NIC holds one
+//! credit per free slot in the connection's router VC buffer, spends one
+//! per flit forwarded, and regains one when a flit leaves the router
+//! through the crossbar.  Credits returned in cycle *t* become usable in
+//! cycle *t+1* (the return path is a single phit on a short link, well
+//! under a flit cycle, but never zero).
+
+/// NIC-side credit counters, one per connection.
+#[derive(Debug, Clone)]
+pub struct CreditBank {
+    credits: Vec<u32>,
+    pending: Vec<u32>,
+    capacity: u32,
+}
+
+impl CreditBank {
+    /// A bank for `connections` connections, each starting with `capacity`
+    /// credits (the VC buffer depth).
+    pub fn new(connections: usize, capacity: u32) -> Self {
+        CreditBank {
+            credits: vec![capacity; connections],
+            pending: vec![0; connections],
+            capacity,
+        }
+    }
+
+    /// Credits currently available for `conn`.
+    #[inline]
+    pub fn available(&self, conn: usize) -> u32 {
+        self.credits[conn]
+    }
+
+    /// True if `conn` can forward a flit.
+    #[inline]
+    pub fn has_credit(&self, conn: usize) -> bool {
+        self.credits[conn] > 0
+    }
+
+    /// Spend one credit (flit forwarded NIC → router).  Panics if none —
+    /// the link controller must check first.
+    pub fn spend(&mut self, conn: usize) {
+        assert!(self.credits[conn] > 0, "connection {conn}: credit underflow");
+        self.credits[conn] -= 1;
+    }
+
+    /// Queue one credit return (flit left the router).  Takes effect at
+    /// the next [`CreditBank::apply_returns`].
+    pub fn queue_return(&mut self, conn: usize) {
+        self.pending[conn] += 1;
+    }
+
+    /// Apply all queued returns (end of cycle).
+    pub fn apply_returns(&mut self) {
+        for (c, p) in self.credits.iter_mut().zip(self.pending.iter_mut()) {
+            *c += *p;
+            assert!(*c <= self.capacity, "credit overflow: more returns than buffer slots");
+            *p = 0;
+        }
+    }
+
+    /// Sum of available credits (diagnostic).
+    pub fn total_available(&self) -> u32 {
+        self.credits.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full() {
+        let b = CreditBank::new(3, 4);
+        assert_eq!(b.available(0), 4);
+        assert!(b.has_credit(2));
+        assert_eq!(b.total_available(), 12);
+    }
+
+    #[test]
+    fn spend_and_return_cycle() {
+        let mut b = CreditBank::new(1, 2);
+        b.spend(0);
+        b.spend(0);
+        assert!(!b.has_credit(0));
+        b.queue_return(0);
+        // Not visible until applied.
+        assert!(!b.has_credit(0));
+        b.apply_returns();
+        assert_eq!(b.available(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit underflow")]
+    fn underflow_panics() {
+        let mut b = CreditBank::new(1, 1);
+        b.spend(0);
+        b.spend(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn over_return_panics() {
+        let mut b = CreditBank::new(1, 1);
+        b.queue_return(0);
+        b.apply_returns();
+    }
+}

@@ -1,0 +1,51 @@
+//! # mmr-router — the Multimedia Router model
+//!
+//! A cycle-accurate model of the single-router configuration the paper
+//! evaluates (Fig. 4): traffic sources feed per-connection **NIC** queues
+//! (infinite — host memory backs them); a demand-driven round-robin link
+//! controller forwards flits over the input link, gated by **credit-based
+//! flow control**, into small per-connection **virtual-channel buffers**
+//! inside the router; every flit cycle the **link scheduler** offers the
+//! k highest-priority head flits per input to the **switch scheduler**,
+//! and matched flits cross the multiplexed **crossbar** to their output
+//! links synchronously.
+//!
+//! Module map:
+//!
+//! * [`config`] — router geometry and timing knobs.
+//! * [`vcmem`] — the virtual-channel memory (bounded per-VC FIFOs with an
+//!   interleaved-RAM-bank occupancy model, Fig. 2).
+//! * [`credit`] — NIC-side credit counters.
+//! * [`nic`] — per-connection infinite queues + demand-driven round-robin
+//!   link controller.
+//! * [`link_scheduler`] — candidate selection with pluggable priority
+//!   biasing (SIABP et al.).
+//! * [`crossbar`] — crossbar traversal and utilization accounting.
+//! * [`output`] — output-link sinks and per-port delivery counters.
+//! * [`metrics`] — per-class flit delay, frame delay/jitter, throughput.
+//! * [`router`] — [`router::MmrRouter`], the top-level
+//!   [`mmr_sim::CycleModel`] tying the pipeline together.
+//! * [`network`] — multi-router extension (paper §6 future work): a line
+//!   of MMRs with per-hop credit flow control.
+//! * [`holfifo`] — the rejected single-FIFO-per-input design, reproducing
+//!   Karol et al.'s 58.6 % HOL-blocking limit that motivates the MMR's
+//!   per-connection virtual channels.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod credit;
+pub mod crossbar;
+pub mod holfifo;
+pub mod link_scheduler;
+pub mod metrics;
+pub mod network;
+pub mod nic;
+pub mod output;
+pub mod router;
+pub mod tdm;
+pub mod vcmem;
+
+pub use config::RouterConfig;
+pub use metrics::{ClassStats, MetricsCollector, MetricsReport};
+pub use router::MmrRouter;

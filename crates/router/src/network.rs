@@ -1,0 +1,405 @@
+//! Multi-router extension (paper §6 future work): a line of MMRs.
+//!
+//! "In order to assess the conclusions obtained, this study must be further
+//! extended to a network composed of several MMRs."  This module builds the
+//! simplest such network — `S` routers in tandem — reusing the single-router
+//! components: each connection enters stage 0 through a NIC, follows a fixed
+//! per-stage output-port path (Pipelined Circuit Switching reserves the path
+//! at setup), and is consumed after the last stage.  Credit-based flow
+//! control runs hop by hop: a head flit may only be offered to stage *s*'s
+//! crossbar when the connection's VC buffer at stage *s+1* has space.
+//!
+//! All stages arbitrate concurrently from pre-cycle state, so a flit
+//! advances at most one hop per flit cycle — exactly the behaviour of
+//! independent routers on short links.
+
+use crate::config::RouterConfig;
+use crate::credit::CreditBank;
+use crate::crossbar::{Crossbar, CrossedFlit};
+use crate::link_scheduler::{LinkScheduler, VcQosInfo};
+use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::nic::Nic;
+use crate::output::Delivery;
+use crate::vcmem::VcMemory;
+use mmr_arbiter::candidate::CandidateSet;
+use mmr_arbiter::priority::LinkPriority;
+use mmr_arbiter::scheduler::{ArbiterKind, SwitchScheduler};
+use mmr_sim::engine::CycleModel;
+use mmr_sim::rng::SimRng;
+use mmr_sim::time::{FlitCycle, RouterCycle};
+use mmr_traffic::connection::ConnectionSpec;
+use mmr_traffic::flit::Flit;
+use mmr_traffic::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One router stage of the line.
+struct Stage {
+    mem: VcMemory,
+    link_scheds: Vec<LinkScheduler>,
+    qos: Vec<VcQosInfo>,
+    arbiter: Box<dyn SwitchScheduler>,
+    crossbar: Crossbar,
+    /// Credits for the *next* stage's VC buffers (unused at the last
+    /// stage, where the hosts consume flits immediately).
+    credits_down: CreditBank,
+    candidates: CandidateSet,
+}
+
+/// A tandem network of MMRs.
+pub struct LineNetwork {
+    cfg: RouterConfig,
+    priority_fn: Box<dyn LinkPriority>,
+    specs: Vec<ConnectionSpec>,
+    /// Per connection, the output port taken at each stage.
+    paths: Vec<Vec<usize>>,
+    sources: Vec<Box<dyn mmr_traffic::source::TrafficSource + Send>>,
+    nic_slot: Vec<(usize, usize)>,
+    nics: Vec<Nic>,
+    nic_credits: CreditBank,
+    stages: Vec<Stage>,
+    metrics: MetricsCollector,
+    rng: SimRng,
+    rc_per_flit: u64,
+    crossing_rc: u64,
+    drain_buf: Vec<Flit>,
+    crossed_buf: Vec<CrossedFlit>,
+    generated_total: u64,
+    delivered_total: u64,
+}
+
+impl LineNetwork {
+    /// Build a line of `stages` routers.  Stage-0 input ports come from
+    /// the workload specs; the output port at the last stage is the
+    /// spec's `output`; intermediate output ports are chosen uniformly at
+    /// random (the path a routing probe would have reserved).
+    pub fn new(
+        cfg: RouterConfig,
+        workload: Workload,
+        stages: usize,
+        arbiter_kind: ArbiterKind,
+        priority_fn: Box<dyn LinkPriority>,
+        seed: u64,
+    ) -> Self {
+        assert!(stages >= 1, "need at least one stage");
+        cfg.validate();
+        let Workload { connections: specs, sources, .. } = workload;
+        let n = specs.len();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x4C49_4E45);
+
+        // Reserve a path per connection: ports at stage boundaries.
+        let mut paths: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for s in &specs {
+            let mut p = Vec::with_capacity(stages);
+            for stage in 0..stages {
+                if stage + 1 == stages {
+                    p.push(s.output);
+                } else {
+                    p.push(rng.index(cfg.ports));
+                }
+            }
+            paths.push(p);
+        }
+
+        // Input port of each connection at each stage: stage 0 uses the
+        // spec input; stage s+1 uses the output port at stage s.
+        let input_at = |conn: usize, stage: usize| -> usize {
+            if stage == 0 {
+                specs[conn].input
+            } else {
+                paths[conn][stage - 1]
+            }
+        };
+
+        let mut stage_vec = Vec::with_capacity(stages);
+        for stage in 0..stages {
+            let mut by_input: Vec<Vec<usize>> = vec![Vec::new(); cfg.ports];
+            for conn in 0..n {
+                by_input[input_at(conn, stage)].push(conn);
+            }
+            let link_scheds = by_input
+                .iter()
+                .enumerate()
+                .map(|(p, conns)| LinkScheduler::new(p, conns.clone()))
+                .collect();
+            let qos = (0..n)
+                .map(|conn| VcQosInfo {
+                    output: paths[conn][stage],
+                    reserved_slots: specs[conn].reserved_slots,
+                    iat_rc: specs[conn].iat_router_cycles(&cfg.time),
+                })
+                .collect();
+            stage_vec.push(Stage {
+                mem: VcMemory::new(n, cfg.vc_buffer_flits, cfg.vc_ram_banks),
+                link_scheds,
+                qos,
+                arbiter: arbiter_kind.instantiate(cfg.ports),
+                crossbar: Crossbar::new(cfg.ports),
+                credits_down: CreditBank::new(n, cfg.vc_buffer_flits as u32),
+                candidates: CandidateSet::new(cfg.ports, cfg.candidate_levels),
+            });
+        }
+
+        let mut by_input: Vec<Vec<usize>> = vec![Vec::new(); cfg.ports];
+        for s in &specs {
+            by_input[s.input].push(s.id.idx());
+        }
+        let mut nic_slot = vec![(0usize, 0usize); n];
+        for (port, conns) in by_input.iter().enumerate() {
+            for (local, &conn) in conns.iter().enumerate() {
+                nic_slot[conn] = (port, local);
+            }
+        }
+        let rc_per_flit = cfg.router_cycles_per_flit();
+        LineNetwork {
+            specs,
+            paths,
+            sources,
+            nic_slot,
+            nics: by_input.iter().map(|c| Nic::new(c.clone())).collect(),
+            nic_credits: CreditBank::new(n, cfg.vc_buffer_flits as u32),
+            stages: stage_vec,
+            metrics: MetricsCollector::new(n, cfg.time),
+            rng: SimRng::seed_from_u64(seed ^ 0x6E65_7477),
+            rc_per_flit,
+            crossing_rc: cfg.crossing_latency_flits * rc_per_flit,
+            drain_buf: Vec::new(),
+            crossed_buf: Vec::new(),
+            generated_total: 0,
+            delivered_total: 0,
+            priority_fn,
+            cfg,
+        }
+    }
+
+    /// Number of router stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The reserved path of one connection: output port at each stage.
+    pub fn path_of(&self, conn: usize) -> &[usize] {
+        &self.paths[conn]
+    }
+
+    /// QoS metrics snapshot (end-to-end, across all stages).
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+
+    /// Mean crossbar utilization per stage.
+    pub fn stage_utilizations(&self) -> Vec<f64> {
+        self.stages.iter().map(|s| s.crossbar.mean_utilization()).collect()
+    }
+
+    /// Flits buffered anywhere in the network.
+    pub fn backlog(&self) -> usize {
+        self.nics.iter().map(Nic::total_depth).sum::<usize>()
+            + self.stages.iter().map(|s| s.mem.total_occupancy()).sum::<usize>()
+    }
+
+    /// True when sources are exhausted and all buffers empty.
+    pub fn drained(&self) -> bool {
+        self.sources.iter().all(|s| s.peek_next().is_none()) && self.backlog() == 0
+    }
+
+    /// Run summary.
+    pub fn summary(&self) -> NetworkSummary {
+        NetworkSummary {
+            stages: self.stages.len(),
+            metrics: self.metrics.report(),
+            stage_utilization: self.stage_utilizations(),
+            generated_flits: self.generated_total,
+            delivered_flits: self.delivered_total,
+            backlog_flits: self.backlog(),
+        }
+    }
+}
+
+impl CycleModel for LineNetwork {
+    fn step(&mut self, now: FlitCycle, measuring: bool) {
+        let now_rc = RouterCycle(now.0 * self.rc_per_flit);
+        let last = self.stages.len() - 1;
+
+        // 1. Sources -> NICs.
+        for i in 0..self.sources.len() {
+            self.drain_buf.clear();
+            self.sources[i].drain_until(now_rc, &mut self.drain_buf);
+            let (port, local) = self.nic_slot[i];
+            let class = self.specs[i].class;
+            for &flit in self.drain_buf.iter() {
+                self.nics[port].enqueue(local, flit);
+                self.generated_total += 1;
+                if measuring {
+                    self.metrics.record_generated(class);
+                }
+            }
+        }
+
+        // 2. Every stage arbitrates from pre-cycle state.
+        let mut matchings = Vec::with_capacity(self.stages.len());
+        for (si, stage) in self.stages.iter_mut().enumerate() {
+            stage.candidates.clear();
+            let gate_credits = si < last;
+            let credits = &stage.credits_down;
+            for ls in &mut stage.link_scheds {
+                ls.select_where(
+                    &stage.mem,
+                    &stage.qos,
+                    self.priority_fn.as_ref(),
+                    now_rc,
+                    &mut stage.candidates,
+                    |vc| !gate_credits || credits.has_credit(vc),
+                );
+            }
+            let m = stage.arbiter.schedule(&stage.candidates, &mut self.rng);
+            matchings.push(m);
+        }
+
+        // 3. Apply transfers stage by stage (pushes land with end-of-cycle
+        //    arrival times, so they cannot be re-scheduled this cycle).
+        let arrival = RouterCycle(now_rc.0 + self.rc_per_flit);
+        #[allow(clippy::needless_range_loop)] // stage index addresses si+1 too
+        for si in 0..self.stages.len() {
+            let mut crossed = std::mem::take(&mut self.crossed_buf);
+            {
+                let stage = &mut self.stages[si];
+                stage.crossbar.transfer(&matchings[si], &mut stage.mem, measuring, &mut crossed);
+            }
+            for cf in &crossed {
+                if si == last {
+                    // Delivered to the destination host.
+                    self.delivered_total += 1;
+                    let delivery = Delivery {
+                        flit: cf.buffered.flit,
+                        output: cf.output,
+                        delivered_at: RouterCycle(now_rc.0 + self.crossing_rc),
+                    };
+                    if measuring {
+                        self.metrics.record_delivery(&delivery, self.specs[cf.vc].class);
+                    }
+                } else {
+                    // Advance to the next stage; consumes a downstream
+                    // credit (checked at candidate selection).
+                    self.stages[si].credits_down.spend(cf.vc);
+                    self.stages[si + 1].mem.push(cf.vc, cf.buffered.flit, arrival);
+                }
+                // Return a credit upstream: to the NIC for stage 0, to the
+                // previous stage otherwise.
+                if si == 0 {
+                    self.nic_credits.queue_return(cf.vc);
+                } else {
+                    self.stages[si - 1].credits_down.queue_return(cf.vc);
+                }
+            }
+            self.crossed_buf = crossed;
+        }
+
+        // 4. NIC link controllers feed stage 0.
+        for nic in &mut self.nics {
+            let credits = &self.nic_credits;
+            if let Some((conn, flit)) = nic.forward_one(|c| credits.has_credit(c)) {
+                self.nic_credits.spend(conn);
+                self.stages[0].mem.push(conn, flit, arrival);
+            }
+        }
+
+        // 5. Credit returns become visible next cycle.
+        self.nic_credits.apply_returns();
+        for stage in &mut self.stages {
+            stage.credits_down.apply_returns();
+        }
+    }
+
+    fn on_measurement_start(&mut self, _now: FlitCycle) {
+        let n = self.specs.len();
+        self.metrics = MetricsCollector::new(n, self.cfg.time);
+        for stage in &mut self.stages {
+            stage.crossbar.reset_stats();
+        }
+        self.generated_total = 0;
+        self.delivered_total = 0;
+    }
+
+    fn is_done(&self, _now: FlitCycle) -> bool {
+        self.drained()
+    }
+}
+
+/// Aggregate results of a line-network run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Router stages traversed by every connection.
+    pub stages: usize,
+    /// End-to-end QoS metrics.
+    pub metrics: MetricsReport,
+    /// Mean crossbar utilization per stage.
+    pub stage_utilization: Vec<f64>,
+    /// Flits generated.
+    pub generated_flits: u64,
+    /// Flits delivered end to end.
+    pub delivered_flits: u64,
+    /// Flits still buffered at snapshot.
+    pub backlog_flits: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmr_arbiter::priority::Siabp;
+    use mmr_sim::engine::{Runner, StopCondition};
+    use mmr_traffic::admission::RoundConfig;
+    use mmr_traffic::workload::CbrMixBuilder;
+
+    fn network(stages: usize, load: f64, seed: u64) -> LineNetwork {
+        let cfg = RouterConfig::default();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let w = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
+            .target_load(load)
+            .build(&mut rng);
+        LineNetwork::new(cfg, w, stages, ArbiterKind::Coa, Box::new(Siabp), seed)
+    }
+
+    #[test]
+    fn one_stage_behaves_like_single_router() {
+        let mut net = network(1, 0.3, 1);
+        Runner::new(200, StopCondition::Cycles(3_000)).run(&mut net);
+        let s = net.summary();
+        assert!(s.delivered_flits > 0);
+        assert!(s.backlog_flits < 20);
+    }
+
+    #[test]
+    fn three_stages_deliver_with_higher_latency() {
+        let run = |stages| {
+            let mut net = network(stages, 0.3, 2);
+            Runner::new(500, StopCondition::Cycles(8_000)).run(&mut net);
+            net.summary()
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(three.delivered_flits > 0);
+        let d1 = one.metrics.classes.iter().map(|c| c.mean_delay_us).fold(0.0, f64::max);
+        let d3 = three.metrics.classes.iter().map(|c| c.mean_delay_us).fold(0.0, f64::max);
+        assert!(d3 > d1, "3-hop delay {d3} must exceed 1-hop {d1}");
+        assert_eq!(three.stage_utilization.len(), 3);
+    }
+
+    #[test]
+    fn backlog_drains_at_low_load() {
+        let mut net = network(2, 0.2, 3);
+        // Sources are infinite (CBR), so run fixed cycles then verify the
+        // network kept pace.
+        Runner::new(500, StopCondition::Cycles(6_000)).run(&mut net);
+        assert!(net.backlog() < 30, "backlog {}", net.backlog());
+        assert!(!net.drained(), "CBR sources never exhaust");
+    }
+
+    #[test]
+    fn all_stages_carry_traffic() {
+        let mut net = network(3, 0.4, 4);
+        Runner::new(500, StopCondition::Cycles(6_000)).run(&mut net);
+        for (i, u) in net.stage_utilizations().iter().enumerate() {
+            assert!(*u > 0.1, "stage {i} utilization {u}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The Network Interface Card model (paper Fig. 4 and §5).
+//!
+//! Each input link has a NIC holding one *infinite* queue per connection
+//! (host main memory backs the NIC buffers, so they never overflow).  The
+//! physical-link controller forwards at most one flit per flit cycle to
+//! the router, choosing among connections that have **both a flit and a
+//! credit** in demand-driven round-robin order.
+
+use mmr_traffic::flit::Flit;
+use std::collections::VecDeque;
+
+/// One input port's NIC.
+#[derive(Debug)]
+pub struct Nic {
+    /// Connection ids (global) homed on this NIC, in round-robin order.
+    conns: Vec<usize>,
+    /// Per-connection queues, indexed like `conns`.
+    queues: Vec<VecDeque<Flit>>,
+    /// Round-robin pointer into `conns`.
+    rr: usize,
+    /// High-water mark of total queued flits.
+    peak_depth: usize,
+    depth: usize,
+}
+
+impl Nic {
+    /// A NIC serving the given (global) connection ids.
+    pub fn new(conns: Vec<usize>) -> Self {
+        let n = conns.len();
+        Nic { conns, queues: (0..n).map(|_| VecDeque::new()).collect(), rr: 0, peak_depth: 0, depth: 0 }
+    }
+
+    /// Connections homed here.
+    pub fn connections(&self) -> &[usize] {
+        &self.conns
+    }
+
+    /// Enqueue a generated flit for its connection.  `local` is the index
+    /// of the connection within this NIC (see [`Nic::local_index`]).
+    pub fn enqueue(&mut self, local: usize, flit: Flit) {
+        self.queues[local].push_back(flit);
+        self.depth += 1;
+        if self.depth > self.peak_depth {
+            self.peak_depth = self.depth;
+        }
+    }
+
+    /// Map a global connection id to its local index, if homed here.
+    pub fn local_index(&self, conn: usize) -> Option<usize> {
+        self.conns.iter().position(|&c| c == conn)
+    }
+
+    /// Queued flits for local connection `local`.
+    pub fn queue_len(&self, local: usize) -> usize {
+        self.queues[local].len()
+    }
+
+    /// Total queued flits.
+    pub fn total_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// High-water mark of total queued flits.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// True if no flits are queued.
+    pub fn is_empty(&self) -> bool {
+        self.depth == 0
+    }
+
+    /// The link controller's decision: pick the next connection, in
+    /// demand-driven round-robin order, that has a queued flit and passes
+    /// `has_credit`; dequeue and return its head flit with the global
+    /// connection id.  Returns `None` when nothing is eligible.
+    pub fn forward_one<F>(&mut self, has_credit: F) -> Option<(usize, Flit)>
+    where
+        F: Fn(usize) -> bool,
+    {
+        let n = self.conns.len();
+        if n == 0 {
+            return None;
+        }
+        for off in 0..n {
+            let local = (self.rr + off) % n;
+            let conn = self.conns[local];
+            if !self.queues[local].is_empty() && has_credit(conn) {
+                let flit = self.queues[local].pop_front().expect("checked non-empty");
+                self.depth -= 1;
+                // Advance past the served connection.
+                self.rr = (local + 1) % n;
+                return Some((conn, flit));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmr_sim::time::RouterCycle;
+    use mmr_traffic::connection::ConnectionId;
+
+    fn flit(conn: u32, seq: u64) -> Flit {
+        Flit::cbr(ConnectionId(conn), seq, RouterCycle(0))
+    }
+
+    fn nic3() -> Nic {
+        Nic::new(vec![10, 11, 12])
+    }
+
+    #[test]
+    fn round_robin_over_backlogged_connections() {
+        let mut nic = nic3();
+        for local in 0..3 {
+            nic.enqueue(local, flit(10 + local as u32, 0));
+            nic.enqueue(local, flit(10 + local as u32, 1));
+        }
+        let order: Vec<usize> =
+            (0..6).map(|_| nic.forward_one(|_| true).unwrap().0).collect();
+        assert_eq!(order, vec![10, 11, 12, 10, 11, 12]);
+        assert!(nic.is_empty());
+    }
+
+    #[test]
+    fn demand_driven_skips_empty_queues() {
+        let mut nic = nic3();
+        nic.enqueue(2, flit(12, 0));
+        nic.enqueue(2, flit(12, 1));
+        // Connections 10 and 11 have nothing; 12 gets back-to-back service.
+        assert_eq!(nic.forward_one(|_| true).unwrap().0, 12);
+        assert_eq!(nic.forward_one(|_| true).unwrap().0, 12);
+        assert!(nic.forward_one(|_| true).is_none());
+    }
+
+    #[test]
+    fn creditless_connections_are_skipped() {
+        let mut nic = nic3();
+        nic.enqueue(0, flit(10, 0));
+        nic.enqueue(1, flit(11, 0));
+        // Connection 10 has no credit: 11 must be served instead.
+        let (conn, _) = nic.forward_one(|c| c != 10).unwrap();
+        assert_eq!(conn, 11);
+        // Now nothing eligible.
+        assert!(nic.forward_one(|c| c != 10).is_none());
+        assert_eq!(nic.queue_len(0), 1, "flit for 10 still queued");
+    }
+
+    #[test]
+    fn fifo_within_connection() {
+        let mut nic = nic3();
+        nic.enqueue(0, flit(10, 0));
+        nic.enqueue(0, flit(10, 1));
+        assert_eq!(nic.forward_one(|_| true).unwrap().1.seq, 0);
+        assert_eq!(nic.forward_one(|_| true).unwrap().1.seq, 1);
+    }
+
+    #[test]
+    fn peak_depth_tracked() {
+        let mut nic = nic3();
+        for i in 0..5 {
+            nic.enqueue(0, flit(10, i));
+        }
+        nic.forward_one(|_| true);
+        nic.forward_one(|_| true);
+        assert_eq!(nic.total_depth(), 3);
+        assert_eq!(nic.peak_depth(), 5);
+    }
+
+    #[test]
+    fn local_index_mapping() {
+        let nic = nic3();
+        assert_eq!(nic.local_index(11), Some(1));
+        assert_eq!(nic.local_index(99), None);
+        assert_eq!(nic.connections(), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn empty_nic_forwards_nothing() {
+        let mut nic = Nic::new(vec![]);
+        assert!(nic.forward_one(|_| true).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Virtual-channel memory (paper Fig. 2).
+//!
+//! The MMR provides one virtual channel per connection to avoid
+//! head-of-line blocking, and implements the large resulting buffer pool
+//! as interleaved RAM modules.  This model keeps a bounded FIFO per VC,
+//! tracks when each flit entered the router (the SIABP delay counter), and
+//! keeps per-bank occupancy statistics mirroring the interleaving scheme.
+
+use mmr_sim::time::RouterCycle;
+use mmr_traffic::flit::Flit;
+use std::collections::VecDeque;
+
+/// A flit resident in a VC buffer, with its router-arrival time.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferedFlit {
+    /// The flit.
+    pub flit: Flit,
+    /// When it entered this VC queue (router cycles); SIABP's queuing
+    /// delay counter is `now - entered_at`.
+    pub entered_at: RouterCycle,
+}
+
+/// The router's virtual-channel memory: one bounded FIFO per connection.
+#[derive(Debug)]
+pub struct VcMemory {
+    queues: Vec<VecDeque<BufferedFlit>>,
+    capacity: usize,
+    banks: usize,
+    /// High-water mark of total occupancy, for reports.
+    peak_occupancy: usize,
+    occupancy: usize,
+}
+
+impl VcMemory {
+    /// Memory for `vcs` virtual channels of `capacity` flits each, spread
+    /// over `banks` interleaved RAM modules.
+    pub fn new(vcs: usize, capacity: usize, banks: usize) -> Self {
+        assert!(capacity > 0 && banks > 0);
+        VcMemory {
+            queues: (0..vcs).map(|_| VecDeque::with_capacity(capacity)).collect(),
+            capacity,
+            banks,
+            peak_occupancy: 0,
+            occupancy: 0,
+        }
+    }
+
+    /// Number of virtual channels.
+    pub fn vcs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Per-VC capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Free space in `vc`'s buffer.
+    pub fn free_space(&self, vc: usize) -> usize {
+        self.capacity - self.queues[vc].len()
+    }
+
+    /// Occupancy of `vc`.
+    pub fn len(&self, vc: usize) -> usize {
+        self.queues[vc].len()
+    }
+
+    /// True if `vc` holds no flits.
+    pub fn is_empty(&self, vc: usize) -> bool {
+        self.queues[vc].is_empty()
+    }
+
+    /// Head flit of `vc`, if any.
+    pub fn head(&self, vc: usize) -> Option<&BufferedFlit> {
+        self.queues[vc].front()
+    }
+
+    /// Append a flit to `vc`.  Panics if the buffer is full — the credit
+    /// protocol must make overflow impossible, so this is a hard invariant.
+    pub fn push(&mut self, vc: usize, flit: Flit, now: RouterCycle) {
+        assert!(
+            self.queues[vc].len() < self.capacity,
+            "VC {vc} overflow: credit protocol violated"
+        );
+        self.queues[vc].push_back(BufferedFlit { flit, entered_at: now });
+        self.occupancy += 1;
+        if self.occupancy > self.peak_occupancy {
+            self.peak_occupancy = self.occupancy;
+        }
+    }
+
+    /// Remove and return the head flit of `vc`.
+    pub fn pop(&mut self, vc: usize) -> Option<BufferedFlit> {
+        let f = self.queues[vc].pop_front();
+        if f.is_some() {
+            self.occupancy -= 1;
+        }
+        f
+    }
+
+    /// Total flits resident across all VCs.
+    pub fn total_occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// High-water mark of total occupancy.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// RAM bank a VC's storage interleaves onto (Fig. 2's simple scheme:
+    /// modulo interleaving).
+    pub fn bank_of(&self, vc: usize) -> usize {
+        vc % self.banks
+    }
+
+    /// Current occupancy per bank.
+    pub fn bank_occupancy(&self) -> Vec<usize> {
+        let mut per_bank = vec![0; self.banks];
+        for (vc, q) in self.queues.iter().enumerate() {
+            per_bank[vc % self.banks] += q.len();
+        }
+        per_bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmr_traffic::connection::ConnectionId;
+
+    fn flit(conn: u32, seq: u64) -> Flit {
+        Flit::cbr(ConnectionId(conn), seq, RouterCycle(0))
+    }
+
+    #[test]
+    fn fifo_order_per_vc() {
+        let mut m = VcMemory::new(2, 4, 2);
+        m.push(0, flit(0, 0), RouterCycle(10));
+        m.push(0, flit(0, 1), RouterCycle(20));
+        assert_eq!(m.len(0), 2);
+        assert_eq!(m.head(0).unwrap().flit.seq, 0);
+        let popped = m.pop(0).unwrap();
+        assert_eq!(popped.flit.seq, 0);
+        assert_eq!(popped.entered_at, RouterCycle(10));
+        assert_eq!(m.pop(0).unwrap().flit.seq, 1);
+        assert!(m.pop(0).is_none());
+        assert!(m.is_empty(0));
+    }
+
+    #[test]
+    fn capacity_tracked() {
+        let mut m = VcMemory::new(1, 2, 1);
+        assert_eq!(m.free_space(0), 2);
+        m.push(0, flit(0, 0), RouterCycle(0));
+        assert_eq!(m.free_space(0), 1);
+        m.push(0, flit(0, 1), RouterCycle(0));
+        assert_eq!(m.free_space(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit protocol violated")]
+    fn overflow_panics() {
+        let mut m = VcMemory::new(1, 1, 1);
+        m.push(0, flit(0, 0), RouterCycle(0));
+        m.push(0, flit(0, 1), RouterCycle(0));
+    }
+
+    #[test]
+    fn occupancy_and_peak() {
+        let mut m = VcMemory::new(3, 4, 2);
+        m.push(0, flit(0, 0), RouterCycle(0));
+        m.push(1, flit(1, 0), RouterCycle(0));
+        m.push(2, flit(2, 0), RouterCycle(0));
+        assert_eq!(m.total_occupancy(), 3);
+        m.pop(0);
+        m.pop(1);
+        assert_eq!(m.total_occupancy(), 1);
+        assert_eq!(m.peak_occupancy(), 3);
+    }
+
+    #[test]
+    fn bank_interleaving() {
+        let mut m = VcMemory::new(4, 4, 2);
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(1), 1);
+        assert_eq!(m.bank_of(2), 0);
+        m.push(0, flit(0, 0), RouterCycle(0));
+        m.push(2, flit(2, 0), RouterCycle(0));
+        m.push(3, flit(3, 0), RouterCycle(0));
+        assert_eq!(m.bank_occupancy(), vec![2, 1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Bounded event log for debugging simulations.
+//!
+//! Keeps the most recent `capacity` events in a ring buffer; recording is
+//! O(1) and never allocates after construction, so logging can stay enabled
+//! in tests without distorting timing-sensitive behaviour.
+
+/// A ring buffer of timestamped event strings.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    events: Vec<(u64, String)>,
+    next: usize,
+    enabled: bool,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (0 disables logging).
+    pub fn new(capacity: usize) -> Self {
+        EventLog { capacity, events: Vec::with_capacity(capacity), next: 0, enabled: capacity > 0 }
+    }
+
+    /// A disabled log that drops everything.
+    pub fn disabled() -> Self {
+        EventLog::new(0)
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event; the closure is only evaluated when logging is
+    /// enabled, so hot paths pay nothing when disabled.
+    #[inline]
+    pub fn record<F: FnOnce() -> String>(&mut self, tick: u64, f: F) {
+        if !self.enabled {
+            return;
+        }
+        let entry = (tick, f());
+        if self.events.len() < self.capacity {
+            self.events.push(entry);
+        } else {
+            self.events[self.next] = entry;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Events in chronological order (oldest retained first).
+    pub fn entries(&self) -> Vec<(u64, String)> {
+        if self.events.len() < self.capacity {
+            self.events.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.events[self.next..]);
+            out.extend_from_slice(&self.events[..self.next]);
+            out
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent() {
+        let mut log = EventLog::new(3);
+        for t in 0..5u64 {
+            log.record(t, || format!("e{t}"));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0], (2, "e2".to_string()));
+        assert_eq!(entries[2], (4, "e4".to_string()));
+    }
+
+    #[test]
+    fn disabled_drops_and_skips_closure() {
+        let mut log = EventLog::disabled();
+        let mut evaluated = false;
+        log.record(0, || {
+            evaluated = true;
+            String::new()
+        });
+        assert!(!evaluated);
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn under_capacity_in_order() {
+        let mut log = EventLog::new(10);
+        log.record(1, || "a".into());
+        log.record(2, || "b".into());
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[1].1, "b");
+    }
+}

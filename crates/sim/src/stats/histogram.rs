@@ -1,0 +1,203 @@
+//! Logarithmically-bucketed histogram for latency distributions.
+//!
+//! Delay distributions in a saturating router span six orders of magnitude
+//! (sub-microsecond through seconds), so fixed-width buckets are useless.
+//! `LogHistogram` uses base-2 sub-bucketed buckets (the HdrHistogram idea,
+//! reimplemented minimally) giving a bounded relative error per bucket.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over `u64` values with geometric bucket widths.
+///
+/// Values are bucketed by (exponent, sub-bucket): `sub_bits` linear
+/// sub-buckets per power of two, giving a worst-case relative error of
+/// `2^-sub_bits`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram with `sub_bits` sub-bucket bits (3 is a good
+    /// default: ≤12.5 % relative error).
+    pub fn new(sub_bits: u32) -> Self {
+        assert!(sub_bits > 0 && sub_bits < 16);
+        // 64 exponents x 2^sub_bits sub-buckets is an overestimate (small
+        // exponents alias) but is only a few KiB.
+        LogHistogram {
+            sub_bits,
+            counts: vec![0; 64 << sub_bits],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, v: u64) -> usize {
+        let sub = self.sub_bits;
+        if v < (1 << sub) {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros(); // >= sub
+        let sub_idx = (v >> (exp - sub)) - (1 << sub); // top sub bits after the leading 1
+        (((exp - sub + 1) as usize) << sub) + sub_idx as usize
+    }
+
+    /// Representative (midpoint) value of a bucket.
+    fn bucket_mid(&self, idx: usize) -> u64 {
+        let sub = self.sub_bits;
+        if idx < (1 << sub) {
+            return idx as u64;
+        }
+        let block = (idx >> sub) as u32; // = exp - sub + 1
+        let sub_idx = (idx & ((1 << sub) - 1)) as u64;
+        let exp = block + sub - 1;
+        let base = (1u64 << exp) + (sub_idx << (exp - sub));
+        base + (1u64 << (exp - sub)) / 2
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded values (sums are kept exactly).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        if target >= self.total {
+            return Some(self.max);
+        }
+        let mut acc = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.bucket_mid(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram (must share `sub_bits`).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "sub_bits mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new(3);
+        for v in 0..8 {
+            h.record(v);
+        }
+        for v in 0..8u64 {
+            assert_eq!(h.bucket_mid(h.bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_bounded() {
+        let h = LogHistogram::new(3);
+        for v in [10u64, 100, 1_000, 65_535, 1 << 30, (1 << 40) + 12345] {
+            let mid = h.bucket_mid(h.bucket_of(v));
+            let rel = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(rel <= 0.125 + 1e-9, "v={v} mid={mid} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LogHistogram::default();
+        for v in [5u64, 10, 15, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 257.5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_close() {
+        let mut h = LogHistogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p50 <= p99 && p99 <= p100);
+        assert!((p50 as f64 - 5000.0).abs() / 5000.0 < 0.13, "p50={p50}");
+        assert!((p99 as f64 - 9900.0).abs() / 9900.0 < 0.13, "p99={p99}");
+        assert_eq!(p100, 10_000);
+    }
+
+    #[test]
+    fn empty_quantile_none() {
+        let h = LogHistogram::default();
+        assert!(h.quantile(0.5).is_none());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.mean(), 505.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Delay-jitter tracking.
+//!
+//! The paper (§5.2) measures jitter as "the variation in the delay
+//! experienced by two adjacent [application data units] belonging to the
+//! same connection": for consecutive delivered units with delays `d_i`,
+//! jitter samples are `|d_i - d_{i-1}|`.
+
+use super::Running;
+use serde::{Deserialize, Serialize};
+
+/// Tracks inter-unit delay jitter for one connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JitterTracker {
+    last_delay: Option<f64>,
+    jitter: Running,
+}
+
+impl JitterTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the end-to-end delay of the next unit in sequence; after the
+    /// first unit, every call contributes one jitter sample.
+    pub fn record_delay(&mut self, delay: f64) {
+        if let Some(prev) = self.last_delay {
+            self.jitter.push((delay - prev).abs());
+        }
+        self.last_delay = Some(delay);
+    }
+
+    /// Jitter statistics accumulated so far.
+    pub fn stats(&self) -> &Running {
+        &self.jitter
+    }
+
+    /// Number of jitter samples (units delivered minus one, per connection).
+    pub fn samples(&self) -> u64 {
+        self.jitter.count()
+    }
+
+    /// Merge another tracker's accumulated samples (their `last_delay`
+    /// chains stay independent — use only for cross-connection aggregation).
+    pub fn merge_stats(&mut self, other: &JitterTracker) {
+        self.jitter.merge(&other.jitter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_unit_produces_no_sample() {
+        let mut j = JitterTracker::new();
+        j.record_delay(100.0);
+        assert_eq!(j.samples(), 0);
+    }
+
+    #[test]
+    fn absolute_differences() {
+        let mut j = JitterTracker::new();
+        for d in [100.0, 150.0, 120.0, 120.0] {
+            j.record_delay(d);
+        }
+        // samples: 50, 30, 0
+        assert_eq!(j.samples(), 3);
+        assert!((j.stats().mean() - 80.0 / 3.0).abs() < 1e-12);
+        assert_eq!(j.stats().max(), Some(50.0));
+        assert_eq!(j.stats().min(), Some(0.0));
+    }
+
+    #[test]
+    fn constant_delay_zero_jitter() {
+        let mut j = JitterTracker::new();
+        for _ in 0..10 {
+            j.record_delay(42.0);
+        }
+        assert_eq!(j.stats().mean(), 0.0);
+        assert_eq!(j.stats().max(), Some(0.0));
+    }
+
+    #[test]
+    fn merge_aggregates_connections() {
+        let mut a = JitterTracker::new();
+        a.record_delay(0.0);
+        a.record_delay(10.0); // sample 10
+        let mut b = JitterTracker::new();
+        b.record_delay(5.0);
+        b.record_delay(25.0); // sample 20
+        a.merge_stats(&b);
+        assert_eq!(a.samples(), 2);
+        assert_eq!(a.stats().mean(), 15.0);
+    }
+}

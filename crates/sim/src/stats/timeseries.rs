@@ -1,0 +1,107 @@
+//! Fixed-window time series, used for utilization-over-time plots
+//! (e.g. the Fig. 6 style bandwidth profile and crossbar occupancy traces).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates samples into consecutive fixed-width windows and stores one
+/// aggregate (sum and count) per window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedSeries {
+    window: u64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl WindowedSeries {
+    /// Create a series with the given window width (in whatever tick unit
+    /// the caller uses; must be non-zero).
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        WindowedSeries { window, sums: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Window width.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Record `value` at tick `t`.
+    pub fn record(&mut self, t: u64, value: f64) {
+        let idx = (t / self.window) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Number of windows touched so far.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Per-window mean values (`NaN`-free: empty windows yield 0).
+    pub fn means(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Per-window sums.
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Iterator of `(window_start_tick, sum)` pairs.
+    pub fn iter_sums(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.sums.iter().enumerate().map(move |(i, &s)| (i as u64 * self.window, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_partition_ticks() {
+        let mut s = WindowedSeries::new(10);
+        s.record(0, 1.0);
+        s.record(9, 1.0);
+        s.record(10, 5.0);
+        s.record(25, 3.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sums(), &[2.0, 5.0, 3.0]);
+        assert_eq!(s.means(), vec![1.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_windows_are_zero() {
+        let mut s = WindowedSeries::new(4);
+        s.record(12, 2.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.means(), vec![0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_sums_carries_window_starts() {
+        let mut s = WindowedSeries::new(100);
+        s.record(5, 1.0);
+        s.record(250, 2.0);
+        let pts: Vec<_> = s.iter_sums().collect();
+        assert_eq!(pts, vec![(0, 1.0), (100, 0.0), (200, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        WindowedSeries::new(0);
+    }
+}

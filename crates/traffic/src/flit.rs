@@ -1,0 +1,82 @@
+//! The flit — the MMR's flow-control unit.
+//!
+//! Flits are large (1024 bits by default) so arbitration and crossbar
+//! reconfiguration are amortized; all buffering, flow control, and
+//! scheduling operate on whole flits.
+
+use crate::connection::ConnectionId;
+use mmr_sim::time::RouterCycle;
+use serde::{Deserialize, Serialize};
+
+/// Position of a flit inside an application data unit (a video frame).
+///
+/// Only VBR flits carry a frame reference; the paper's frame-delay metric
+/// (Fig. 9) is the delay of the *last* flit of each frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRef {
+    /// Zero-based frame index within the connection's trace.
+    pub index: u32,
+    /// True for the final flit of the frame.
+    pub last: bool,
+}
+
+/// One flow-control unit travelling from a source, through the NIC and the
+/// router, to an output link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning connection.
+    pub connection: ConnectionId,
+    /// Per-connection sequence number (0, 1, 2, …).
+    pub seq: u64,
+    /// Generation timestamp at the source, in router cycles.  Delay metrics
+    /// are "since generation" (paper §5.1), so this is carried end to end.
+    pub generated_at: RouterCycle,
+    /// Frame bookkeeping for VBR flits; `None` for CBR.
+    pub frame: Option<FrameRef>,
+}
+
+impl Flit {
+    /// A CBR flit.
+    pub fn cbr(connection: ConnectionId, seq: u64, generated_at: RouterCycle) -> Self {
+        Flit { connection, seq, generated_at, frame: None }
+    }
+
+    /// A VBR flit belonging to frame `index`; `last` marks the frame's
+    /// final flit.
+    pub fn vbr(
+        connection: ConnectionId,
+        seq: u64,
+        generated_at: RouterCycle,
+        index: u32,
+        last: bool,
+    ) -> Self {
+        Flit { connection, seq, generated_at, frame: Some(FrameRef { index, last }) }
+    }
+
+    /// True if this flit closes a video frame.
+    pub fn is_frame_end(&self) -> bool {
+        self.frame.is_some_and(|f| f.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_flits_have_no_frame() {
+        let f = Flit::cbr(ConnectionId(3), 7, RouterCycle(100));
+        assert_eq!(f.frame, None);
+        assert!(!f.is_frame_end());
+        assert_eq!(f.seq, 7);
+    }
+
+    #[test]
+    fn vbr_frame_end_detection() {
+        let mid = Flit::vbr(ConnectionId(1), 0, RouterCycle(0), 4, false);
+        let end = Flit::vbr(ConnectionId(1), 1, RouterCycle(0), 4, true);
+        assert!(!mid.is_frame_end());
+        assert!(end.is_frame_end());
+        assert_eq!(end.frame.unwrap().index, 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! The traffic-source abstraction.
+//!
+//! A source is a pull-based generator: it exposes the timestamp of its next
+//! flit, and the NIC drains every flit whose generation time has passed at
+//! the end of each flit cycle.  Keeping sources pull-based lets the router
+//! loop stay allocation-free and lets tests drive sources directly.
+
+use crate::connection::ConnectionId;
+use crate::flit::Flit;
+use mmr_sim::time::RouterCycle;
+
+/// A generator of timestamped flits for one connection.
+pub trait TrafficSource {
+    /// Connection this source feeds.
+    fn connection(&self) -> ConnectionId;
+
+    /// Generation time of the next flit, or `None` if the source is
+    /// exhausted (finite traces).  Must be non-decreasing across calls.
+    fn peek_next(&self) -> Option<RouterCycle>;
+
+    /// Produce the next flit and advance.  Panics if exhausted.
+    fn emit(&mut self) -> Flit;
+
+    /// Total flits this source will ever produce, if finite.
+    fn total_flits(&self) -> Option<u64> {
+        None
+    }
+
+    /// Drain every flit generated at or before `now` into `out`; returns
+    /// the number drained.  Provided for the NIC fill loop.
+    fn drain_until(&mut self, now: RouterCycle, out: &mut Vec<Flit>) -> usize {
+        let mut n = 0;
+        while let Some(t) = self.peek_next() {
+            if t > now {
+                break;
+            }
+            out.push(self.emit());
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted source for testing the default `drain_until`.
+    struct Scripted {
+        times: Vec<u64>,
+        pos: usize,
+    }
+
+    impl TrafficSource for Scripted {
+        fn connection(&self) -> ConnectionId {
+            ConnectionId(0)
+        }
+        fn peek_next(&self) -> Option<RouterCycle> {
+            self.times.get(self.pos).map(|&t| RouterCycle(t))
+        }
+        fn emit(&mut self) -> Flit {
+            let t = self.times[self.pos];
+            self.pos += 1;
+            Flit::cbr(ConnectionId(0), (self.pos - 1) as u64, RouterCycle(t))
+        }
+        fn total_flits(&self) -> Option<u64> {
+            Some(self.times.len() as u64)
+        }
+    }
+
+    #[test]
+    fn drain_until_respects_timestamps() {
+        let mut s = Scripted { times: vec![0, 10, 20, 30], pos: 0 };
+        let mut out = Vec::new();
+        assert_eq!(s.drain_until(RouterCycle(15), &mut out), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].generated_at, RouterCycle(10));
+        assert_eq!(s.drain_until(RouterCycle(15), &mut out), 0);
+        assert_eq!(s.drain_until(RouterCycle(100), &mut out), 2);
+        assert_eq!(s.peek_next(), None);
+    }
+}

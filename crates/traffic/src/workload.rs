@@ -1,0 +1,505 @@
+//! Workload builders for the paper's experiments.
+//!
+//! §5 evaluates a single 4×4 MMR fed by per-input NICs.  Connections are
+//! "a random mix" (CBR) or MPEG-2 streams (VBR), active for the whole
+//! simulation, with uniformly random destinations.  These builders keep
+//! admitting connections on every input link until the requested offered
+//! load is reached, going through the [`AdmissionControl`] ledger so that
+//! no link is ever booked beyond its round.
+
+use crate::admission::{AdmissionControl, RoundConfig};
+use crate::besteffort::BestEffortSource;
+use crate::cbr::CbrSource;
+use crate::connection::{ConnectionId, ConnectionKind, ConnectionSpec, QosSpec, TrafficClass};
+use crate::injection::InjectionModel;
+use crate::mpeg::{standard_sequences, MpegTrace, SequenceParams, FRAME_TIME_SECS};
+use crate::source::TrafficSource;
+use crate::vbr::VbrSource;
+use mmr_sim::rng::SimRng;
+use mmr_sim::time::{RouterCycle, TimeBase};
+use mmr_sim::units::Bandwidth;
+
+/// A boxed source, index-aligned with its `ConnectionSpec`.
+pub type BoxedSource = Box<dyn TrafficSource + Send>;
+
+/// An assembled workload: admitted connections plus their flit sources.
+pub struct Workload {
+    /// Admitted connections; `connections[i].id.idx() == i`.
+    pub connections: Vec<ConnectionSpec>,
+    /// Flit sources, one per connection, same order.
+    pub sources: Vec<BoxedSource>,
+    /// Achieved offered load fraction per input link (average bandwidth /
+    /// link bandwidth).
+    pub per_input_load: Vec<f64>,
+}
+
+impl Workload {
+    /// Mean offered load across input links.
+    pub fn mean_load(&self) -> f64 {
+        if self.per_input_load.is_empty() {
+            return 0.0;
+        }
+        self.per_input_load.iter().sum::<f64>() / self.per_input_load.len() as f64
+    }
+
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// True if no connections were admitted.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty()
+    }
+
+    /// Connections of a given class.
+    pub fn by_class(&self, class: TrafficClass) -> impl Iterator<Item = &ConnectionSpec> {
+        self.connections.iter().filter(move |c| c.class == class)
+    }
+
+    /// Append unreserved best-effort traffic on top of the admitted
+    /// connections (paper §1: "allocating the remaining bandwidth to
+    /// best-effort traffic").
+    ///
+    /// For each input port, one best-effort connection per output port is
+    /// created (Virtual Cut-Through messages are routed per message; a
+    /// per-(input, output) connection pair models that spread), together
+    /// offering `per_link_load` of the link bandwidth as Poisson messages
+    /// of `mean_flits` mean length.  Best-effort connections make **no**
+    /// reservation: `reserved_slots == 0`, so the SIABP bias keeps them
+    /// below every reserved class until they have aged.
+    pub fn append_best_effort(
+        &mut self,
+        ports: usize,
+        per_link_load: f64,
+        mean_flits: f64,
+        tb: &TimeBase,
+        rng: &mut SimRng,
+    ) {
+        assert!((0.0..=1.0).contains(&per_link_load));
+        if per_link_load == 0.0 {
+            return;
+        }
+        let per_pair =
+            Bandwidth::bps(per_link_load * tb.link_bits_per_sec / ports as f64);
+        for input in 0..ports {
+            for output in 0..ports {
+                let id = ConnectionId(self.connections.len() as u32);
+                let src_rng = rng.split(0xBE57 + id.0 as u64);
+                let phase = RouterCycle(rng.below(100_000));
+                self.connections.push(ConnectionSpec {
+                    id,
+                    input,
+                    output,
+                    class: TrafficClass::BestEffort,
+                    qos: QosSpec::cbr(per_pair),
+                    kind: ConnectionKind::Cbr,
+                    reserved_slots: 0,
+                });
+                self.sources.push(Box::new(BestEffortSource::new(
+                    id, per_pair, mean_flits, phase, tb, src_rng,
+                )));
+            }
+        }
+    }
+}
+
+/// Maximum consecutive placement failures before a builder gives up on an
+/// input link (the link is effectively full at that point).
+const MAX_PLACEMENT_FAILURES: usize = 64;
+
+/// Builder for the paper's CBR mixes (§5.1): random mixture of 64 Kbps,
+/// 1.54 Mbps and 55 Mbps connections.
+#[derive(Debug, Clone)]
+pub struct CbrMixBuilder {
+    ports: usize,
+    tb: TimeBase,
+    round: RoundConfig,
+    target_load: f64,
+    classes: Vec<(TrafficClass, Bandwidth, f64)>,
+}
+
+impl CbrMixBuilder {
+    /// Builder for a router with `ports` links, using the paper's three
+    /// classes with equal pick probability.
+    pub fn new(ports: usize, tb: TimeBase, round: RoundConfig) -> Self {
+        CbrMixBuilder {
+            ports,
+            tb,
+            round,
+            target_load: 0.5,
+            classes: vec![
+                (TrafficClass::CbrLow, Bandwidth::kbps(64.0), 1.0),
+                (TrafficClass::CbrMedium, Bandwidth::mbps(1.54), 1.0),
+                (TrafficClass::CbrHigh, Bandwidth::mbps(55.0), 1.0),
+            ],
+        }
+    }
+
+    /// Set the target offered load per input link (fraction of link
+    /// bandwidth).
+    pub fn target_load(mut self, load: f64) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be a fraction");
+        self.target_load = load;
+        self
+    }
+
+    /// Replace the class mix: `(class, bandwidth, weight)` triples.
+    pub fn classes(mut self, classes: Vec<(TrafficClass, Bandwidth, f64)>) -> Self {
+        assert!(!classes.is_empty());
+        self.classes = classes;
+        self
+    }
+
+    fn pick_class(&self, rng: &mut SimRng) -> (TrafficClass, Bandwidth) {
+        let total: f64 = self.classes.iter().map(|c| c.2).sum();
+        let mut x = rng.uniform() * total;
+        for &(class, bw, w) in &self.classes {
+            if x < w {
+                return (class, bw);
+            }
+            x -= w;
+        }
+        let last = self.classes.last().unwrap();
+        (last.0, last.1)
+    }
+
+    /// Assemble the workload.
+    pub fn build(&self, rng: &mut SimRng) -> Workload {
+        let mut cac = AdmissionControl::new(self.ports, self.round, self.tb);
+        let mut connections = Vec::new();
+        let mut sources: Vec<BoxedSource> = Vec::new();
+        for input in 0..self.ports {
+            let mut failures = 0;
+            while cac.input_load(input) < self.target_load && failures < MAX_PLACEMENT_FAILURES {
+                let (class, bw) = self.pick_class(rng);
+                // Do not overshoot the target by a whole connection: skip a
+                // class whose bandwidth would push load far past the goal.
+                let frac = bw.fraction_of(Bandwidth::bps(self.tb.link_bits_per_sec));
+                if cac.input_load(input) + frac > self.target_load + frac * 0.5 {
+                    failures += 1;
+                    continue;
+                }
+                let output = rng.index(self.ports);
+                match cac.admit(input, output, bw, bw) {
+                    Ok(slots) => {
+                        failures = 0;
+                        let id = ConnectionId(connections.len() as u32);
+                        let iat = self.tb.flit_iat_router_cycles(bw.as_bps());
+                        let phase = RouterCycle((rng.uniform() * iat) as u64);
+                        connections.push(ConnectionSpec {
+                            id,
+                            input,
+                            output,
+                            class,
+                            qos: QosSpec::cbr(bw),
+                            kind: ConnectionKind::Cbr,
+                            reserved_slots: slots,
+                        });
+                        sources.push(Box::new(CbrSource::new(id, bw, phase, &self.tb)));
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+        }
+        let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
+        Workload { connections, sources, per_input_load }
+    }
+}
+
+/// Which injection model the VBR builder instantiates (the BB peak rate is
+/// derived from the generated traces, so the builder owns the choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VbrInjection {
+    /// Smooth-Rate.
+    SmoothRate,
+    /// Back-to-Back with the peak sized for the largest possible frame
+    /// across the configured sequences.
+    BackToBack,
+}
+
+/// Builder for the paper's VBR workloads (§5.2): MPEG-2 streams with
+/// random sequence choice, random destinations, and random GOP alignment.
+#[derive(Debug, Clone)]
+pub struct VbrMixBuilder {
+    ports: usize,
+    tb: TimeBase,
+    round: RoundConfig,
+    target_load: f64,
+    gops: usize,
+    injection: VbrInjection,
+    sequences: Vec<SequenceParams>,
+    enforce_peak: bool,
+}
+
+impl VbrMixBuilder {
+    /// Builder over the standard Table-1 sequences, Smooth-Rate injection,
+    /// 4 GOPs per connection.
+    pub fn new(ports: usize, tb: TimeBase, round: RoundConfig) -> Self {
+        VbrMixBuilder {
+            ports,
+            tb,
+            round,
+            target_load: 0.5,
+            gops: 4,
+            injection: VbrInjection::SmoothRate,
+            sequences: standard_sequences(),
+            enforce_peak: false,
+        }
+    }
+
+    /// Set the target generated load per input link.
+    pub fn target_load(mut self, load: f64) -> Self {
+        assert!((0.0..=1.0).contains(&load));
+        self.target_load = load;
+        self
+    }
+
+    /// Number of GOPs each connection transmits (paper: 4).
+    pub fn gops(mut self, gops: usize) -> Self {
+        assert!(gops > 0);
+        self.gops = gops;
+        self
+    }
+
+    /// Select the injection model.
+    pub fn injection(mut self, injection: VbrInjection) -> Self {
+        self.injection = injection;
+        self
+    }
+
+    /// Replace the sequence table.
+    pub fn sequences(mut self, sequences: Vec<SequenceParams>) -> Self {
+        assert!(!sequences.is_empty());
+        self.sequences = sequences;
+        self
+    }
+
+    /// Enforce the peak-bandwidth admission test (§2).  Off by default for
+    /// the load-sweep experiments, which deliberately drive the router past
+    /// the region a conservative concurrency factor would admit; the
+    /// `ablation_concurrency` experiment turns it on.
+    pub fn enforce_peak(mut self, on: bool) -> Self {
+        self.enforce_peak = on;
+        self
+    }
+
+    /// The Back-to-Back peak rate implied by the configured sequences: the
+    /// largest clamped frame must fit within one frame time.
+    pub fn bb_peak(&self) -> Bandwidth {
+        let max_bits =
+            self.sequences.iter().map(|s| s.max_bits).fold(0.0f64, f64::max);
+        Bandwidth::bps(max_bits / FRAME_TIME_SECS)
+    }
+
+    fn model(&self) -> InjectionModel {
+        match self.injection {
+            VbrInjection::SmoothRate => InjectionModel::SmoothRate,
+            VbrInjection::BackToBack => {
+                let max_bits =
+                    self.sequences.iter().map(|s| s.max_bits).fold(0.0f64, f64::max);
+                let max_flits =
+                    (max_bits / self.tb.flit_bits as f64).ceil() as u64;
+                InjectionModel::back_to_back_for(max_flits, FRAME_TIME_SECS, &self.tb)
+            }
+        }
+    }
+
+    /// Assemble the workload.
+    pub fn build(&self, rng: &mut SimRng) -> Workload {
+        let model = self.model();
+        let mut cac = AdmissionControl::new(self.ports, self.round, self.tb);
+        let mut connections = Vec::new();
+        let mut sources: Vec<BoxedSource> = Vec::new();
+        let gop_time_rc = crate::mpeg::GOP_PATTERN.len() as f64 * FRAME_TIME_SECS
+            / self.tb.router_cycle_secs();
+        for input in 0..self.ports {
+            let mut failures = 0;
+            while cac.input_load(input) < self.target_load && failures < MAX_PLACEMENT_FAILURES {
+                let seq_idx = rng.index(self.sequences.len());
+                let params = &self.sequences[seq_idx];
+                let mut trace_rng = rng.split(connections.len() as u64 + 1);
+                let trace = MpegTrace::generate(params, self.gops, &self.tb, &mut trace_rng);
+                let stats = trace.stats();
+                let avg = stats.avg_bandwidth;
+                let peak = match self.injection {
+                    VbrInjection::SmoothRate => stats.peak_bandwidth,
+                    VbrInjection::BackToBack => self.bb_peak(),
+                };
+                let admit_peak = if self.enforce_peak { peak } else { avg };
+                let frac = avg.fraction_of(Bandwidth::bps(self.tb.link_bits_per_sec));
+                if cac.input_load(input) + frac > self.target_load + frac * 0.5 {
+                    failures += 1;
+                    continue;
+                }
+                let output = rng.index(self.ports);
+                match cac.admit(input, output, avg, admit_peak) {
+                    Ok(slots) => {
+                        failures = 0;
+                        let id = ConnectionId(connections.len() as u32);
+                        // "randomly aligned, that is, they start at a random
+                        // time within a GOP time" (§5.2)
+                        let start = RouterCycle((rng.uniform() * gop_time_rc) as u64);
+                        connections.push(ConnectionSpec {
+                            id,
+                            input,
+                            output,
+                            class: TrafficClass::Vbr,
+                            qos: QosSpec::vbr(avg, peak),
+                            kind: ConnectionKind::Vbr { sequence: seq_idx },
+                            reserved_slots: slots,
+                        });
+                        sources.push(Box::new(VbrSource::new(id, trace, model, start, &self.tb)));
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+        }
+        let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
+        Workload { connections, sources, per_input_load }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb() -> TimeBase {
+        TimeBase::default()
+    }
+
+    #[test]
+    fn cbr_mix_hits_target_load() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let w = CbrMixBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.7)
+            .build(&mut rng);
+        assert!(!w.is_empty());
+        for (i, &load) in w.per_input_load.iter().enumerate() {
+            assert!(
+                (0.62..=0.78).contains(&load),
+                "input {i} load {load} should be near 0.7"
+            );
+        }
+        assert!((w.mean_load() - 0.7).abs() < 0.06);
+    }
+
+    #[test]
+    fn cbr_mix_contains_all_classes() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let w = CbrMixBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.8)
+            .build(&mut rng);
+        assert!(w.by_class(TrafficClass::CbrLow).count() > 0);
+        assert!(w.by_class(TrafficClass::CbrMedium).count() > 0);
+        assert!(w.by_class(TrafficClass::CbrHigh).count() > 0);
+    }
+
+    #[test]
+    fn cbr_ids_are_dense_and_aligned() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let w = CbrMixBuilder::new(2, tb(), RoundConfig::default())
+            .target_load(0.4)
+            .build(&mut rng);
+        for (i, (spec, src)) in w.connections.iter().zip(&w.sources).enumerate() {
+            assert_eq!(spec.id.idx(), i);
+            assert_eq!(src.connection(), spec.id);
+        }
+    }
+
+    #[test]
+    fn cbr_destinations_within_ports() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let w = CbrMixBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.6)
+            .build(&mut rng);
+        assert!(w.connections.iter().all(|c| c.output < 4 && c.input < 4));
+        // Uniform destinations: every output is used at this load.
+        let mut used = [false; 4];
+        for c in &w.connections {
+            used[c.output] = true;
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn cbr_reserved_slots_set() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let w = CbrMixBuilder::new(2, tb(), RoundConfig::default())
+            .target_load(0.3)
+            .build(&mut rng);
+        for c in &w.connections {
+            assert!(c.reserved_slots >= 1);
+            if c.class == TrafficClass::CbrHigh {
+                assert_eq!(c.reserved_slots, 727);
+            }
+        }
+    }
+
+    #[test]
+    fn vbr_mix_hits_target_load() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let w = VbrMixBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.6)
+            .gops(1)
+            .build(&mut rng);
+        assert!(!w.is_empty());
+        assert!((w.mean_load() - 0.6).abs() < 0.06, "mean load {}", w.mean_load());
+        assert!(w.connections.iter().all(|c| c.class == TrafficClass::Vbr));
+    }
+
+    #[test]
+    fn vbr_sources_are_finite() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let w = VbrMixBuilder::new(2, tb(), RoundConfig::default())
+            .target_load(0.3)
+            .gops(2)
+            .build(&mut rng);
+        for s in &w.sources {
+            let total = s.total_flits().expect("VBR sources are finite");
+            assert!(total > 0);
+        }
+    }
+
+    #[test]
+    fn vbr_bb_peak_covers_largest_frame() {
+        let b = VbrMixBuilder::new(2, tb(), RoundConfig::default());
+        let peak = b.bb_peak();
+        let max_bits = standard_sequences().iter().map(|s| s.max_bits).fold(0.0, f64::max);
+        assert!((peak.as_bps() - max_bits / FRAME_TIME_SECS).abs() < 1.0);
+    }
+
+    #[test]
+    fn vbr_enforce_peak_limits_admission() {
+        let round = RoundConfig { cycles_per_round: 16_384, concurrency_factor: 1.5 };
+        let mut rng_a = SimRng::seed_from_u64(8);
+        let unconstrained = VbrMixBuilder::new(2, tb(), round)
+            .target_load(0.8)
+            .gops(1)
+            .build(&mut rng_a);
+        let mut rng_b = SimRng::seed_from_u64(8);
+        let constrained = VbrMixBuilder::new(2, tb(), round)
+            .target_load(0.8)
+            .gops(1)
+            .enforce_peak(true)
+            .build(&mut rng_b);
+        assert!(
+            constrained.mean_load() < unconstrained.mean_load(),
+            "peak test should limit admitted load: {} vs {}",
+            constrained.mean_load(),
+            unconstrained.mean_load()
+        );
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let build = || {
+            let mut rng = SimRng::seed_from_u64(42);
+            CbrMixBuilder::new(4, tb(), RoundConfig::default()).target_load(0.5).build(&mut rng)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.connections, b.connections);
+        assert_eq!(a.per_input_load, b.per_input_load);
+    }
+}

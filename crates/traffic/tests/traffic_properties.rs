@@ -1,0 +1,126 @@
+//! Property-based tests for the traffic subsystem.
+
+use mmr_sim::rng::SimRng;
+use mmr_sim::time::{RouterCycle, TimeBase};
+use mmr_sim::units::Bandwidth;
+use mmr_traffic::admission::{AdmissionControl, RoundConfig};
+use mmr_traffic::cbr::CbrSource;
+use mmr_traffic::connection::ConnectionId;
+use mmr_traffic::injection::InjectionModel;
+use mmr_traffic::mpeg::{standard_sequences, MpegTrace, GOP_PATTERN};
+use mmr_traffic::source::TrafficSource;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cbr_rate_matches_bandwidth(kbps in 64.0f64..100_000.0, phase in 0u64..1_000_000) {
+        let tb = TimeBase::default();
+        let bw = Bandwidth::kbps(kbps);
+        let mut src = CbrSource::new(ConnectionId(0), bw, RouterCycle(phase), &tb);
+        // Emit 500 flits; the span must equal 499 x IAT (within rounding).
+        let first = src.peek_next().unwrap().0;
+        let mut last = first;
+        for _ in 0..500 {
+            last = src.emit().generated_at.0;
+        }
+        let expected_span = 499.0 * tb.flit_iat_router_cycles(bw.as_bps());
+        let span = (last - first) as f64;
+        prop_assert!(
+            (span - expected_span).abs() <= 500.0,
+            "span {span} vs expected {expected_span}"
+        );
+    }
+
+    #[test]
+    fn cbr_timestamps_never_decrease(kbps in 64.0f64..1_000_000.0, seed in 0u64..100) {
+        let tb = TimeBase::default();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let phase = RouterCycle(rng.below(10_000_000));
+        let mut src = CbrSource::new(ConnectionId(0), Bandwidth::kbps(kbps), phase, &tb);
+        let mut last = 0;
+        for _ in 0..200 {
+            let t = src.peek_next().unwrap().0;
+            prop_assert!(t >= last);
+            prop_assert_eq!(src.emit().generated_at.0, t);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mpeg_traces_respect_bounds(seq_idx in 0usize..7, gops in 1usize..8, seed in 0u64..500) {
+        let params = &standard_sequences()[seq_idx];
+        let tb = TimeBase::default();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let trace = MpegTrace::generate(params, gops, &tb, &mut rng);
+        prop_assert_eq!(trace.len(), gops * GOP_PATTERN.len());
+        for f in &trace.frames {
+            prop_assert!(f.bits as f64 >= params.min_bits);
+            prop_assert!(f.bits as f64 <= params.max_bits);
+            prop_assert!(f.flits >= 1);
+            prop_assert!(f.flits * 1024 >= f.bits);
+            prop_assert!((f.flits - 1) * 1024 < f.bits);
+        }
+        let s = trace.stats();
+        prop_assert!(s.min_bits as f64 <= s.avg_bits && s.avg_bits <= s.max_bits as f64);
+    }
+
+    #[test]
+    fn sr_injection_covers_frame_time(flits in 1u64..5_000) {
+        let tb = TimeBase::default();
+        let frame_rc = 0.033 / tb.router_cycle_secs();
+        let iat = InjectionModel::SmoothRate.iat_router_cycles(flits, frame_rc, &tb);
+        prop_assert!((iat * flits as f64 - frame_rc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bb_peak_always_fits_its_design_frame(max_flits in 1u64..10_000) {
+        let tb = TimeBase::default();
+        let model = InjectionModel::back_to_back_for(max_flits, 0.033, &tb);
+        let frame_rc = 0.033 / tb.router_cycle_secs();
+        let iat = model.iat_router_cycles(max_flits, frame_rc, &tb);
+        prop_assert!(iat * max_flits as f64 <= frame_rc * 1.0001);
+    }
+
+    #[test]
+    fn admission_never_overbooks(
+        requests in proptest::collection::vec(
+            (0usize..4, 0usize..4, 10_000.0f64..200e6), 1..200),
+    ) {
+        let tb = TimeBase::default();
+        let round = RoundConfig::default();
+        let mut cac = AdmissionControl::new(4, round, tb);
+        let mut booked_in = [0u64; 4];
+        let mut booked_out = [0u64; 4];
+        for (input, output, bps) in requests {
+            let bw = Bandwidth::bps(bps);
+            let slots = round.slots_for(bw, &tb);
+            match cac.admit(input, output, bw, bw) {
+                Ok(granted) => {
+                    prop_assert_eq!(granted, slots);
+                    booked_in[input] += slots;
+                    booked_out[output] += slots;
+                }
+                Err(_) => {
+                    // Rejection must be genuine: admitting would exceed a
+                    // round on one side.
+                    prop_assert!(
+                        booked_in[input] + slots > round.cycles_per_round
+                            || booked_out[output] + slots > round.cycles_per_round
+                    );
+                }
+            }
+            prop_assert!(booked_in.iter().all(|&b| b <= round.cycles_per_round));
+            prop_assert!(booked_out.iter().all(|&b| b <= round.cycles_per_round));
+        }
+    }
+
+    #[test]
+    fn slots_cover_requested_bandwidth(bps in 1.0f64..1.24e9) {
+        let tb = TimeBase::default();
+        let round = RoundConfig::default();
+        let slots = round.slots_for(Bandwidth::bps(bps), &tb);
+        let slot_bw = round.slot_bandwidth(&tb).as_bps();
+        prop_assert!(slots as f64 * slot_bw >= bps - 1e-6);
+        prop_assert!((slots as f64 - 1.0) * slot_bw < bps);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) on the scheduling invariants.
+
+use mmr_core::arbiter::candidate::{Candidate, CandidateSet, Priority};
+use mmr_core::arbiter::priority::{Iabp, LinkPriority, Siabp};
+use mmr_core::arbiter::scheduler::ArbiterKind;
+use mmr_core::sim::rng::SimRng;
+use proptest::prelude::*;
+
+/// Strategy: a random candidate set for a `ports`-port router.
+fn candidate_set_strategy(
+    ports: usize,
+    levels: usize,
+) -> impl Strategy<Value = CandidateSet> {
+    // Per input: up to `levels` (output, priority) pairs.
+    let per_input = proptest::collection::vec((0..ports, 0u64..1_000_000), 0..=levels);
+    proptest::collection::vec(per_input, ports).prop_map(move |inputs| {
+        let mut cs = CandidateSet::new(ports, levels);
+        for (input, cands) in inputs.into_iter().enumerate() {
+            let mut cands: Vec<Candidate> = cands
+                .into_iter()
+                .enumerate()
+                .map(|(vc, (output, prio))| Candidate {
+                    input,
+                    vc,
+                    output,
+                    priority: Priority::new(prio as f64),
+                })
+                .collect();
+            cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+            cs.set_input(input, &cands);
+        }
+        cs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_arbiters_produce_consistent_conflict_free_matchings(
+        cs in candidate_set_strategy(4, 4),
+        seed in 0u64..1000,
+    ) {
+        for kind in ArbiterKind::all() {
+            let mut sched = kind.instantiate(4);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let m = sched.schedule(&cs, &mut rng);
+            // Conflict-freedom is enforced by Matching::add; consistency
+            // says every grant names a real candidate.
+            prop_assert!(m.is_consistent_with(&cs), "{} inconsistent", kind.label());
+            prop_assert!(m.size() <= 4);
+        }
+    }
+
+    #[test]
+    fn maximal_arbiters_leave_no_grantable_pair(
+        cs in candidate_set_strategy(4, 4),
+        seed in 0u64..1000,
+    ) {
+        // COA, WFA, Greedy and Random produce maximal matchings on the
+        // request graph.
+        for kind in [ArbiterKind::Coa, ArbiterKind::Wfa, ArbiterKind::GreedyPriority, ArbiterKind::Random] {
+            let mut sched = kind.instantiate(4);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let m = sched.schedule(&cs, &mut rng);
+            for c in cs.iter() {
+                prop_assert!(
+                    m.input_matched(c.input) || m.output_matched(c.output),
+                    "{}: candidate {:?} links free ports",
+                    kind.label(),
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn islip_converges_to_maximal_with_enough_iterations(
+        cs in candidate_set_strategy(4, 4),
+        seed in 0u64..1000,
+    ) {
+        // With `ports` iterations iSLIP cannot leave a grantable pair.
+        let mut sched = ArbiterKind::Islip { iterations: 4 }.instantiate(4);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let m = sched.schedule(&cs, &mut rng);
+        for c in cs.iter() {
+            prop_assert!(m.input_matched(c.input) || m.output_matched(c.output));
+        }
+    }
+
+    #[test]
+    fn coa_grants_single_contended_output_to_top_priority(
+        prios in proptest::collection::vec(0u64..1_000_000, 2..=4),
+        seed in 0u64..1000,
+    ) {
+        // All inputs request only output 0 at level 1 with distinct
+        // priorities: COA must grant the maximum.
+        let mut uniq = prios.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assume!(uniq.len() == prios.len());
+        let mut cs = CandidateSet::new(4, 2);
+        for (input, &p) in prios.iter().enumerate() {
+            cs.push(Candidate { input, vc: input, output: 0, priority: Priority::new(p as f64) });
+        }
+        let mut sched = ArbiterKind::Coa.instantiate(4);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let m = sched.schedule(&cs, &mut rng);
+        prop_assert_eq!(m.size(), 1);
+        let winner = (0..prios.len()).max_by_key(|&i| prios[i]).unwrap();
+        prop_assert!(m.grant_for(winner).is_some(), "priority {:?} winner {}", prios, winner);
+    }
+
+    #[test]
+    fn siabp_priority_monotone_in_delay_and_reservation(
+        slots_a in 1u64..2048,
+        slots_b in 1u64..2048,
+        d1 in 0u64..u64::MAX / 2,
+        d2 in 0u64..u64::MAX / 2,
+    ) {
+        let (lo_d, hi_d) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        // Monotone in delay for fixed reservation:
+        prop_assert!(Siabp.priority(slots_a, 1.0, lo_d) <= Siabp.priority(slots_a, 1.0, hi_d));
+        // Monotone in reservation for fixed delay:
+        let (lo_s, hi_s) = if slots_a <= slots_b { (slots_a, slots_b) } else { (slots_b, slots_a) };
+        prop_assert!(Siabp.priority(lo_s, 1.0, d1) <= Siabp.priority(hi_s, 1.0, d1));
+    }
+
+    #[test]
+    fn iabp_priority_scales_linearly(
+        iat in 1.0f64..1e7,
+        delay in 0u64..1_000_000_000,
+    ) {
+        let p1 = Iabp.priority(0, iat, delay).0;
+        let p2 = Iabp.priority(0, iat, delay * 2).0;
+        prop_assert!((p2 - 2.0 * p1).abs() < 1e-6 * p1.max(1.0));
+    }
+
+    #[test]
+    fn matching_size_bounded_by_distinct_outputs(
+        cs in candidate_set_strategy(4, 4),
+        seed in 0u64..100,
+    ) {
+        let mut outputs: Vec<usize> = cs.iter().map(|c| c.output).collect();
+        outputs.sort_unstable();
+        outputs.dedup();
+        let mut inputs: Vec<usize> = cs.iter().map(|c| c.input).collect();
+        inputs.sort_unstable();
+        inputs.dedup();
+        let bound = outputs.len().min(inputs.len());
+        for kind in ArbiterKind::all() {
+            let mut sched = kind.instantiate(4);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let m = sched.schedule(&cs, &mut rng);
+            prop_assert!(m.size() <= bound, "{}: {} > {}", kind.label(), m.size(), bound);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Best-effort extension: unreserved traffic must scavenge residual
+//! bandwidth without breaking the reserved classes' QoS.
+
+use mmr_core::config::{BestEffortSpec, RunLength, SimConfig, WorkloadSpec};
+use mmr_core::experiment::{build_workload, run_experiment};
+use mmr_core::traffic::connection::TrafficClass;
+
+fn with_be(reserved: f64, be: f64) -> SimConfig {
+    SimConfig {
+        workload: WorkloadSpec::cbr(reserved),
+        best_effort: Some(BestEffortSpec { per_link_load: be, mean_flits: 8.0 }),
+        warmup_cycles: 2_000,
+        run: RunLength::Cycles(25_000),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn best_effort_connections_have_no_reservation() {
+    let w = build_workload(&with_be(0.5, 0.2));
+    let be: Vec<_> = w.by_class(TrafficClass::BestEffort).collect();
+    assert!(!be.is_empty());
+    // One per (input, output) pair on a 4x4 router.
+    assert_eq!(be.len(), 16);
+    assert!(be.iter().all(|c| c.reserved_slots == 0));
+    // Ids stay dense after appending.
+    for (i, c) in w.connections.iter().enumerate() {
+        assert_eq!(c.id.idx(), i);
+    }
+}
+
+#[test]
+fn best_effort_gets_through_when_headroom_exists() {
+    let r = run_experiment(&with_be(0.3, 0.2));
+    let be = r.summary.metrics.class(TrafficClass::BestEffort).unwrap();
+    assert!(be.generated > 0);
+    let ratio = be.delivered as f64 / be.generated as f64;
+    assert!(ratio > 0.95, "BE delivery ratio {ratio} with 70% headroom");
+}
+
+#[test]
+fn reserved_qos_survives_best_effort_intrusion() {
+    let without = run_experiment(&SimConfig { best_effort: None, ..with_be(0.6, 0.0) });
+    let with = run_experiment(&with_be(0.6, 0.3));
+    for class in [TrafficClass::CbrMedium, TrafficClass::CbrHigh] {
+        let base = without.summary.metrics.class(class).unwrap().mean_delay_us;
+        let loaded = with.summary.metrics.class(class).unwrap().mean_delay_us;
+        assert!(
+            loaded < base * 3.0 + 5.0,
+            "{class:?}: delay {loaded:.1} µs vs baseline {base:.1} µs — BE broke QoS"
+        );
+    }
+}
+
+#[test]
+fn best_effort_yields_under_pressure() {
+    // At 85% reserved + 30% BE the link is oversubscribed; the unreserved
+    // class must be the one that suffers (SIABP keeps its priority at the
+    // floor).
+    let r = run_experiment(&with_be(0.85, 0.3));
+    let be = r.summary.metrics.class(TrafficClass::BestEffort).unwrap();
+    let high = r.summary.metrics.class(TrafficClass::CbrHigh).unwrap();
+    assert!(
+        be.mean_delay_us > high.mean_delay_us,
+        "BE delay {:.1} µs should exceed reserved high-class delay {:.1} µs",
+        be.mean_delay_us,
+        high.mean_delay_us
+    );
+}
+
+#[test]
+fn zero_best_effort_load_is_a_noop() {
+    let mut w = build_workload(&SimConfig { best_effort: None, ..with_be(0.5, 0.0) });
+    let before = w.len();
+    let tb = mmr_core::sim::time::TimeBase::default();
+    let mut rng = mmr_core::sim::rng::SimRng::seed_from_u64(1);
+    w.append_best_effort(4, 0.0, 8.0, &tb, &mut rng);
+    assert_eq!(w.len(), before);
+}
