@@ -7,6 +7,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Hard upper bound on router ports.
+///
+/// The arbitration kernels keep per-output requester sets and free-port
+/// maps as single `u64` bitmasks (one bit per port), so a router cannot
+/// have more ports than bits.  The paper's MMR is 4×4; 64 leaves ample
+/// headroom while keeping every kernel branch-free on port sets.
+pub const MAX_PORTS: usize = 64;
+
 /// A scheduling priority.
 ///
 /// Stored as `f64` so one type serves every priority function (SIABP
@@ -66,13 +74,36 @@ pub struct CandidateSet {
     ports: usize,
     levels: usize,
     slots: Vec<Option<Candidate>>,
+    /// Request index: `[level * ports + output]` → bitmask of inputs whose
+    /// candidate at `level` requests `output`.  Maintained incrementally by
+    /// `set_input`/`push`/`clear` so arbiters scan requesters in O(1) per
+    /// (level, output) instead of sweeping every input.
+    req_level_out: Vec<u64>,
+    /// `[output]` → bitmask of inputs with a candidate for `output` at any
+    /// level (the union of `req_level_out` over levels).
+    req_out: Vec<u64>,
+    /// `[input]` → bitmask of outputs requested by any of the input's
+    /// candidates.
+    out_by_in: Vec<u64>,
 }
 
 impl CandidateSet {
     /// An empty set for `ports` inputs with `levels` candidate levels.
     pub fn new(ports: usize, levels: usize) -> Self {
         assert!(ports > 0 && levels > 0);
-        CandidateSet { ports, levels, slots: vec![None; ports * levels] }
+        assert!(
+            ports <= MAX_PORTS,
+            "router has {ports} ports but the scheduling kernels index port \
+             sets with u64 bitmasks, limiting a router to {MAX_PORTS} ports"
+        );
+        CandidateSet {
+            ports,
+            levels,
+            slots: vec![None; ports * levels],
+            req_level_out: vec![0; ports * levels],
+            req_out: vec![0; ports],
+            out_by_in: vec![0; ports],
+        }
     }
 
     /// Number of input/output ports.
@@ -90,6 +121,9 @@ impl CandidateSet {
     /// Remove all candidates (reuse between cycles without reallocating).
     pub fn clear(&mut self) {
         self.slots.fill(None);
+        self.req_level_out.fill(0);
+        self.req_out.fill(0);
+        self.out_by_in.fill(0);
     }
 
     /// Install the candidate vector for one input.  `candidates` must be
@@ -98,14 +132,45 @@ impl CandidateSet {
     pub fn set_input(&mut self, input: usize, candidates: &[Candidate]) {
         assert!(candidates.len() <= self.levels, "too many candidates");
         let base = input * self.levels;
+        let bit = 1u64 << input;
+        // Unindex the input's previous vector before overwriting.
+        let mut touched = self.out_by_in[input];
+        for l in 0..self.levels {
+            if let Some(old) = self.slots[base + l] {
+                self.req_level_out[l * self.ports + old.output] &= !bit;
+            }
+        }
+        self.out_by_in[input] = 0;
         for l in 0..self.levels {
             self.slots[base + l] = candidates.get(l).copied();
+            if let Some(c) = candidates.get(l) {
+                self.req_level_out[l * self.ports + c.output] |= bit;
+                self.req_out[c.output] |= bit;
+                self.out_by_in[input] |= 1u64 << c.output;
+                touched |= 1u64 << c.output;
+            }
+        }
+        // Rebuild the any-level union for every output the input touched.
+        while touched != 0 {
+            let output = touched.trailing_zeros() as usize;
+            touched &= touched - 1;
+            let any =
+                (0..self.levels).any(|l| self.req_level_out[l * self.ports + output] & bit != 0);
+            if any {
+                self.req_out[output] |= bit;
+            } else {
+                self.req_out[output] &= !bit;
+            }
         }
         debug_assert!(
-            candidates.windows(2).all(|w| w[0].priority >= w[1].priority),
+            candidates
+                .windows(2)
+                .all(|w| w[0].priority >= w[1].priority),
             "candidates must be sorted by descending priority"
         );
-        debug_assert!(candidates.iter().all(|c| c.input == input && c.output < self.ports));
+        debug_assert!(candidates
+            .iter()
+            .all(|c| c.input == input && c.output < self.ports));
     }
 
     /// Push one candidate into the next free level of its input; returns
@@ -116,11 +181,14 @@ impl CandidateSet {
             if self.slots[base + l].is_none() {
                 debug_assert!(
                     l == 0
-                        || self.slots[base + l - 1]
-                            .is_some_and(|prev| prev.priority >= c.priority),
+                        || self.slots[base + l - 1].is_some_and(|prev| prev.priority >= c.priority),
                     "push order must be descending priority"
                 );
                 self.slots[base + l] = Some(c);
+                let bit = 1u64 << c.input;
+                self.req_level_out[l * self.ports + c.output] |= bit;
+                self.req_out[c.output] |= bit;
+                self.out_by_in[c.input] |= 1u64 << c.output;
                 return true;
             }
         }
@@ -142,18 +210,55 @@ impl CandidateSet {
     /// Candidates of one input, best first.
     pub fn input_candidates(&self, input: usize) -> impl Iterator<Item = Candidate> + '_ {
         let base = input * self.levels;
-        self.slots[base..base + self.levels].iter().flatten().copied()
+        self.slots[base..base + self.levels]
+            .iter()
+            .flatten()
+            .copied()
     }
 
     /// The best (lowest-level) candidate of `input` requesting `output`.
     pub fn best_for(&self, input: usize, output: usize) -> Option<Candidate> {
-        self.input_candidates(input).find(|c| c.output == output)
+        self.best_level_for(input, output).map(|(_, c)| c)
     }
 
-    /// True if `input` has any candidate for `output`.
+    /// The lowest level at which `input` requests `output`, with its
+    /// candidate.  O(levels) via the request index.
+    #[inline]
+    pub fn best_level_for(&self, input: usize, output: usize) -> Option<(usize, Candidate)> {
+        let bit = 1u64 << input;
+        (0..self.levels)
+            .find(|&l| self.req_level_out[l * self.ports + output] & bit != 0)
+            .map(|l| {
+                (
+                    l,
+                    self.slots[input * self.levels + l].expect("indexed candidate"),
+                )
+            })
+    }
+
+    /// True if `input` has any candidate for `output`.  O(1) via the
+    /// request index.
     #[inline]
     pub fn requests(&self, input: usize, output: usize) -> bool {
-        self.best_for(input, output).is_some()
+        self.req_out[output] & (1u64 << input) != 0
+    }
+
+    /// Bitmask of inputs whose candidate at `level` requests `output`.
+    #[inline]
+    pub fn requesters_at(&self, level: usize, output: usize) -> u64 {
+        self.req_level_out[level * self.ports + output]
+    }
+
+    /// Bitmask of inputs requesting `output` at any level.
+    #[inline]
+    pub fn requesters(&self, output: usize) -> u64 {
+        self.req_out[output]
+    }
+
+    /// Bitmask of outputs requested by any of `input`'s candidates.
+    #[inline]
+    pub fn output_mask(&self, input: usize) -> u64 {
+        self.out_by_in[input]
     }
 
     /// Total number of candidates present.
@@ -172,14 +277,22 @@ mod tests {
     use super::*;
 
     pub(crate) fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(prio) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(prio),
+        }
     }
 
     #[test]
     fn priority_total_order() {
         let mut ps = vec![Priority::new(3.0), Priority::new(1.0), Priority::new(2.0)];
         ps.sort();
-        assert_eq!(ps, vec![Priority::new(1.0), Priority::new(2.0), Priority::new(3.0)]);
+        assert_eq!(
+            ps,
+            vec![Priority::new(1.0), Priority::new(2.0), Priority::new(3.0)]
+        );
         assert!(Priority::new(5.0) > Priority::ZERO);
     }
 
@@ -199,15 +312,21 @@ mod tests {
         let mut cs = CandidateSet::new(2, 2);
         assert!(cs.push(cand(0, 0, 1, 9.0)));
         assert!(cs.push(cand(0, 1, 0, 5.0)));
-        assert!(!cs.push(cand(0, 2, 1, 1.0)), "third push must fail with 2 levels");
+        assert!(
+            !cs.push(cand(0, 2, 1, 1.0)),
+            "third push must fail with 2 levels"
+        );
         assert_eq!(cs.get(0, 0).unwrap().vc, 0);
         assert_eq!(cs.get(0, 1).unwrap().vc, 1);
     }
 
     #[test]
     fn best_for_prefers_lower_level() {
-        let mut cs = CandidateSet::new(2, 3);
-        cs.set_input(0, &[cand(0, 0, 1, 9.0), cand(0, 1, 1, 5.0), cand(0, 2, 0, 1.0)]);
+        let mut cs = CandidateSet::new(3, 3);
+        cs.set_input(
+            0,
+            &[cand(0, 0, 1, 9.0), cand(0, 1, 1, 5.0), cand(0, 2, 0, 1.0)],
+        );
         let best = cs.best_for(0, 1).unwrap();
         assert_eq!(best.vc, 0);
         assert!(cs.requests(0, 0));
@@ -222,6 +341,56 @@ mod tests {
         cs.clear();
         assert!(cs.is_empty());
         assert_eq!(cs.len(), 0);
+    }
+
+    #[test]
+    fn request_index_tracks_mutations() {
+        let mut cs = CandidateSet::new(4, 2);
+        cs.set_input(0, &[cand(0, 0, 2, 9.0), cand(0, 1, 1, 5.0)]);
+        cs.push(cand(3, 0, 2, 7.0));
+        assert_eq!(cs.requesters_at(0, 2), 0b1001);
+        assert_eq!(cs.requesters_at(1, 1), 0b0001);
+        assert_eq!(cs.requesters(2), 0b1001);
+        assert_eq!(cs.output_mask(0), 0b0110);
+        assert_eq!(cs.best_level_for(0, 1), Some((1, cand(0, 1, 1, 5.0))));
+        // Overwriting an input unindexes its previous candidates.
+        cs.set_input(0, &[cand(0, 2, 3, 1.0)]);
+        assert_eq!(cs.requesters_at(0, 2), 0b1000);
+        assert_eq!(cs.requesters(2), 0b1000);
+        assert_eq!(cs.requesters(1), 0);
+        assert_eq!(cs.output_mask(0), 0b1000);
+        assert!(!cs.requests(0, 1));
+        assert!(cs.requests(0, 3));
+        cs.clear();
+        for o in 0..4 {
+            assert_eq!(cs.requesters(o), 0);
+        }
+    }
+
+    #[test]
+    fn union_survives_partial_overwrite() {
+        // Input 0 requests output 2 at both levels; overwriting with a
+        // vector that still has one level-1 request for output 2 must keep
+        // the union bit set.
+        let mut cs = CandidateSet::new(4, 2);
+        cs.set_input(0, &[cand(0, 0, 2, 9.0), cand(0, 1, 2, 5.0)]);
+        cs.set_input(0, &[cand(0, 0, 0, 9.0), cand(0, 1, 2, 5.0)]);
+        assert!(cs.requests(0, 2));
+        assert_eq!(cs.requesters(2), 0b01);
+        assert_eq!(cs.requesters_at(0, 2), 0);
+        assert_eq!(cs.requesters_at(1, 2), 0b01);
+    }
+
+    #[test]
+    fn max_ports_accepted() {
+        let cs = CandidateSet::new(MAX_PORTS, 2);
+        assert_eq!(cs.ports(), MAX_PORTS);
+    }
+
+    #[test]
+    #[should_panic(expected = "u64 bitmasks")]
+    fn too_many_ports_rejected_with_clear_error() {
+        let _ = CandidateSet::new(MAX_PORTS + 1, 2);
     }
 
     #[test]

@@ -17,8 +17,22 @@
 //! The loop ends when no request from a free input to a free output
 //! remains; the result is a conflict-free matching with at most one
 //! virtual channel selected per physical input link.
+//!
+//! ## Kernel
+//!
+//! This implementation maintains the conflict vector *incrementally*
+//! instead of rescanning the selection matrix after every grant.  The
+//! vector is built once per cycle in O(ports · levels) from the candidate
+//! set's per-(level, output) requester bitmasks; each grant then updates
+//! it in O(levels): subtract the matched input's still-live candidates,
+//! then zero the matched output's column using the stored counts.  A
+//! per-level live-request counter keeps "lowest level with requests" an
+//! O(levels) scan.  The whole cycle costs O(ports · levels + ports²)
+//! instead of the naive O(ports² · levels); the golden reference
+//! ([`crate::reference::ReferenceCoa`]) keeps the naive recomputation and
+//! the differential property tests pin the two together grant for grant.
 
-use crate::candidate::CandidateSet;
+use crate::candidate::{Candidate, CandidateSet};
 use crate::matching::{Grant, Matching};
 use crate::scheduler::SwitchScheduler;
 use mmr_sim::rng::SimRng;
@@ -44,8 +58,9 @@ use mmr_sim::rng::SimRng;
 #[derive(Debug, Clone)]
 pub struct CandidateOrderArbiter {
     ports: usize,
-    // Scratch buffers reused across cycles to stay allocation-free.
-    conflicts: Vec<u32>, // levels x ports, level-major
+    // Scratch reused across cycles to stay allocation-free.
+    conflicts: Vec<u32>, // levels x ports, level-major; live requests only
+    live: Vec<u32>,      // per-level sum of `conflicts` row
     tie_buf: Vec<usize>,
 }
 
@@ -53,59 +68,84 @@ impl CandidateOrderArbiter {
     /// COA for a router with `ports` ports.
     pub fn new(ports: usize) -> Self {
         assert!(ports > 0);
-        CandidateOrderArbiter { ports, conflicts: Vec::new(), tie_buf: Vec::with_capacity(ports) }
+        CandidateOrderArbiter {
+            ports,
+            conflicts: Vec::new(),
+            live: Vec::new(),
+            tie_buf: Vec::with_capacity(ports),
+        }
     }
 
-    /// Recompute the conflict vector over free inputs/outputs; returns the
-    /// lowest level that still has requests, if any.
-    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
-    fn recompute_conflicts(
-        &mut self,
-        cs: &CandidateSet,
-        input_free: &[bool],
-        output_free: &[bool],
-    ) -> Option<usize> {
+    /// Build the conflict vector from scratch (all ports free): one
+    /// popcount per (level, output) pair.
+    #[inline]
+    fn build_conflicts(&mut self, cs: &CandidateSet) {
         let levels = cs.levels();
         self.conflicts.clear();
         self.conflicts.resize(levels * self.ports, 0);
-        let mut lowest: Option<usize> = None;
-        for input in 0..self.ports {
-            if !input_free[input] {
-                continue;
+        self.live.clear();
+        self.live.resize(levels, 0);
+        for level in 0..levels {
+            let mut row_total = 0u32;
+            for output in 0..self.ports {
+                let c = cs.requesters_at(level, output).count_ones();
+                self.conflicts[level * self.ports + output] = c;
+                row_total += c;
             }
-            for (level, c) in cs.input_candidates(input).enumerate() {
-                debug_assert_eq!(c.input, input);
-                if output_free[c.output] {
-                    self.conflicts[level * self.ports + c.output] += 1;
-                    if lowest.is_none_or(|l| level < l) {
-                        lowest = Some(level);
-                    }
-                }
+            self.live[level] = row_total;
+        }
+    }
+
+    /// Remove a freshly matched (input, output) pair from the conflict
+    /// vector in O(levels): first drop the input's live candidates, then
+    /// zero the output's column using the stored counts.
+    #[inline]
+    fn retire_pair(&mut self, cs: &CandidateSet, input: usize, output: usize, free_out: u64) {
+        for (level, c) in cs.input_candidates(input).enumerate() {
+            if free_out & (1u64 << c.output) != 0 {
+                self.conflicts[level * self.ports + c.output] -= 1;
+                self.live[level] -= 1;
             }
         }
-        lowest
+        for level in 0..self.live.len() {
+            let e = &mut self.conflicts[level * self.ports + output];
+            self.live[level] -= *e;
+            *e = 0;
+        }
     }
 }
 
 impl SwitchScheduler for CandidateOrderArbiter {
     #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
-    fn schedule(&mut self, cs: &CandidateSet, rng: &mut SimRng) -> Matching {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         assert_eq!(cs.ports(), self.ports);
-        let mut matching = Matching::new(self.ports);
-        let mut input_free = vec![true; self.ports];
-        let mut output_free = vec![true; self.ports];
+        out.clear();
+        self.build_conflicts(cs);
+        let mut free_in: u64 = if self.ports == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ports) - 1
+        };
+        let mut free_out: u64 = free_in;
 
         // Each iteration matches exactly one (input, output) pair, so the
         // loop runs at most `ports` times.
-        while let Some(level) = self.recompute_conflicts(cs, &input_free, &output_free) {
+        while let Some(level) = (0..self.live.len()).find(|&l| self.live[l] > 0) {
             // Port ordering: ascending conflict count within the lowest
             // level that still has requests; ties at random.
             let row = &self.conflicts[level * self.ports..(level + 1) * self.ports];
-            let min_conflict =
-                row.iter().copied().filter(|&c| c > 0).min().expect("level has requests");
+            let min_conflict = row
+                .iter()
+                .copied()
+                .filter(|&c| c > 0)
+                .min()
+                .expect("level has live requests");
             self.tie_buf.clear();
             self.tie_buf.extend(
-                row.iter().enumerate().filter(|&(_, &c)| c == min_conflict).map(|(o, _)| o),
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c == min_conflict)
+                    .map(|(o, _)| o),
             );
             let output = if self.tie_buf.len() == 1 {
                 self.tie_buf[0]
@@ -114,17 +154,23 @@ impl SwitchScheduler for CandidateOrderArbiter {
             };
 
             // Arbitration: highest-priority request for `output` at
-            // `level`, among free inputs; ties at random.
-            let mut best: Option<(usize, crate::candidate::Candidate)> = None;
+            // `level`, among free inputs; ties at random.  The requester
+            // bitmask enumerates exactly the free inputs whose level-
+            // `level` candidate targets `output`, in ascending input
+            // order — the same visit order (and thus the same RNG draw
+            // sequence) as the reference's full port sweep.
+            let mut requesters = cs.requesters_at(level, output) & free_in;
+            debug_assert!(
+                requesters != 0,
+                "conflict vector said this pair has a request"
+            );
+            let mut best: Option<(usize, Candidate)> = None;
             let mut ties = 0u32;
-            for input in 0..self.ports {
-                if !input_free[input] {
-                    continue;
-                }
-                let Some(c) = cs.get(input, level) else { continue };
-                if c.output != output {
-                    continue;
-                }
+            while requesters != 0 {
+                let input = requesters.trailing_zeros() as usize;
+                requesters &= requesters - 1;
+                let c = cs.get(input, level).expect("indexed candidate");
+                debug_assert_eq!(c.output, output);
                 match &best {
                     None => {
                         best = Some((input, c));
@@ -145,14 +191,18 @@ impl SwitchScheduler for CandidateOrderArbiter {
                     _ => {}
                 }
             }
-            let (input, cand) =
-                best.expect("conflict vector said this (level, output) has a request");
-            matching.add(Grant { input, output, vc: cand.vc, level });
-            input_free[input] = false;
-            output_free[output] = false;
+            let (input, cand) = best.expect("requester mask was non-empty");
+            out.add(Grant {
+                input,
+                output,
+                vc: cand.vc,
+                level,
+            });
+            free_in &= !(1u64 << input);
+            self.retire_pair(cs, input, output, free_out);
+            free_out &= !(1u64 << output);
         }
-        debug_assert!(matching.is_consistent_with(cs));
-        matching
+        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -163,10 +213,15 @@ impl SwitchScheduler for CandidateOrderArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::candidate::{Candidate, Priority};
+    use crate::candidate::Priority;
 
     fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(prio) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(prio),
+        }
     }
 
     fn rng() -> SimRng {
@@ -240,7 +295,11 @@ mod tests {
         let m = CandidateOrderArbiter::new(4).schedule(&cs, &mut rng());
         assert_eq!(m.size(), 2);
         assert_eq!(m.grant_for(3).unwrap().output, 1);
-        assert_eq!(m.grant_for(2).unwrap().output, 0, "priority 3.0 wins output 0");
+        assert_eq!(
+            m.grant_for(2).unwrap().output,
+            0,
+            "priority 3.0 wins output 0"
+        );
     }
 
     #[test]
@@ -263,7 +322,12 @@ mod tests {
         // Input 0 requests every output.
         cs.set_input(
             0,
-            &[cand(0, 0, 0, 9.0), cand(0, 1, 1, 8.0), cand(0, 2, 2, 7.0), cand(0, 3, 3, 6.0)],
+            &[
+                cand(0, 0, 0, 9.0),
+                cand(0, 1, 1, 8.0),
+                cand(0, 2, 2, 7.0),
+                cand(0, 3, 3, 6.0),
+            ],
         );
         let m = CandidateOrderArbiter::new(4).schedule(&cs, &mut rng());
         assert_eq!(m.size(), 1, "only one VC per physical link may transmit");
@@ -295,5 +359,25 @@ mod tests {
             }
             assert!(m.is_consistent_with(&cs));
         }
+    }
+
+    #[test]
+    fn incremental_conflicts_match_reference_at_64_ports() {
+        // Full-width mask edge case: 64 ports uses every bit of the free
+        // masks, so `1 << ports` must never be evaluated.
+        let mut cs = CandidateSet::new(64, 2);
+        let mut gen = SimRng::seed_from_u64(7);
+        for input in 0..64 {
+            let mut cands: Vec<Candidate> = (0..2)
+                .map(|vc| cand(input, vc, gen.index(64), gen.uniform() * 100.0))
+                .collect();
+            cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+            cs.set_input(input, &cands);
+        }
+        let mut fast_rng = SimRng::seed_from_u64(3);
+        let mut ref_rng = SimRng::seed_from_u64(3);
+        let fast = CandidateOrderArbiter::new(64).schedule(&cs, &mut fast_rng);
+        let golden = crate::reference::ReferenceCoa::new(64).schedule(&cs, &mut ref_rng);
+        assert_eq!(fast, golden);
     }
 }

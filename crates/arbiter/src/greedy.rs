@@ -4,6 +4,9 @@
 //! serves high-priority candidates first, but it simply sorts all
 //! candidates by priority and takes them greedily — no conflict vector, no
 //! most-conflicted-last ordering, no level precedence.
+//!
+//! All per-cycle buffers (candidate list, sort keys, free-port bitmasks)
+//! are struct scratch, so steady-state scheduling allocates nothing.
 
 use crate::candidate::{Candidate, CandidateSet};
 use crate::matching::{Grant, Matching};
@@ -15,19 +18,25 @@ use mmr_sim::rng::SimRng;
 pub struct GreedyPriorityArbiter {
     ports: usize,
     scratch: Vec<(Candidate, usize)>,
+    keyed: Vec<(u64, usize)>,
 }
 
 impl GreedyPriorityArbiter {
     /// Greedy arbiter for `ports` ports.
     pub fn new(ports: usize) -> Self {
         assert!(ports > 0);
-        GreedyPriorityArbiter { ports, scratch: Vec::new() }
+        GreedyPriorityArbiter {
+            ports,
+            scratch: Vec::new(),
+            keyed: Vec::new(),
+        }
     }
 }
 
 impl SwitchScheduler for GreedyPriorityArbiter {
-    fn schedule(&mut self, cs: &CandidateSet, rng: &mut SimRng) -> Matching {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         assert_eq!(cs.ports(), self.ports);
+        out.clear();
         self.scratch.clear();
         for input in 0..self.ports {
             for (level, c) in cs.input_candidates(input).enumerate() {
@@ -36,31 +45,40 @@ impl SwitchScheduler for GreedyPriorityArbiter {
         }
         // Random jitter for equal-priority candidates keeps the tie-break
         // fair, then a stable sort by descending priority.
-        let mut keyed: Vec<(u64, usize)> = self
-            .scratch
-            .iter()
-            .enumerate()
-            .map(|(i, _)| (rng.next_u64_raw(), i))
-            .collect();
+        let GreedyPriorityArbiter { scratch, keyed, .. } = self;
+        keyed.clear();
+        keyed.extend(
+            scratch
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (rng.next_u64_raw(), i)),
+        );
         keyed.sort_unstable_by(|a, b| {
-            let pa = self.scratch[a.1].0.priority;
-            let pb = self.scratch[b.1].0.priority;
+            let pa = scratch[a.1].0.priority;
+            let pb = scratch[b.1].0.priority;
             pb.cmp(&pa).then(a.0.cmp(&b.0))
         });
 
-        let mut matching = Matching::new(self.ports);
-        let mut input_free = vec![true; self.ports];
-        let mut output_free = vec![true; self.ports];
-        for (_, idx) in keyed {
+        let mut free_in: u64 = if self.ports == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ports) - 1
+        };
+        let mut free_out = free_in;
+        for &(_, idx) in self.keyed.iter() {
             let (c, level) = self.scratch[idx];
-            if input_free[c.input] && output_free[c.output] {
-                matching.add(Grant { input: c.input, output: c.output, vc: c.vc, level });
-                input_free[c.input] = false;
-                output_free[c.output] = false;
+            if free_in & (1u64 << c.input) != 0 && free_out & (1u64 << c.output) != 0 {
+                out.add(Grant {
+                    input: c.input,
+                    output: c.output,
+                    vc: c.vc,
+                    level,
+                });
+                free_in &= !(1u64 << c.input);
+                free_out &= !(1u64 << c.output);
             }
         }
-        debug_assert!(matching.is_consistent_with(cs));
-        matching
+        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -74,7 +92,12 @@ mod tests {
     use crate::candidate::Priority;
 
     fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(prio) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(prio),
+        }
     }
 
     fn rng() -> SimRng {
@@ -116,7 +139,9 @@ mod tests {
         cs.push(cand(1, 0, 0, 7.0));
         let mut arb = GreedyPriorityArbiter::new(2);
         let mut r = SimRng::seed_from_u64(11);
-        let wins0 = (0..1000).filter(|_| arb.schedule(&cs, &mut r).grant_for(0).is_some()).count();
+        let wins0 = (0..1000)
+            .filter(|_| arb.schedule(&cs, &mut r).grant_for(0).is_some())
+            .count();
         assert!((400..600).contains(&wins0), "wins0 = {wins0}");
     }
 }

@@ -38,7 +38,10 @@ impl core::ops::Add for HwCost {
     fn add(self, rhs: HwCost) -> HwCost {
         // Area adds; blocks composed here are sequential on the critical
         // path, so delay adds too.
-        HwCost { area_gates: self.area_gates + rhs.area_gates, delay_ns: self.delay_ns + rhs.delay_ns }
+        HwCost {
+            area_gates: self.area_gates + rhs.area_gates,
+            delay_ns: self.delay_ns + rhs.delay_ns,
+        }
     }
 }
 
@@ -46,35 +49,53 @@ impl core::ops::Add for HwCost {
 
 /// `w`-bit magnitude comparator: ~3 gates/bit, log-depth.
 fn comparator(w: u32) -> HwCost {
-    HwCost { area_gates: 3.0 * w as f64, delay_ns: 0.35 * (w as f64).log2().max(1.0) }
+    HwCost {
+        area_gates: 3.0 * w as f64,
+        delay_ns: 0.35 * (w as f64).log2().max(1.0),
+    }
 }
 
 /// `w`-bit ripple-improved adder (carry-lookahead-ish).
 fn adder(w: u32) -> HwCost {
-    HwCost { area_gates: 6.0 * w as f64, delay_ns: 0.4 * (w as f64).log2().max(1.0) }
+    HwCost {
+        area_gates: 6.0 * w as f64,
+        delay_ns: 0.4 * (w as f64).log2().max(1.0),
+    }
 }
 
 /// `w`-bit barrel shifter: w·log2(w) muxes.
 fn barrel_shifter(w: u32) -> HwCost {
     let stages = (w as f64).log2().ceil();
-    HwCost { area_gates: 3.0 * w as f64 * stages, delay_ns: 0.55 * stages }
+    HwCost {
+        area_gates: 3.0 * w as f64 * stages,
+        delay_ns: 0.55 * stages,
+    }
 }
 
 /// `w`-bit register.
 fn register(w: u32) -> HwCost {
-    HwCost { area_gates: 5.0 * w as f64, delay_ns: 0.25 }
+    HwCost {
+        area_gates: 5.0 * w as f64,
+        delay_ns: 0.25,
+    }
 }
 
 /// Priority-encoder over `n` inputs.
 fn priority_encoder(n: u32) -> HwCost {
-    HwCost { area_gates: 4.0 * n as f64, delay_ns: 0.4 * (n as f64).log2().max(1.0) }
+    HwCost {
+        area_gates: 4.0 * n as f64,
+        delay_ns: 0.4 * (n as f64).log2().max(1.0),
+    }
 }
 
 /// Single-precision floating-point divider (iterative SRT unit).
 /// Dominates every cost it appears in; constants calibrated to land the
 /// SIABP-vs-IABP ratios near the paper's report.
 fn fp_divider() -> HwCost {
-    HwCost { area_gates: 17_800.0, delay_ns: 95.0 }
+    HwCost {
+        area_gates: 17_800.0,
+        delay_ns: 95.0,
+    }
 }
 
 // --- priority-function costs ---------------------------------------------
@@ -85,7 +106,10 @@ pub fn siabp_cost(counter_bits: u32, priority_bits: u32) -> HwCost {
     let counter = adder(counter_bits) + register(counter_bits);
     // New-MSB detector: XOR the counter with its registered mask, a few
     // gates per bit.
-    let detector = HwCost { area_gates: 2.5 * counter_bits as f64, delay_ns: 0.3 };
+    let detector = HwCost {
+        area_gates: 2.5 * counter_bits as f64,
+        delay_ns: 0.3,
+    };
     let shift = barrel_shifter(priority_bits) + register(priority_bits);
     // The counter increment and the priority shift proceed in parallel;
     // the critical path is whichever is longer.
@@ -212,8 +236,14 @@ mod tests {
 
     #[test]
     fn cost_addition_composes() {
-        let a = HwCost { area_gates: 10.0, delay_ns: 1.0 };
-        let b = HwCost { area_gates: 5.0, delay_ns: 2.0 };
+        let a = HwCost {
+            area_gates: 10.0,
+            delay_ns: 1.0,
+        };
+        let b = HwCost {
+            area_gates: 5.0,
+            delay_ns: 2.0,
+        };
         let c = a + b;
         assert_eq!(c.area_gates, 15.0);
         assert_eq!(c.delay_ns, 3.0);

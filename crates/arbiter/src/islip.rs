@@ -13,11 +13,34 @@
 //! Pointers advance one position past the granted/accepted port, and only
 //! when the grant was accepted in the *first* iteration — the rule that
 //! gives iSLIP its starvation freedom.  Like WFA it is priority-blind.
+//!
+//! ## Kernel
+//!
+//! Requesters, free ports and received grants are `u64` bitmasks; the
+//! round-robin scans are two-instruction first-set-bit searches
+//! ([`rr_first`]) instead of O(ports) wrap-around loops.  The golden
+//! reference ([`crate::reference::ReferenceIslip`]) keeps the linear
+//! scans; both are deterministic and produce identical matchings.
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
 use crate::scheduler::SwitchScheduler;
 use mmr_sim::rng::SimRng;
+
+/// First set bit of `mask` at-or-after `start` (< 64), wrapping around —
+/// the round-robin pointer scan as two trailing-zeros searches.
+///
+/// Returns garbage for an empty mask; callers check `mask != 0` first.
+#[inline]
+pub(crate) fn rr_first(mask: u64, start: usize) -> usize {
+    debug_assert!(mask != 0 && start < 64);
+    let at_or_after = mask & (u64::MAX << start);
+    if at_or_after != 0 {
+        at_or_after.trailing_zeros() as usize
+    } else {
+        mask.trailing_zeros() as usize
+    }
+}
 
 /// iSLIP with a configurable iteration count.
 #[derive(Debug, Clone)]
@@ -26,13 +49,22 @@ pub struct IslipArbiter {
     iterations: usize,
     grant_ptr: Vec<usize>,
     accept_ptr: Vec<usize>,
+    /// Scratch: per input, bitmask of outputs that granted it this
+    /// iteration.
+    grants_in: Vec<u64>,
 }
 
 impl IslipArbiter {
     /// iSLIP for `ports` ports running `iterations` passes per cycle.
     pub fn new(ports: usize, iterations: usize) -> Self {
         assert!(ports > 0 && iterations > 0);
-        IslipArbiter { ports, iterations, grant_ptr: vec![0; ports], accept_ptr: vec![0; ports] }
+        IslipArbiter {
+            ports,
+            iterations,
+            grant_ptr: vec![0; ports],
+            accept_ptr: vec![0; ports],
+            grants_in: vec![0; ports],
+        }
     }
 
     /// Current grant pointers (for tests).
@@ -42,56 +74,51 @@ impl IslipArbiter {
 }
 
 impl SwitchScheduler for IslipArbiter {
-    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
-    fn schedule(&mut self, cs: &CandidateSet, _rng: &mut SimRng) -> Matching {
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
         let n = self.ports;
         assert_eq!(cs.ports(), n);
-        let mut matching = Matching::new(n);
-        let mut input_free = vec![true; n];
-        let mut output_free = vec![true; n];
+        out.clear();
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut free_in = full;
+        let mut free_out = full;
 
         for iter in 0..self.iterations {
             // Grant phase: each free output picks one requesting free
             // input by round-robin from its pointer.
-            let mut granted_to: Vec<Option<usize>> = vec![None; n]; // per input: granting output? No: per output -> input
-            for output in 0..n {
-                if !output_free[output] {
-                    continue;
-                }
-                let start = self.grant_ptr[output];
-                for off in 0..n {
-                    let input = (start + off) % n;
-                    if input_free[input] && cs.requests(input, output) {
-                        granted_to[output] = Some(input);
-                        break;
-                    }
+            self.grants_in.fill(0);
+            let mut of = free_out;
+            while of != 0 {
+                let output = of.trailing_zeros() as usize;
+                of &= of - 1;
+                let requesters = cs.requesters(output) & free_in;
+                if requesters != 0 {
+                    let input = rr_first(requesters, self.grant_ptr[output]);
+                    self.grants_in[input] |= 1u64 << output;
                 }
             }
             // Accept phase: each input with grants accepts one output by
             // round-robin from its pointer.
             let mut any_accept = false;
-            for input in 0..n {
-                if !input_free[input] {
+            let mut inf = free_in;
+            while inf != 0 {
+                let input = inf.trailing_zeros() as usize;
+                inf &= inf - 1;
+                let granted = self.grants_in[input];
+                if granted == 0 {
                     continue;
                 }
-                let start = self.accept_ptr[input];
-                let mut accepted: Option<usize> = None;
-                for off in 0..n {
-                    let output = (start + off) % n;
-                    if granted_to[output] == Some(input) {
-                        accepted = Some(output);
-                        break;
-                    }
-                }
-                let Some(output) = accepted else { continue };
-                let c = cs.best_for(input, output).expect("granted request exists");
-                let level = cs
-                    .input_candidates(input)
-                    .position(|x| x.vc == c.vc && x.output == c.output)
-                    .expect("candidate present");
-                matching.add(Grant { input, output, vc: c.vc, level });
-                input_free[input] = false;
-                output_free[output] = false;
+                let output = rr_first(granted, self.accept_ptr[input]);
+                let (level, c) = cs
+                    .best_level_for(input, output)
+                    .expect("granted request exists");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                free_in &= !(1u64 << input);
+                free_out &= !(1u64 << output);
                 any_accept = true;
                 if iter == 0 {
                     self.grant_ptr[output] = (input + 1) % n;
@@ -102,8 +129,7 @@ impl SwitchScheduler for IslipArbiter {
                 break; // converged early
             }
         }
-        debug_assert!(matching.is_consistent_with(cs));
-        matching
+        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -122,11 +148,25 @@ mod tests {
     use crate::candidate::{Candidate, Priority};
 
     fn cand(input: usize, vc: usize, output: usize) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(1.0) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(1.0),
+        }
     }
 
     fn rng() -> SimRng {
         SimRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn rr_first_wraps() {
+        assert_eq!(rr_first(0b0101, 0), 0);
+        assert_eq!(rr_first(0b0101, 1), 2);
+        assert_eq!(rr_first(0b0101, 3), 0, "wraps past the top bit");
+        assert_eq!(rr_first(1u64 << 63, 63), 63);
+        assert_eq!(rr_first(1, 63), 0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`islip`], [`pim`], [`greedy`], [`random`] — the related-work
 //!   baselines §4 cites (iSLIP, Parallel Iterative Matching, greedy
 //!   priority matching, random maximal matching).
+//! * [`reference`] — golden, unoptimized transcriptions of every arbiter;
+//!   the bitmask kernels above are pinned to them grant-for-grant by
+//!   differential property tests.
 //! * [`hw`] — an analytic hardware-cost model covering the paper's §6
 //!   future work: gate-count and delay estimates for the priority functions
 //!   and arbiters.
@@ -40,6 +43,7 @@ pub mod matching;
 pub mod pim;
 pub mod priority;
 pub mod random;
+pub mod reference;
 pub mod scheduler;
 pub mod wfa;
 

@@ -32,12 +32,23 @@ pub struct Matching {
 impl Matching {
     /// An empty matching for a router with `ports` ports.
     pub fn new(ports: usize) -> Self {
-        Matching { by_input: vec![None; ports], output_used: vec![false; ports], size: 0 }
+        Matching {
+            by_input: vec![None; ports],
+            output_used: vec![false; ports],
+            size: 0,
+        }
     }
 
     /// Number of ports.
     pub fn ports(&self) -> usize {
         self.by_input.len()
+    }
+
+    /// Remove all grants, keeping the allocation for reuse across cycles.
+    pub fn clear(&mut self) {
+        self.by_input.fill(None);
+        self.output_used.fill(false);
+        self.size = 0;
     }
 
     /// Try to add a grant; returns false (and changes nothing) if its
@@ -92,9 +103,8 @@ impl Matching {
     /// tests and debug assertions.
     pub fn is_consistent_with(&self, cs: &CandidateSet) -> bool {
         self.grants().all(|g| {
-            cs.get(g.input, g.level).is_some_and(|c| {
-                c.output == g.output && c.vc == g.vc && c.input == g.input
-            })
+            cs.get(g.input, g.level)
+                .is_some_and(|c| c.output == g.output && c.vc == g.vc && c.input == g.input)
         })
     }
 }
@@ -105,7 +115,12 @@ mod tests {
     use crate::candidate::{Candidate, Priority};
 
     fn grant(input: usize, output: usize) -> Grant {
-        Grant { input, output, vc: 0, level: 0 }
+        Grant {
+            input,
+            output,
+            vc: 0,
+            level: 0,
+        }
     }
 
     #[test]
@@ -155,15 +170,35 @@ mod tests {
     #[test]
     fn consistency_check() {
         let mut cs = CandidateSet::new(2, 2);
-        cs.push(Candidate { input: 0, vc: 7, output: 1, priority: Priority::new(5.0) });
+        cs.push(Candidate {
+            input: 0,
+            vc: 7,
+            output: 1,
+            priority: Priority::new(5.0),
+        });
         let mut good = Matching::new(2);
-        good.add(Grant { input: 0, output: 1, vc: 7, level: 0 });
+        good.add(Grant {
+            input: 0,
+            output: 1,
+            vc: 7,
+            level: 0,
+        });
         assert!(good.is_consistent_with(&cs));
         let mut bad = Matching::new(2);
-        bad.add(Grant { input: 0, output: 1, vc: 3, level: 0 }); // wrong vc
+        bad.add(Grant {
+            input: 0,
+            output: 1,
+            vc: 3,
+            level: 0,
+        }); // wrong vc
         assert!(!bad.is_consistent_with(&cs));
         let mut phantom = Matching::new(2);
-        phantom.add(Grant { input: 1, output: 0, vc: 0, level: 0 }); // no candidate
+        phantom.add(Grant {
+            input: 1,
+            output: 0,
+            vc: 0,
+            level: 0,
+        }); // no candidate
         assert!(!phantom.is_consistent_with(&cs));
     }
 }

@@ -4,80 +4,107 @@
 //!
 //! Structure mirrors iSLIP, but grant and accept choices are uniformly
 //! random instead of round-robin, and no pointer state is kept.
+//!
+//! ## Kernel
+//!
+//! Requester and grant sets are `u64` bitmasks; "pick a uniform random
+//! requester" is one RNG draw over the popcount followed by a k-th-set-bit
+//! select, with no materialized index list.  Bits enumerate in ascending
+//! port order — the same order the golden reference
+//! ([`crate::reference::ReferencePim`]) builds its lists in — so both
+//! consume the RNG stream identically and match grant for grant.
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
 use crate::scheduler::SwitchScheduler;
 use mmr_sim::rng::SimRng;
 
+/// Index of the `k`-th set bit of `mask` (0-based, from the bottom).
+/// `k` must be less than `mask.count_ones()`.
+#[inline]
+pub(crate) fn kth_set_bit(mask: u64, k: usize) -> usize {
+    debug_assert!((k as u32) < mask.count_ones());
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1;
+    }
+    m.trailing_zeros() as usize
+}
+
 /// PIM with a configurable iteration count.
 #[derive(Debug, Clone)]
 pub struct PimArbiter {
     ports: usize,
     iterations: usize,
+    /// Scratch: per input, bitmask of outputs that granted it this
+    /// iteration.
+    grants_in: Vec<u64>,
 }
 
 impl PimArbiter {
     /// PIM for `ports` ports running `iterations` passes per cycle.
     pub fn new(ports: usize, iterations: usize) -> Self {
         assert!(ports > 0 && iterations > 0);
-        PimArbiter { ports, iterations }
+        PimArbiter {
+            ports,
+            iterations,
+            grants_in: vec![0; ports],
+        }
     }
 }
 
 impl SwitchScheduler for PimArbiter {
-    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
-    fn schedule(&mut self, cs: &CandidateSet, rng: &mut SimRng) -> Matching {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         let n = self.ports;
         assert_eq!(cs.ports(), n);
-        let mut matching = Matching::new(n);
-        let mut input_free = vec![true; n];
-        let mut output_free = vec![true; n];
-        let mut requesters: Vec<usize> = Vec::with_capacity(n);
+        out.clear();
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut free_in = full;
+        let mut free_out = full;
 
         for _ in 0..self.iterations {
             // Grant: each free output picks a random requesting free input.
-            let mut granted_to: Vec<Option<usize>> = vec![None; n];
-            for output in 0..n {
-                if !output_free[output] {
-                    continue;
-                }
-                requesters.clear();
-                requesters.extend(
-                    (0..n).filter(|&i| input_free[i] && cs.requests(i, output)),
-                );
-                if !requesters.is_empty() {
-                    granted_to[output] = Some(requesters[rng.index(requesters.len())]);
+            self.grants_in.fill(0);
+            let mut of = free_out;
+            while of != 0 {
+                let output = of.trailing_zeros() as usize;
+                of &= of - 1;
+                let requesters = cs.requesters(output) & free_in;
+                if requesters != 0 {
+                    let input =
+                        kth_set_bit(requesters, rng.index(requesters.count_ones() as usize));
+                    self.grants_in[input] |= 1u64 << output;
                 }
             }
             // Accept: each input picks a random output among its grants.
             let mut any_accept = false;
-            for input in 0..n {
-                if !input_free[input] {
+            let mut inf = free_in;
+            while inf != 0 {
+                let input = inf.trailing_zeros() as usize;
+                inf &= inf - 1;
+                let granted = self.grants_in[input];
+                if granted == 0 {
                     continue;
                 }
-                requesters.clear(); // reuse as grant list
-                requesters.extend((0..n).filter(|&o| granted_to[o] == Some(input)));
-                if requesters.is_empty() {
-                    continue;
-                }
-                let output = requesters[rng.index(requesters.len())];
-                let c = cs.best_for(input, output).expect("granted request exists");
-                let level = cs
-                    .input_candidates(input)
-                    .position(|x| x.vc == c.vc && x.output == c.output)
-                    .expect("candidate present");
-                matching.add(Grant { input, output, vc: c.vc, level });
-                input_free[input] = false;
-                output_free[output] = false;
+                let output = kth_set_bit(granted, rng.index(granted.count_ones() as usize));
+                let (level, c) = cs
+                    .best_level_for(input, output)
+                    .expect("granted request exists");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                free_in &= !(1u64 << input);
+                free_out &= !(1u64 << output);
                 any_accept = true;
             }
             if !any_accept {
                 break;
             }
         }
-        debug_assert!(matching.is_consistent_with(cs));
-        matching
+        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -91,7 +118,20 @@ mod tests {
     use crate::candidate::{Candidate, Priority};
 
     fn cand(input: usize, vc: usize, output: usize) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(1.0) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(1.0),
+        }
+    }
+
+    #[test]
+    fn kth_set_bit_selects() {
+        assert_eq!(kth_set_bit(0b1011, 0), 0);
+        assert_eq!(kth_set_bit(0b1011, 1), 1);
+        assert_eq!(kth_set_bit(0b1011, 2), 3);
+        assert_eq!(kth_set_bit(u64::MAX, 63), 63);
     }
 
     #[test]

@@ -144,7 +144,12 @@ impl PriorityKind {
 
     /// All selectable functions.
     pub fn all() -> Vec<PriorityKind> {
-        vec![PriorityKind::Siabp, PriorityKind::Iabp, PriorityKind::Fifo, PriorityKind::Static]
+        vec![
+            PriorityKind::Siabp,
+            PriorityKind::Iabp,
+            PriorityKind::Fifo,
+            PriorityKind::Static,
+        ]
     }
 }
 
@@ -241,7 +246,10 @@ mod tests {
 
     #[test]
     fn static_ignores_delay() {
-        assert_eq!(StaticPriority.priority(5, 1.0, 0), StaticPriority.priority(5, 1.0, 1 << 40));
+        assert_eq!(
+            StaticPriority.priority(5, 1.0, 0),
+            StaticPriority.priority(5, 1.0, 1 << 40)
+        );
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! Shuffles the distinct (input, output) request pairs and takes them
 //! greedily.  The result is a uniformly random maximal matching on the
 //! request graph, blind to both priority and conflict structure.
+//!
+//! The pair list is built by iterating each input's requested-output
+//! bitmask (ascending output order, identical to the reference's nested
+//! loop) and all scratch lives on the struct, so steady-state scheduling
+//! allocates nothing.
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
@@ -20,39 +25,49 @@ impl RandomArbiter {
     /// Random arbiter for `ports` ports.
     pub fn new(ports: usize) -> Self {
         assert!(ports > 0);
-        RandomArbiter { ports, pairs: Vec::new() }
+        RandomArbiter {
+            ports,
+            pairs: Vec::new(),
+        }
     }
 }
 
 impl SwitchScheduler for RandomArbiter {
-    fn schedule(&mut self, cs: &CandidateSet, rng: &mut SimRng) -> Matching {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         assert_eq!(cs.ports(), self.ports);
+        out.clear();
         self.pairs.clear();
         for input in 0..self.ports {
-            for output in 0..self.ports {
-                if cs.requests(input, output) {
-                    self.pairs.push((input, output));
-                }
+            let mut outputs = cs.output_mask(input);
+            while outputs != 0 {
+                let output = outputs.trailing_zeros() as usize;
+                outputs &= outputs - 1;
+                self.pairs.push((input, output));
             }
         }
         rng.shuffle(&mut self.pairs);
-        let mut matching = Matching::new(self.ports);
-        let mut input_free = vec![true; self.ports];
-        let mut output_free = vec![true; self.ports];
+        let mut free_in: u64 = if self.ports == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ports) - 1
+        };
+        let mut free_out = free_in;
         for &(input, output) in &self.pairs {
-            if input_free[input] && output_free[output] {
-                let c = cs.best_for(input, output).expect("pair built from candidates");
-                let level = cs
-                    .input_candidates(input)
-                    .position(|x| x.vc == c.vc && x.output == c.output)
-                    .expect("candidate present");
-                matching.add(Grant { input, output, vc: c.vc, level });
-                input_free[input] = false;
-                output_free[output] = false;
+            if free_in & (1u64 << input) != 0 && free_out & (1u64 << output) != 0 {
+                let (level, c) = cs
+                    .best_level_for(input, output)
+                    .expect("pair built from candidates");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                free_in &= !(1u64 << input);
+                free_out &= !(1u64 << output);
             }
         }
-        debug_assert!(matching.is_consistent_with(cs));
-        matching
+        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -66,7 +81,12 @@ mod tests {
     use crate::candidate::{Candidate, Priority};
 
     fn cand(input: usize, vc: usize, output: usize) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(1.0) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(1.0),
+        }
     }
 
     #[test]
@@ -75,7 +95,10 @@ mod tests {
             let mut gen = SimRng::seed_from_u64(seed);
             let mut cs = CandidateSet::new(4, 2);
             for input in 0..4 {
-                cs.set_input(input, &[cand(input, 0, gen.index(4)), cand(input, 1, gen.index(4))]);
+                cs.set_input(
+                    input,
+                    &[cand(input, 0, gen.index(4)), cand(input, 1, gen.index(4))],
+                );
             }
             let mut rng = SimRng::seed_from_u64(seed * 31 + 1);
             let m = RandomArbiter::new(4).schedule(&cs, &mut rng);
@@ -92,7 +115,9 @@ mod tests {
         cs.push(cand(1, 0, 0));
         let mut arb = RandomArbiter::new(2);
         let mut rng = SimRng::seed_from_u64(5);
-        let wins0 = (0..2000).filter(|_| arb.schedule(&cs, &mut rng).grant_for(0).is_some()).count();
+        let wins0 = (0..2000)
+            .filter(|_| arb.schedule(&cs, &mut rng).grant_for(0).is_some())
+            .count();
         assert!((800..1200).contains(&wins0), "wins0 = {wins0}");
     }
 

@@ -1,0 +1,580 @@
+//! Golden reference arbiters.
+//!
+//! Straight-line transcriptions of the six scheduling algorithms, kept
+//! exactly as first implemented: dense `Vec<bool>` free maps allocated
+//! per call, full conflict-vector recomputation after every COA grant,
+//! O(ports) round-robin scans.  The optimized kernels in [`crate::coa`],
+//! [`crate::wfa`], [`crate::islip`], [`crate::pim`], [`crate::greedy`]
+//! and [`crate::random`] must agree with these **grant for grant** under
+//! identical RNG seeds — the differential property tests in
+//! `tests/differential.rs` enforce that, and `bench_report` measures the
+//! speedup against them.
+//!
+//! Every RNG draw here is ordered exactly as in the optimized kernels
+//! (ascending port iteration, a draw only when more than one tie, and so
+//! on); any change to either side must preserve that pairing.
+
+use crate::candidate::{Candidate, CandidateSet};
+use crate::matching::{Grant, Matching};
+use crate::scheduler::SwitchScheduler;
+use mmr_sim::rng::SimRng;
+
+/// Reference COA: recomputes the whole conflict vector after each grant
+/// (O(ports² · levels) per cycle).
+#[derive(Debug, Clone)]
+pub struct ReferenceCoa {
+    ports: usize,
+    conflicts: Vec<u32>,
+    tie_buf: Vec<usize>,
+}
+
+impl ReferenceCoa {
+    /// Reference COA for `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        ReferenceCoa {
+            ports,
+            conflicts: Vec::new(),
+            tie_buf: Vec::with_capacity(ports),
+        }
+    }
+
+    /// Recompute the conflict vector over free inputs/outputs; returns the
+    /// lowest level that still has requests, if any.
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn recompute_conflicts(
+        &mut self,
+        cs: &CandidateSet,
+        input_free: &[bool],
+        output_free: &[bool],
+    ) -> Option<usize> {
+        let levels = cs.levels();
+        self.conflicts.clear();
+        self.conflicts.resize(levels * self.ports, 0);
+        let mut lowest: Option<usize> = None;
+        for input in 0..self.ports {
+            if !input_free[input] {
+                continue;
+            }
+            for (level, c) in cs.input_candidates(input).enumerate() {
+                debug_assert_eq!(c.input, input);
+                if output_free[c.output] {
+                    self.conflicts[level * self.ports + c.output] += 1;
+                    if lowest.is_none_or(|l| level < l) {
+                        lowest = Some(level);
+                    }
+                }
+            }
+        }
+        lowest
+    }
+}
+
+impl SwitchScheduler for ReferenceCoa {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        out.clear();
+        let mut input_free = vec![true; self.ports];
+        let mut output_free = vec![true; self.ports];
+
+        while let Some(level) = self.recompute_conflicts(cs, &input_free, &output_free) {
+            let row = &self.conflicts[level * self.ports..(level + 1) * self.ports];
+            let min_conflict = row
+                .iter()
+                .copied()
+                .filter(|&c| c > 0)
+                .min()
+                .expect("level has requests");
+            self.tie_buf.clear();
+            self.tie_buf.extend(
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c == min_conflict)
+                    .map(|(o, _)| o),
+            );
+            let output = if self.tie_buf.len() == 1 {
+                self.tie_buf[0]
+            } else {
+                self.tie_buf[rng.index(self.tie_buf.len())]
+            };
+
+            let mut best: Option<(usize, Candidate)> = None;
+            let mut ties = 0u32;
+            for input in 0..self.ports {
+                if !input_free[input] {
+                    continue;
+                }
+                let Some(c) = cs.get(input, level) else {
+                    continue;
+                };
+                if c.output != output {
+                    continue;
+                }
+                match &best {
+                    None => {
+                        best = Some((input, c));
+                        ties = 1;
+                    }
+                    Some((_, b)) if c.priority > b.priority => {
+                        best = Some((input, c));
+                        ties = 1;
+                    }
+                    Some((_, b)) if c.priority == b.priority => {
+                        ties += 1;
+                        if rng.below(ties as u64) == 0 {
+                            best = Some((input, c));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let (input, cand) =
+                best.expect("conflict vector said this (level, output) has a request");
+            out.add(Grant {
+                input,
+                output,
+                vc: cand.vc,
+                level,
+            });
+            input_free[input] = false;
+            output_free[output] = false;
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "Candidate-Order Arbiter (reference)"
+    }
+}
+
+/// Reference WFA: dense boolean request matrix rebuilt per cycle.
+#[derive(Debug, Clone)]
+pub struct ReferenceWfa {
+    ports: usize,
+    start_diag: usize,
+    wrapped: bool,
+    top_level_only: bool,
+    requests: Vec<bool>,
+}
+
+impl ReferenceWfa {
+    /// Reference wrapped WFA.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        ReferenceWfa {
+            ports,
+            start_diag: 0,
+            wrapped: true,
+            top_level_only: false,
+            requests: vec![false; ports * ports],
+        }
+    }
+
+    /// Reference unwrapped (fixed-diagonal) variant.
+    pub fn fixed(ports: usize) -> Self {
+        ReferenceWfa {
+            wrapped: false,
+            ..ReferenceWfa::new(ports)
+        }
+    }
+
+    /// Reference level-1-requests variant.
+    pub fn first_level_only(ports: usize) -> Self {
+        ReferenceWfa {
+            top_level_only: true,
+            ..ReferenceWfa::new(ports)
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceWfa {
+    #[allow(clippy::needless_range_loop)] // crosspoint (row, column) indexing
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        out.clear();
+        self.requests.fill(false);
+        if self.top_level_only {
+            for input in 0..n {
+                if let Some(c) = cs.get(input, 0) {
+                    self.requests[c.input * n + c.output] = true;
+                }
+            }
+        } else {
+            for c in cs.iter() {
+                self.requests[c.input * n + c.output] = true;
+            }
+        }
+
+        let mut row_free = vec![true; n];
+        let mut col_free = vec![true; n];
+        for d in 0..n {
+            let diag = (self.start_diag + d) % n;
+            for input in 0..n {
+                let output = (diag + n - input) % n;
+                if self.requests[input * n + output] && row_free[input] && col_free[output] {
+                    let c = cs
+                        .best_for(input, output)
+                        .expect("request matrix was built from candidates");
+                    let level = cs
+                        .input_candidates(input)
+                        .position(|x| x.vc == c.vc && x.output == c.output)
+                        .expect("candidate present");
+                    out.add(Grant {
+                        input,
+                        output,
+                        vc: c.vc,
+                        level,
+                    });
+                    row_free[input] = false;
+                    col_free[output] = false;
+                }
+            }
+        }
+        if self.wrapped {
+            self.start_diag = (self.start_diag + 1) % n;
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "Wave Front Arbiter (reference)"
+    }
+
+    fn reset(&mut self) {
+        self.start_diag = 0;
+    }
+}
+
+/// Reference iSLIP: O(ports) linear round-robin scans per grant/accept.
+#[derive(Debug, Clone)]
+pub struct ReferenceIslip {
+    ports: usize,
+    iterations: usize,
+    grant_ptr: Vec<usize>,
+    accept_ptr: Vec<usize>,
+}
+
+impl ReferenceIslip {
+    /// Reference iSLIP for `ports` ports and `iterations` passes.
+    pub fn new(ports: usize, iterations: usize) -> Self {
+        assert!(ports > 0 && iterations > 0);
+        ReferenceIslip {
+            ports,
+            iterations,
+            grant_ptr: vec![0; ports],
+            accept_ptr: vec![0; ports],
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceIslip {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        out.clear();
+        let mut input_free = vec![true; n];
+        let mut output_free = vec![true; n];
+
+        for iter in 0..self.iterations {
+            let mut granted_to: Vec<Option<usize>> = vec![None; n];
+            for output in 0..n {
+                if !output_free[output] {
+                    continue;
+                }
+                let start = self.grant_ptr[output];
+                for off in 0..n {
+                    let input = (start + off) % n;
+                    if input_free[input] && cs.requests(input, output) {
+                        granted_to[output] = Some(input);
+                        break;
+                    }
+                }
+            }
+            let mut any_accept = false;
+            for input in 0..n {
+                if !input_free[input] {
+                    continue;
+                }
+                let start = self.accept_ptr[input];
+                let mut accepted: Option<usize> = None;
+                for off in 0..n {
+                    let output = (start + off) % n;
+                    if granted_to[output] == Some(input) {
+                        accepted = Some(output);
+                        break;
+                    }
+                }
+                let Some(output) = accepted else { continue };
+                let c = cs.best_for(input, output).expect("granted request exists");
+                let level = cs
+                    .input_candidates(input)
+                    .position(|x| x.vc == c.vc && x.output == c.output)
+                    .expect("candidate present");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                input_free[input] = false;
+                output_free[output] = false;
+                any_accept = true;
+                if iter == 0 {
+                    self.grant_ptr[output] = (input + 1) % n;
+                    self.accept_ptr[input] = (output + 1) % n;
+                }
+            }
+            if !any_accept {
+                break;
+            }
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "iSLIP (reference)"
+    }
+
+    fn reset(&mut self) {
+        self.grant_ptr.fill(0);
+        self.accept_ptr.fill(0);
+    }
+}
+
+/// Reference PIM: requester lists materialized per output per iteration.
+#[derive(Debug, Clone)]
+pub struct ReferencePim {
+    ports: usize,
+    iterations: usize,
+}
+
+impl ReferencePim {
+    /// Reference PIM for `ports` ports and `iterations` passes.
+    pub fn new(ports: usize, iterations: usize) -> Self {
+        assert!(ports > 0 && iterations > 0);
+        ReferencePim { ports, iterations }
+    }
+}
+
+impl SwitchScheduler for ReferencePim {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        out.clear();
+        let mut input_free = vec![true; n];
+        let mut output_free = vec![true; n];
+        let mut requesters: Vec<usize> = Vec::with_capacity(n);
+
+        for _ in 0..self.iterations {
+            let mut granted_to: Vec<Option<usize>> = vec![None; n];
+            for output in 0..n {
+                if !output_free[output] {
+                    continue;
+                }
+                requesters.clear();
+                requesters.extend((0..n).filter(|&i| input_free[i] && cs.requests(i, output)));
+                if !requesters.is_empty() {
+                    granted_to[output] = Some(requesters[rng.index(requesters.len())]);
+                }
+            }
+            let mut any_accept = false;
+            for input in 0..n {
+                if !input_free[input] {
+                    continue;
+                }
+                requesters.clear(); // reuse as grant list
+                requesters.extend((0..n).filter(|&o| granted_to[o] == Some(input)));
+                if requesters.is_empty() {
+                    continue;
+                }
+                let output = requesters[rng.index(requesters.len())];
+                let c = cs.best_for(input, output).expect("granted request exists");
+                let level = cs
+                    .input_candidates(input)
+                    .position(|x| x.vc == c.vc && x.output == c.output)
+                    .expect("candidate present");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                input_free[input] = false;
+                output_free[output] = false;
+                any_accept = true;
+            }
+            if !any_accept {
+                break;
+            }
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "Parallel Iterative Matching (reference)"
+    }
+}
+
+/// Reference greedy-priority matching with per-call key allocation.
+#[derive(Debug, Clone)]
+pub struct ReferenceGreedy {
+    ports: usize,
+    scratch: Vec<(Candidate, usize)>,
+}
+
+impl ReferenceGreedy {
+    /// Reference greedy arbiter for `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        ReferenceGreedy {
+            ports,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceGreedy {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        out.clear();
+        self.scratch.clear();
+        for input in 0..self.ports {
+            for (level, c) in cs.input_candidates(input).enumerate() {
+                self.scratch.push((c, level));
+            }
+        }
+        let mut keyed: Vec<(u64, usize)> = self
+            .scratch
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (rng.next_u64_raw(), i))
+            .collect();
+        keyed.sort_unstable_by(|a, b| {
+            let pa = self.scratch[a.1].0.priority;
+            let pb = self.scratch[b.1].0.priority;
+            pb.cmp(&pa).then(a.0.cmp(&b.0))
+        });
+
+        let mut input_free = vec![true; self.ports];
+        let mut output_free = vec![true; self.ports];
+        for (_, idx) in keyed {
+            let (c, level) = self.scratch[idx];
+            if input_free[c.input] && output_free[c.output] {
+                out.add(Grant {
+                    input: c.input,
+                    output: c.output,
+                    vc: c.vc,
+                    level,
+                });
+                input_free[c.input] = false;
+                output_free[c.output] = false;
+            }
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "Greedy priority (reference)"
+    }
+}
+
+/// Reference random maximal matching with O(ports² · levels) pair
+/// enumeration.
+#[derive(Debug, Clone)]
+pub struct ReferenceRandom {
+    ports: usize,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl ReferenceRandom {
+    /// Reference random arbiter for `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        ReferenceRandom {
+            ports,
+            pairs: Vec::new(),
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceRandom {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        out.clear();
+        self.pairs.clear();
+        for input in 0..self.ports {
+            for output in 0..self.ports {
+                if cs.requests(input, output) {
+                    self.pairs.push((input, output));
+                }
+            }
+        }
+        rng.shuffle(&mut self.pairs);
+        let mut input_free = vec![true; self.ports];
+        let mut output_free = vec![true; self.ports];
+        for &(input, output) in &self.pairs {
+            if input_free[input] && output_free[output] {
+                let c = cs
+                    .best_for(input, output)
+                    .expect("pair built from candidates");
+                let level = cs
+                    .input_candidates(input)
+                    .position(|x| x.vc == c.vc && x.output == c.output)
+                    .expect("candidate present");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                input_free[input] = false;
+                output_free[output] = false;
+            }
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "Random maximal matching (reference)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::Priority;
+    use crate::scheduler::ArbiterKind;
+
+    #[test]
+    fn references_instantiate_for_every_kind() {
+        for kind in ArbiterKind::all() {
+            let r = kind.instantiate_reference(4);
+            assert!(r.name().ends_with("(reference)"), "{}", r.name());
+        }
+    }
+
+    #[test]
+    fn reference_coa_smoke() {
+        let mut cs = CandidateSet::new(4, 2);
+        cs.push(Candidate {
+            input: 0,
+            vc: 0,
+            output: 2,
+            priority: Priority::new(1.0),
+        });
+        cs.push(Candidate {
+            input: 1,
+            vc: 0,
+            output: 2,
+            priority: Priority::new(9.0),
+        });
+        let mut rng = SimRng::seed_from_u64(0);
+        let m = ReferenceCoa::new(4).schedule(&cs, &mut rng);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.grant_for(1).unwrap().output, 2);
+    }
+}

@@ -12,9 +12,18 @@ use serde::{Deserialize, Serialize};
 /// candidate vectors produced by link scheduling and must return a
 /// conflict-free matching.
 pub trait SwitchScheduler: Send {
-    /// Compute a matching for this cycle.  `rng` is the router's arbiter
-    /// RNG stream, used for tie-breaks.
-    fn schedule(&mut self, candidates: &CandidateSet, rng: &mut SimRng) -> Matching;
+    /// Compute a matching for this cycle into `out`, which is cleared
+    /// first and may be reused across cycles — the hot path allocates
+    /// nothing.  `rng` is the router's arbiter RNG stream, used for
+    /// tie-breaks.
+    fn schedule_into(&mut self, candidates: &CandidateSet, rng: &mut SimRng, out: &mut Matching);
+
+    /// Convenience wrapper allocating a fresh [`Matching`] per call.
+    fn schedule(&mut self, candidates: &CandidateSet, rng: &mut SimRng) -> Matching {
+        let mut out = Matching::new(candidates.ports());
+        self.schedule_into(candidates, rng, &mut out);
+        out
+    }
 
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
@@ -71,6 +80,25 @@ impl ArbiterKind {
                 Box::new(crate::greedy::GreedyPriorityArbiter::new(ports))
             }
             ArbiterKind::Random => Box::new(crate::random::RandomArbiter::new(ports)),
+        }
+    }
+
+    /// Instantiate the golden reference implementation of the same
+    /// algorithm (see [`crate::reference`]) — unoptimized but known-good,
+    /// used by differential tests and the benchmark harness.
+    pub fn instantiate_reference(self, ports: usize) -> Box<dyn SwitchScheduler> {
+        use crate::reference as r;
+        match self {
+            ArbiterKind::Coa => Box::new(r::ReferenceCoa::new(ports)),
+            ArbiterKind::Wfa => Box::new(r::ReferenceWfa::new(ports)),
+            ArbiterKind::WfaFixed => Box::new(r::ReferenceWfa::fixed(ports)),
+            ArbiterKind::WfaFirstLevel => Box::new(r::ReferenceWfa::first_level_only(ports)),
+            ArbiterKind::Islip { iterations } => {
+                Box::new(r::ReferenceIslip::new(ports, iterations))
+            }
+            ArbiterKind::Pim { iterations } => Box::new(r::ReferencePim::new(ports, iterations)),
+            ArbiterKind::GreedyPriority => Box::new(r::ReferenceGreedy::new(ports)),
+            ArbiterKind::Random => Box::new(r::ReferenceRandom::new(ports)),
         }
     }
 

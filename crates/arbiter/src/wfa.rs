@@ -10,6 +10,16 @@
 //! that no crosspoint is permanently favoured.  Crucially — and this is
 //! the paper's point — WFA considers only *where* requests go, never their
 //! priority: it maximizes matching size per wave order, blind to QoS.
+//!
+//! ## Kernel
+//!
+//! The request matrix is a `u64` bitmask per row (one bit per output),
+//! filled straight from the candidate set's per-input output masks; the
+//! free rows and columns are single `u64`s.  The wave visits only
+//! still-free rows (bit iteration), and each cell test is one AND.  The
+//! golden reference ([`crate::reference::ReferenceWfa`]) keeps the dense
+//! boolean matrix; both produce identical matchings (the wave order is
+//! deterministic).
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
@@ -27,8 +37,8 @@ pub struct WaveFrontArbiter {
     /// Build the request matrix from level-1 candidates only, making the
     /// wave see exactly what the link scheduler ranked best.
     top_level_only: bool,
-    /// Dense request matrix scratch (row-major), rebuilt each cycle.
-    requests: Vec<bool>,
+    /// Request matrix scratch: per input, a bitmask of requested outputs.
+    rows: Vec<u64>,
 }
 
 impl WaveFrontArbiter {
@@ -40,7 +50,7 @@ impl WaveFrontArbiter {
             start_diag: 0,
             wrapped: true,
             top_level_only: false,
-            requests: vec![false; ports * ports],
+            rows: vec![0; ports],
         }
     }
 
@@ -48,14 +58,20 @@ impl WaveFrontArbiter {
     /// first design — the priority diagonal never rotates, so crosspoint
     /// (0,0) is permanently favoured.  Demonstrates why wrapping matters.
     pub fn fixed(ports: usize) -> Self {
-        WaveFrontArbiter { wrapped: false, ..WaveFrontArbiter::new(ports) }
+        WaveFrontArbiter {
+            wrapped: false,
+            ..WaveFrontArbiter::new(ports)
+        }
     }
 
     /// Study variant: requests restricted to each input's level-1
     /// candidate — a cheap way to make the wave respect the link
     /// scheduler's priority ranking, at the cost of matching cardinality.
     pub fn first_level_only(ports: usize) -> Self {
-        WaveFrontArbiter { top_level_only: true, ..WaveFrontArbiter::new(ports) }
+        WaveFrontArbiter {
+            top_level_only: true,
+            ..WaveFrontArbiter::new(ports)
+        }
     }
 
     /// The diagonal that will be served first on the next call.
@@ -65,56 +81,59 @@ impl WaveFrontArbiter {
 }
 
 impl SwitchScheduler for WaveFrontArbiter {
-    #[allow(clippy::needless_range_loop)] // crosspoint (row, column) indexing
-    fn schedule(&mut self, cs: &CandidateSet, _rng: &mut SimRng) -> Matching {
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
         let n = self.ports;
         assert_eq!(cs.ports(), n);
+        out.clear();
         // Build the request matrix: input i requests output o if *any* of
         // its candidates targets o (the arbiter is priority-blind).  The
         // first-level variant only admits level-1 candidates.
-        self.requests.fill(false);
         if self.top_level_only {
-            for input in 0..n {
-                if let Some(c) = cs.get(input, 0) {
-                    self.requests[c.input * n + c.output] = true;
-                }
+            for (input, row) in self.rows.iter_mut().enumerate() {
+                *row = match cs.get(input, 0) {
+                    Some(c) => 1u64 << c.output,
+                    None => 0,
+                };
             }
         } else {
-            for c in cs.iter() {
-                self.requests[c.input * n + c.output] = true;
+            for (input, row) in self.rows.iter_mut().enumerate() {
+                *row = cs.output_mask(input);
             }
         }
 
-        let mut matching = Matching::new(n);
-        let mut row_free = vec![true; n];
-        let mut col_free = vec![true; n];
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut row_free = full;
+        let mut col_free = full;
         // Sweep the N anti-diagonals starting from the rotating one.  The
         // N cells of an anti-diagonal touch N distinct rows and columns,
-        // so their grants never conflict with each other.
+        // so their grants never conflict with each other — snapshotting
+        // the free-row mask per diagonal is safe.
         for d in 0..n {
             let diag = (self.start_diag + d) % n;
-            for input in 0..n {
+            let mut rf = row_free;
+            while rf != 0 {
+                let input = rf.trailing_zeros() as usize;
+                rf &= rf - 1;
                 let output = (diag + n - input) % n;
-                if self.requests[input * n + output] && row_free[input] && col_free[output] {
-                    let c = cs
-                        .best_for(input, output)
+                if self.rows[input] & col_free & (1u64 << output) != 0 {
+                    let (level, c) = cs
+                        .best_level_for(input, output)
                         .expect("request matrix was built from candidates");
-                    // Level is the candidate's index in its input vector.
-                    let level = cs
-                        .input_candidates(input)
-                        .position(|x| x.vc == c.vc && x.output == c.output)
-                        .expect("candidate present");
-                    matching.add(Grant { input, output, vc: c.vc, level });
-                    row_free[input] = false;
-                    col_free[output] = false;
+                    out.add(Grant {
+                        input,
+                        output,
+                        vc: c.vc,
+                        level,
+                    });
+                    row_free &= !(1u64 << input);
+                    col_free &= !(1u64 << output);
                 }
             }
         }
         if self.wrapped {
             self.start_diag = (self.start_diag + 1) % n;
         }
-        debug_assert!(matching.is_consistent_with(cs));
-        matching
+        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -136,7 +155,12 @@ mod tests {
     use crate::candidate::{Candidate, Priority};
 
     fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
-        Candidate { input, vc, output, priority: Priority::new(prio) }
+        Candidate {
+            input,
+            vc,
+            output,
+            priority: Priority::new(prio),
+        }
     }
 
     fn rng() -> SimRng {
@@ -187,7 +211,10 @@ mod tests {
             let m = wfa.schedule(&cs, &mut rng());
             winners.push(if m.grant_for(0).is_some() { 0 } else { 1 });
         }
-        assert!(winners.contains(&0) && winners.contains(&1), "winners {winners:?}");
+        assert!(
+            winners.contains(&0) && winners.contains(&1),
+            "winners {winners:?}"
+        );
     }
 
     #[test]
@@ -253,7 +280,10 @@ mod tests {
             WaveFrontArbiter::fixed(2).name(),
             WaveFrontArbiter::first_level_only(2).name(),
         ];
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

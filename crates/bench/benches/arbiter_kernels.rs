@@ -1,13 +1,15 @@
-//! Criterion kernels: switch-scheduler matching throughput.
+//! Kernel benchmarks: switch-scheduler matching throughput.
 //!
 //! The MMR must arbitrate once per flit cycle (826 ns); these benchmarks
 //! measure how each algorithm's software model scales with port count and
 //! contention, and back the hardware-cost comparison with wall-clock
-//! numbers.
+//! numbers.  Run with `cargo bench -p mmr-bench --bench arbiter_kernels`
+//! (pass `--quick` after `--` for a fast smoke pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmr_arbiter::candidate::{Candidate, CandidateSet, Priority};
+use mmr_arbiter::matching::Matching;
 use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_bench::harness::{bench_with, report_line};
 use mmr_sim::rng::SimRng;
 use std::hint::black_box;
 
@@ -31,27 +33,42 @@ fn candidate_set(ports: usize, levels: usize, seed: u64) -> CandidateSet {
     cs
 }
 
-fn bench_arbiters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("arbiter_schedule");
+fn sampling() -> (usize, u128) {
+    if std::env::args().any(|a| a == "--quick") {
+        (3, 2_000_000)
+    } else {
+        (5, 20_000_000)
+    }
+}
+
+fn bench_arbiters(samples: usize, target: u128) {
+    println!("== arbiter_schedule ==");
     for ports in [4usize, 8, 16] {
         let cs = candidate_set(ports, 4, 42);
         for kind in ArbiterKind::all() {
             let mut sched = kind.instantiate(ports);
             let mut rng = SimRng::seed_from_u64(7);
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), format!("{ports}x{ports}")),
-                &cs,
-                |b, cs| b.iter(|| black_box(sched.schedule(black_box(cs), &mut rng))),
+            let mut out = Matching::new(ports);
+            let m = bench_with(
+                || {
+                    sched.schedule_into(black_box(&cs), &mut rng, &mut out);
+                    black_box(&out);
+                },
+                samples,
+                target,
+            );
+            println!(
+                "{}",
+                report_line(&format!("{}/{ports}x{ports}", kind.label()), &m)
             );
         }
     }
-    group.finish();
 }
 
-fn bench_contention_profiles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coa_contention");
+fn bench_contention_profiles(samples: usize, target: u128) {
+    println!("== coa_contention ==");
     // Hotspot: every input's level-1 candidate targets output 0 — the
-    // worst case for COA's iterative recomputation.
+    // worst case for COA's conflict bookkeeping.
     let ports = 4;
     let mut hotspot = CandidateSet::new(ports, 4);
     for input in 0..ports {
@@ -68,14 +85,22 @@ fn bench_contention_profiles(c: &mut Criterion) {
     let uniform = candidate_set(ports, 4, 3);
     let mut coa = ArbiterKind::Coa.instantiate(ports);
     let mut rng = SimRng::seed_from_u64(1);
-    group.bench_function("hotspot", |b| {
-        b.iter(|| black_box(coa.schedule(black_box(&hotspot), &mut rng)))
-    });
-    group.bench_function("uniform", |b| {
-        b.iter(|| black_box(coa.schedule(black_box(&uniform), &mut rng)))
-    });
-    group.finish();
+    let mut out = Matching::new(ports);
+    for (name, cs) in [("hotspot", &hotspot), ("uniform", &uniform)] {
+        let m = bench_with(
+            || {
+                coa.schedule_into(black_box(cs), &mut rng, &mut out);
+                black_box(&out);
+            },
+            samples,
+            target,
+        );
+        println!("{}", report_line(name, &m));
+    }
 }
 
-criterion_group!(benches, bench_arbiters, bench_contention_profiles);
-criterion_main!(benches);
+fn main() {
+    let (samples, target) = sampling();
+    bench_arbiters(samples, target);
+    bench_contention_profiles(samples, target);
+}

@@ -1,13 +1,15 @@
-//! Criterion kernels: priority-function evaluation and candidate
+//! Kernel benchmarks: priority-function evaluation and candidate
 //! selection.
 //!
 //! Link scheduling evaluates a priority per occupied VC per flit cycle;
 //! these kernels measure the software cost of each function and of the
-//! top-k selection over realistic VC counts.
+//! top-k selection over realistic VC counts.  Run with
+//! `cargo bench -p mmr-bench --bench priority_kernels` (pass `--quick`
+//! after `--` for a fast smoke pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmr_arbiter::candidate::CandidateSet;
 use mmr_arbiter::priority::PriorityKind;
+use mmr_bench::harness::{bench_with, report_line};
 use mmr_router::link_scheduler::{LinkScheduler, VcQosInfo};
 use mmr_router::vcmem::VcMemory;
 use mmr_sim::rng::SimRng;
@@ -16,27 +18,40 @@ use mmr_traffic::connection::ConnectionId;
 use mmr_traffic::flit::Flit;
 use std::hint::black_box;
 
-fn bench_priority_functions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("priority_eval");
-    let inputs: Vec<(u64, f64, u64)> =
-        (0..64).map(|i| (1 + i * 11 % 727, 1443.0 + i as f64, i * i * 37)).collect();
-    for kind in PriorityKind::all() {
-        let f = kind.instantiate();
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for &(slots, iat, waited) in &inputs {
-                    acc += f.priority(black_box(slots), black_box(iat), black_box(waited)).0;
-                }
-                black_box(acc)
-            })
-        });
+fn sampling() -> (usize, u128) {
+    if std::env::args().any(|a| a == "--quick") {
+        (3, 2_000_000)
+    } else {
+        (5, 20_000_000)
     }
-    group.finish();
 }
 
-fn bench_candidate_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("link_select_topk");
+fn bench_priority_functions(samples: usize, target: u128) {
+    println!("== priority_eval ==");
+    let inputs: Vec<(u64, f64, u64)> = (0..64)
+        .map(|i| (1 + i * 11 % 727, 1443.0 + i as f64, i * i * 37))
+        .collect();
+    for kind in PriorityKind::all() {
+        let f = kind.instantiate();
+        let m = bench_with(
+            || {
+                let mut acc = 0.0;
+                for &(slots, iat, waited) in &inputs {
+                    acc += f
+                        .priority(black_box(slots), black_box(iat), black_box(waited))
+                        .0;
+                }
+                black_box(acc);
+            },
+            samples,
+            target,
+        );
+        println!("{}", report_line(kind.label(), &m));
+    }
+}
+
+fn bench_candidate_selection(samples: usize, target: u128) {
+    println!("== link_select_topk ==");
     for vcs in [16usize, 64, 256] {
         let mut mem = VcMemory::new(vcs, 4, 4);
         let mut rng = SimRng::seed_from_u64(5);
@@ -59,22 +74,21 @@ fn bench_candidate_selection(c: &mut Criterion) {
         }
         let mut ls = LinkScheduler::new(0, (0..vcs).collect());
         let siabp = PriorityKind::Siabp.instantiate();
-        group.bench_with_input(BenchmarkId::from_parameter(vcs), &vcs, |b, _| {
-            let mut cs = CandidateSet::new(4, 4);
-            b.iter(|| {
+        let mut cs = CandidateSet::new(4, 4);
+        let m = bench_with(
+            || {
                 cs.clear();
-                black_box(ls.select(
-                    &mem,
-                    &qos,
-                    siabp.as_ref(),
-                    RouterCycle(2_000_000),
-                    &mut cs,
-                ))
-            })
-        });
+                black_box(ls.select(&mem, &qos, siabp.as_ref(), RouterCycle(2_000_000), &mut cs));
+            },
+            samples,
+            target,
+        );
+        println!("{}", report_line(&format!("{vcs} VCs"), &m));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_priority_functions, bench_candidate_selection);
-criterion_main!(benches);
+fn main() {
+    let (samples, target) = sampling();
+    bench_priority_functions(samples, target);
+    bench_candidate_selection(samples, target);
+}

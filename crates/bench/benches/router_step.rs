@@ -1,22 +1,27 @@
-//! Criterion kernel: whole-router cycle throughput.
+//! Kernel benchmark: whole-router cycle throughput.
 //!
 //! Measures simulated flit cycles per second for the full pipeline
 //! (sources → NIC → link scheduling → arbitration → crossbar) under the
 //! CBR mix, COA vs WFA — the number that determines how long the figure
-//! regenerations take.
+//! regenerations take.  Run with
+//! `cargo bench -p mmr-bench --bench router_step` (pass `--quick` after
+//! `--` for a fast smoke pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_bench::harness::bench_with;
 use mmr_core::config::{RunLength, SimConfig, WorkloadSpec};
 use mmr_core::experiment::{build_router, build_workload};
 use mmr_sim::engine::CycleModel;
 use mmr_sim::time::FlitCycle;
 use std::hint::black_box;
 
-fn bench_router_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("router_cycles");
-    const BATCH: u64 = 1_000;
-    group.throughput(Throughput::Elements(BATCH));
+fn main() {
+    let (samples, target) = if std::env::args().any(|a| a == "--quick") {
+        (3, 2_000_000)
+    } else {
+        (5, 20_000_000)
+    };
+    println!("== router_cycles ==");
     for load in [0.5f64, 0.9] {
         for kind in [ArbiterKind::Coa, ArbiterKind::Wfa] {
             let cfg = SimConfig {
@@ -27,23 +32,21 @@ fn bench_router_step(c: &mut Criterion) {
             };
             let mut router = build_router(&cfg, build_workload(&cfg));
             let mut t = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), format!("load{:.0}", load * 100.0)),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        for _ in 0..BATCH {
-                            router.step(FlitCycle(t), true);
-                            t += 1;
-                        }
-                        black_box(t)
-                    })
+            let m = bench_with(
+                || {
+                    router.step(FlitCycle(t), true);
+                    t += 1;
+                    black_box(t);
                 },
+                samples,
+                target,
+            );
+            println!(
+                "{:<28} {:>10.0} ns/cycle   {:>10.2} K cycles/s",
+                format!("{}/load{:.0}", kind.label(), load * 100.0),
+                m.ns_per_iter,
+                m.per_second() / 1e3,
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_router_step);
-criterion_main!(benches);

@@ -1,9 +1,11 @@
-//! Criterion kernels: traffic generation.
+//! Kernel benchmarks: traffic generation.
 //!
 //! Trace synthesis and workload construction run once per experiment
-//! point; source emission runs on the hot path of every cycle.
+//! point; source emission runs on the hot path of every cycle.  Run with
+//! `cargo bench -p mmr-bench --bench traffic_gen` (pass `--quick` after
+//! `--` for a fast smoke pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmr_bench::harness::{bench_with, report_line};
 use mmr_sim::rng::SimRng;
 use mmr_sim::time::{RouterCycle, TimeBase};
 use mmr_traffic::admission::RoundConfig;
@@ -15,71 +17,91 @@ use mmr_traffic::vbr::VbrSource;
 use mmr_traffic::workload::{CbrMixBuilder, VbrMixBuilder};
 use std::hint::black_box;
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn bench_trace_generation(samples: usize, target: u128) {
+    println!("== trace_generation ==");
     let params = standard_sequences();
     let tb = TimeBase::default();
-    c.bench_function("mpeg_trace_4gops", |b| {
-        let mut rng = SimRng::seed_from_u64(1);
-        b.iter(|| black_box(MpegTrace::generate(&params[3], 4, &tb, &mut rng)))
-    });
+    let mut rng = SimRng::seed_from_u64(1);
+    let m = bench_with(
+        || {
+            black_box(MpegTrace::generate(&params[3], 4, &tb, &mut rng));
+        },
+        samples,
+        target,
+    );
+    println!("{}", report_line("mpeg_trace_4gops", &m));
 }
 
-fn bench_workload_build(c: &mut Criterion) {
+fn bench_workload_build(samples: usize, target: u128) {
+    println!("== workload_build ==");
     let tb = TimeBase::default();
-    let mut group = c.benchmark_group("workload_build");
     for load in [0.5f64, 0.9] {
-        group.bench_with_input(BenchmarkId::new("cbr", format!("{load}")), &load, |b, &l| {
-            b.iter(|| {
+        let m = bench_with(
+            || {
                 let mut rng = SimRng::seed_from_u64(2);
                 black_box(
                     CbrMixBuilder::new(4, tb, RoundConfig::default())
-                        .target_load(l)
+                        .target_load(load)
                         .build(&mut rng),
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("vbr", format!("{load}")), &load, |b, &l| {
-            b.iter(|| {
+                );
+            },
+            samples,
+            target,
+        );
+        println!("{}", report_line(&format!("cbr/{load}"), &m));
+        let m = bench_with(
+            || {
                 let mut rng = SimRng::seed_from_u64(3);
                 black_box(
                     VbrMixBuilder::new(4, tb, RoundConfig::default())
-                        .target_load(l)
+                        .target_load(load)
                         .gops(1)
                         .build(&mut rng),
-                )
-            })
-        });
+                );
+            },
+            samples,
+            target,
+        );
+        println!("{}", report_line(&format!("vbr/{load}"), &m));
     }
-    group.finish();
 }
 
-fn bench_source_emission(c: &mut Criterion) {
+fn bench_source_emission(samples: usize, target: u128) {
+    println!("== source_emission ==");
     let tb = TimeBase::default();
     let mut rng = SimRng::seed_from_u64(4);
     let trace = MpegTrace::generate(&standard_sequences()[4], 8, &tb, &mut rng);
-    c.bench_function("vbr_emit_frame", |b| {
-        b.iter_batched(
-            || {
-                VbrSource::new(
-                    ConnectionId(0),
-                    trace.clone(),
-                    InjectionModel::SmoothRate,
-                    RouterCycle(0),
-                    &tb,
-                )
-            },
-            |mut src| {
-                let mut n = 0u32;
-                while src.peek_next().is_some() && n < 512 {
-                    black_box(src.emit());
-                    n += 1;
-                }
-                n
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    // Each iteration rebuilds a source and drains up to 512 flits; the
+    // setup cost is part of the measured loop (dominated by emission).
+    let m = bench_with(
+        || {
+            let mut src = VbrSource::new(
+                ConnectionId(0),
+                trace.clone(),
+                InjectionModel::SmoothRate,
+                RouterCycle(0),
+                &tb,
+            );
+            let mut n = 0u32;
+            while src.peek_next().is_some() && n < 512 {
+                black_box(src.emit());
+                n += 1;
+            }
+            black_box(n);
+        },
+        samples,
+        target,
+    );
+    println!("{}", report_line("vbr_emit_frame_512", &m));
 }
 
-criterion_group!(benches, bench_trace_generation, bench_workload_build, bench_source_emission);
-criterion_main!(benches);
+fn main() {
+    let (samples, target) = if std::env::args().any(|a| a == "--quick") {
+        (3, 2_000_000)
+    } else {
+        (5, 20_000_000)
+    };
+    bench_trace_generation(samples, target);
+    bench_workload_build(samples, target);
+    bench_source_emission(samples, target);
+}

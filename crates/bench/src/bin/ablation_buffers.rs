@@ -17,7 +17,11 @@ fn main() {
         Fidelity::Quick => (1_000, 20_000, 0.8),
         Fidelity::Full => (10_000, 200_000, 0.8),
     };
-    let mut out = banner("Ablation", "VC buffer depth (COA, CBR mix, 80% load)", fidelity);
+    let mut out = banner(
+        "Ablation",
+        "VC buffer depth (COA, CBR mix, 80% load)",
+        fidelity,
+    );
     let mut table = TextTable::new(vec![
         "buffer(flits)",
         "utilization(%)",
@@ -27,7 +31,10 @@ fn main() {
     ]);
     for depth in [1usize, 2, 4, 8, 16] {
         let base = SimConfig {
-            router: RouterConfig { vc_buffer_flits: depth, ..Default::default() },
+            router: RouterConfig {
+                vc_buffer_flits: depth,
+                ..Default::default()
+            },
             workload: WorkloadSpec::cbr(load),
             warmup_cycles: warmup,
             run: RunLength::Cycles(cycles),
@@ -43,7 +50,10 @@ fn main() {
             table.row(vec![
                 format!("{depth}"),
                 format!("{:.1}", p.utilization() * 100.0),
-                format!("{:.2}", p.class_delay_us(mmr_traffic::connection::TrafficClass::CbrHigh)),
+                format!(
+                    "{:.2}",
+                    p.class_delay_us(mmr_traffic::connection::TrafficClass::CbrHigh)
+                ),
                 format!("{:.3}", p.throughput_ratio()),
                 format!("{}", p.results[0].summary.peak_vc_occupancy),
             ]);

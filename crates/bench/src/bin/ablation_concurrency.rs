@@ -32,9 +32,15 @@ fn main() {
         "max jitter(µs)",
     ]);
     for factor in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
-        let round = RoundConfig { concurrency_factor: factor, ..Default::default() };
+        let round = RoundConfig {
+            concurrency_factor: factor,
+            ..Default::default()
+        };
         let base = SimConfig {
-            router: RouterConfig { round, ..Default::default() },
+            router: RouterConfig {
+                round,
+                ..Default::default()
+            },
             workload: WorkloadSpec::Vbr {
                 target_load: 0.9, // ask for more than the CAC will grant
                 gops,
@@ -42,7 +48,9 @@ fn main() {
                 enforce_peak: true,
             },
             warmup_cycles: 0,
-            run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(gops) },
+            run: RunLength::UntilDrained {
+                max_cycles: vbr_cycle_budget(gops),
+            },
             ..Default::default()
         };
         let spec = SweepSpec {
@@ -57,12 +65,17 @@ fn main() {
                 format!("{:.1}", p.achieved_load * 100.0),
                 format!("{}", p.results[0].connections),
                 format!("{:.1}", p.frame_delay_us()),
-                format!("{:.1}", p.mean_of(|r| r.summary.metrics.max_frame_jitter_us)),
+                format!(
+                    "{:.1}",
+                    p.mean_of(|r| r.summary.metrics.max_frame_jitter_us)
+                ),
             ]);
         }
     }
     out.push_str(&table.render());
-    out.push_str("# a small factor admits little load but keeps bursts schedulable;\n\
-                  # a large factor admits more but lets peaks collide (§2 trade-off)\n");
+    out.push_str(
+        "# a small factor admits little load but keeps bursts schedulable;\n\
+                  # a large factor admits more but lets peaks collide (§2 trade-off)\n",
+    );
     emit("ablation_concurrency.txt", &out);
 }

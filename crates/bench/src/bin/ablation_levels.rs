@@ -5,12 +5,12 @@
 //! cannot route around output conflicts; more levels recover matching
 //! opportunities at the cost of selection-matrix hardware.
 
+use mmr_arbiter::scheduler::ArbiterKind;
 use mmr_bench::{banner, emit, fidelity_from_args};
 use mmr_core::config::{RunLength, SimConfig, WorkloadSpec};
 use mmr_core::report::TextTable;
 use mmr_core::scenarios::Fidelity;
 use mmr_core::sweep::{sweep, SweepSpec};
-use mmr_arbiter::scheduler::ArbiterKind;
 use mmr_router::config::RouterConfig;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
     ]);
     for k in [1usize, 2, 4, 8] {
         let base = SimConfig {
-            router: RouterConfig { candidate_levels: k, ..Default::default() },
+            router: RouterConfig {
+                candidate_levels: k,
+                ..Default::default()
+            },
             workload: WorkloadSpec::cbr(0.5),
             warmup_cycles: warmup,
             run: RunLength::Cycles(cycles),
@@ -46,7 +49,10 @@ fn main() {
                 format!("{k}"),
                 format!("{:.1}", p.achieved_load * 100.0),
                 format!("{:.1}", p.utilization() * 100.0),
-                format!("{:.2}", p.class_delay_us(mmr_traffic::connection::TrafficClass::CbrHigh)),
+                format!(
+                    "{:.2}",
+                    p.class_delay_us(mmr_traffic::connection::TrafficClass::CbrHigh)
+                ),
                 format!("{:.3}", p.throughput_ratio()),
             ]);
         }

@@ -19,8 +19,20 @@ use mmr_core::traffic::connection::TrafficClass;
 fn policies() -> Vec<(&'static str, LinkPolicy)> {
     vec![
         ("SIABP", LinkPolicy::Priority),
-        ("TDM", LinkPolicy::SlotTable { backfill: false, table_len: 1024 }),
-        ("TDM+backfill", LinkPolicy::SlotTable { backfill: true, table_len: 1024 }),
+        (
+            "TDM",
+            LinkPolicy::SlotTable {
+                backfill: false,
+                table_len: 1024,
+            },
+        ),
+        (
+            "TDM+backfill",
+            LinkPolicy::SlotTable {
+                backfill: true,
+                table_len: 1024,
+            },
+        ),
     ]
 }
 
@@ -30,7 +42,11 @@ fn main() {
         Fidelity::Quick => (2_000, 25_000, 1),
         Fidelity::Full => (10_000, 200_000, 4),
     };
-    let mut out = banner("Ablation", "link policy: dynamic priority vs TDM slot table", fidelity);
+    let mut out = banner(
+        "Ablation",
+        "link policy: dynamic priority vs TDM slot table",
+        fidelity,
+    );
 
     out.push_str("CBR mix, 70% load:\n");
     let mut t1 = TextTable::new(vec![
@@ -42,14 +58,23 @@ fn main() {
     ]);
     for (name, policy) in policies() {
         let cfg = SimConfig {
-            router: RouterConfig { link_policy: policy, ..Default::default() },
+            router: RouterConfig {
+                link_policy: policy,
+                ..Default::default()
+            },
             workload: WorkloadSpec::cbr(0.7),
             warmup_cycles: warmup,
             run: RunLength::Cycles(cycles),
             ..Default::default()
         };
         let r = run_experiment(&cfg);
-        let d = |c| r.summary.metrics.class(c).map(|s| s.mean_delay_us).unwrap_or(f64::NAN);
+        let d = |c| {
+            r.summary
+                .metrics
+                .class(c)
+                .map(|s| s.mean_delay_us)
+                .unwrap_or(f64::NAN)
+        };
         t1.row(vec![
             name.to_string(),
             format!("{:.1}", r.summary.crossbar_utilization * 100.0),
@@ -70,7 +95,10 @@ fn main() {
     ]);
     for (name, policy) in policies() {
         let cfg = SimConfig {
-            router: RouterConfig { link_policy: policy, ..Default::default() },
+            router: RouterConfig {
+                link_policy: policy,
+                ..Default::default()
+            },
             workload: WorkloadSpec::Vbr {
                 target_load: 0.7,
                 gops,
@@ -78,7 +106,9 @@ fn main() {
                 enforce_peak: false,
             },
             warmup_cycles: 0,
-            run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(gops) },
+            run: RunLength::UntilDrained {
+                max_cycles: vbr_cycle_budget(gops),
+            },
             ..Default::default()
         };
         let r = run_experiment(&cfg);
@@ -92,7 +122,9 @@ fn main() {
         ]);
     }
     out.push_str(&t2.render());
-    out.push_str("# expectation: TDM matches SIABP on CBR (slots fit the traffic) but\n\
-                  # degrades on VBR bursts; backfill recovers most of the gap\n");
+    out.push_str(
+        "# expectation: TDM matches SIABP on CBR (slots fit the traffic) but\n\
+                  # degrades on VBR bursts; backfill recovers most of the gap\n",
+    );
     emit("ablation_link_policy.txt", &out);
 }

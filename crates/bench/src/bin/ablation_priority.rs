@@ -19,7 +19,11 @@ fn main() {
         Fidelity::Quick => (1_000, 20_000, vec![0.5, 0.8]),
         Fidelity::Full => (10_000, 200_000, vec![0.3, 0.5, 0.7, 0.8, 0.9]),
     };
-    let mut out = banner("Ablation", "link-priority function (COA, CBR mix)", fidelity);
+    let mut out = banner(
+        "Ablation",
+        "link-priority function (COA, CBR mix)",
+        fidelity,
+    );
     let mut table = TextTable::new(vec![
         "priority",
         "load(%)",
@@ -54,7 +58,9 @@ fn main() {
         }
     }
     out.push_str(&table.render());
-    out.push_str("# expectation: SIABP ≈ IABP (the shift approximates the division);\n\
-                  # FIFO ignores reservations; Static starves aged low-priority flits\n");
+    out.push_str(
+        "# expectation: SIABP ≈ IABP (the shift approximates the division);\n\
+                  # FIFO ignores reservations; Static starves aged low-priority flits\n",
+    );
     emit("ablation_priority.txt", &out);
 }

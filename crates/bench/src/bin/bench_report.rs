@@ -1,0 +1,234 @@
+//! Benchmark-trajectory report: `results/BENCH_<n>.json`.
+//!
+//! Aggregates the hot-path kernel numbers into one machine-readable
+//! snapshot so successive revisions can be compared file-to-file:
+//!
+//! * `schedule_into` ns/op for every arbiter at 4/8/16 ports × 4 levels,
+//!   with the matching throughput (grants per second) each implies;
+//! * the optimized COA against its `reference` transcription at
+//!   16 ports × 4 levels, with the speedup measured in the same run;
+//! * whole-router simulated cycles per second for COA and WFA.
+//!
+//! Each invocation writes the next free `BENCH_<n>.json` under
+//! `results/` (override with `--out <path>`); pass `--quick` for a smoke
+//! run with shorter batches.
+
+use mmr_arbiter::candidate::{Candidate, CandidateSet, Priority};
+use mmr_arbiter::matching::Matching;
+use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_bench::harness::{bench_with, Measurement};
+use mmr_bench::results_dir;
+use mmr_core::config::{RunLength, SimConfig, WorkloadSpec};
+use mmr_core::experiment::{build_router, build_workload};
+use mmr_sim::engine::CycleModel;
+use mmr_sim::rng::SimRng;
+use mmr_sim::time::FlitCycle;
+use serde_json::Value;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const LEVELS: usize = 4;
+
+fn candidate_set(ports: usize, seed: u64) -> CandidateSet {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut cs = CandidateSet::new(ports, LEVELS);
+    for input in 0..ports {
+        let mut cands: Vec<Candidate> = (0..LEVELS)
+            .map(|vc| Candidate {
+                input,
+                vc,
+                output: rng.index(ports),
+                priority: Priority::new((1u64 << (4 + rng.index(12))) as f64),
+            })
+            .collect();
+        cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+        cs.set_input(input, &cands);
+    }
+    cs
+}
+
+/// Average grants per `schedule_into` call on the benchmark workload.
+fn grants_per_call(kind: ArbiterKind, ports: usize) -> f64 {
+    let cs = candidate_set(ports, 42);
+    let mut sched = kind.instantiate(ports);
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut out = Matching::new(ports);
+    let mut total = 0usize;
+    const CALLS: usize = 256;
+    for _ in 0..CALLS {
+        sched.schedule_into(&cs, &mut rng, &mut out);
+        total += out.size();
+    }
+    total as f64 / CALLS as f64
+}
+
+fn measure_kernel(kind: ArbiterKind, ports: usize, samples: usize, target: u128) -> Measurement {
+    let cs = candidate_set(ports, 42);
+    let mut sched = kind.instantiate(ports);
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut out = Matching::new(ports);
+    bench_with(
+        || {
+            sched.schedule_into(black_box(&cs), &mut rng, &mut out);
+            black_box(&out);
+        },
+        samples,
+        target,
+    )
+}
+
+fn measure_reference_coa(ports: usize, samples: usize, target: u128) -> Measurement {
+    let cs = candidate_set(ports, 42);
+    let mut sched = ArbiterKind::Coa.instantiate_reference(ports);
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut out = Matching::new(ports);
+    bench_with(
+        || {
+            sched.schedule_into(black_box(&cs), &mut rng, &mut out);
+            black_box(&out);
+        },
+        samples,
+        target,
+    )
+}
+
+fn measure_router(kind: ArbiterKind, load: f64, samples: usize, target: u128) -> Measurement {
+    let cfg = SimConfig {
+        workload: WorkloadSpec::cbr(load),
+        arbiter: kind,
+        run: RunLength::Cycles(u64::MAX),
+        ..Default::default()
+    };
+    let mut router = build_router(&cfg, build_workload(&cfg));
+    let mut t = 0u64;
+    bench_with(
+        || {
+            router.step(FlitCycle(t), true);
+            t += 1;
+            black_box(t);
+        },
+        samples,
+        target,
+    )
+}
+
+/// Next free `BENCH_<n>.json` path under `results/`.
+fn next_report_path() -> PathBuf {
+    let dir = results_dir();
+    for n in 1.. {
+        let p = dir.join(format!("BENCH_{n}.json"));
+        if !p.exists() {
+            return p;
+        }
+    }
+    unreachable!()
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (samples, target) = if quick {
+        (3, 1_000_000)
+    } else {
+        (5, 20_000_000)
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(next_report_path);
+
+    println!(
+        "bench_report: {} mode",
+        if quick { "quick" } else { "full" }
+    );
+
+    // --- Arbitration kernels, all kinds × port counts --------------------
+    let mut kernels = Vec::new();
+    for ports in [4usize, 8, 16] {
+        for kind in ArbiterKind::all() {
+            let m = measure_kernel(kind, ports, samples, target);
+            let grants = grants_per_call(kind, ports);
+            let grants_per_sec = grants * m.per_second();
+            println!(
+                "  {:<12} {ports:>2} ports  {:>9.1} ns/op  {:>7.2} M match/s  {:>7.2} M grants/s",
+                kind.label(),
+                m.ns_per_iter,
+                m.per_second() / 1e6,
+                grants_per_sec / 1e6,
+            );
+            kernels.push(obj(vec![
+                ("arbiter", Value::Str(kind.label().to_string())),
+                ("ports", Value::U64(ports as u64)),
+                ("levels", Value::U64(LEVELS as u64)),
+                ("ns_per_op", Value::F64(m.ns_per_iter)),
+                ("matchings_per_sec", Value::F64(m.per_second())),
+                ("avg_grants_per_matching", Value::F64(grants)),
+                ("grants_per_sec", Value::F64(grants_per_sec)),
+            ]));
+        }
+    }
+
+    // --- COA vs reference at 16 ports ------------------------------------
+    let coa = measure_kernel(ArbiterKind::Coa, 16, samples, target);
+    let reference = measure_reference_coa(16, samples, target);
+    let speedup = reference.ns_per_iter / coa.ns_per_iter;
+    println!(
+        "  COA 16x16x{LEVELS}: incremental {:.1} ns/op vs reference {:.1} ns/op — {speedup:.2}x",
+        coa.ns_per_iter, reference.ns_per_iter,
+    );
+    let coa_vs_reference = obj(vec![
+        ("ports", Value::U64(16)),
+        ("levels", Value::U64(LEVELS as u64)),
+        ("incremental_ns_per_op", Value::F64(coa.ns_per_iter)),
+        ("reference_ns_per_op", Value::F64(reference.ns_per_iter)),
+        ("speedup", Value::F64(speedup)),
+    ]);
+
+    // --- Whole-router throughput -----------------------------------------
+    let mut router_rows = Vec::new();
+    for kind in [ArbiterKind::Coa, ArbiterKind::Wfa] {
+        let m = measure_router(kind, 0.5, samples, target);
+        println!(
+            "  router {:<8} load 0.5: {:>8.0} ns/cycle  {:>8.1} K cycles/s",
+            kind.label(),
+            m.ns_per_iter,
+            m.per_second() / 1e3,
+        );
+        router_rows.push(obj(vec![
+            ("arbiter", Value::Str(kind.label().to_string())),
+            ("load", Value::F64(0.5)),
+            ("ns_per_cycle", Value::F64(m.ns_per_iter)),
+            ("cycles_per_sec", Value::F64(m.per_second())),
+        ]));
+    }
+
+    let report = obj(vec![
+        ("schema", Value::Str("mmr-bench-report/1".to_string())),
+        (
+            "mode",
+            Value::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("kernels", Value::Array(kernels)),
+        ("coa_vs_reference", coa_vs_reference),
+        ("router", Value::Array(router_rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("[written {}]", out_path.display());
+
+    if !quick && speedup < 2.0 {
+        eprintln!("warning: COA speedup vs reference below 2x ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

@@ -49,7 +49,10 @@ fn main() {
             .unwrap_or(0.0);
         for be_load in [0.1f64, 0.3] {
             let cfg = SimConfig {
-                best_effort: Some(BestEffortSpec { per_link_load: be_load, mean_flits: 8.0 }),
+                best_effort: Some(BestEffortSpec {
+                    per_link_load: be_load,
+                    mean_flits: 8.0,
+                }),
                 ..base_cfg.clone()
             };
             let r = run_experiment(&cfg);

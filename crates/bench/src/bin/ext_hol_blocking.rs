@@ -50,7 +50,9 @@ fn main() {
         table.row(vec![
             format!("{:.0}", load * 100.0),
             format!("{:.1}", fifo.throughput() * 100.0),
-            mmr_tp.map(|t| format!("{:.1}", t * 100.0)).unwrap_or_else(|| "-".into()),
+            mmr_tp
+                .map(|t| format!("{:.1}", t * 100.0))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     out.push_str(&table.render());

@@ -18,7 +18,13 @@ use mmr_traffic::admission::RoundConfig;
 use mmr_traffic::connection::TrafficClass;
 use mmr_traffic::workload::CbrMixBuilder;
 
-fn run_net(stages: usize, load: f64, kind: ArbiterKind, cycles: u64, warmup: u64) -> (f64, f64, f64) {
+fn run_net(
+    stages: usize,
+    load: f64,
+    kind: ArbiterKind,
+    cycles: u64,
+    warmup: u64,
+) -> (f64, f64, f64) {
     let cfg = RouterConfig::default();
     let mut rng = SimRng::seed_from_u64(0xB1ACA);
     let w = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
@@ -47,7 +53,11 @@ fn main() {
         Fidelity::Quick => (15_000, 1_000, vec![0.5, 0.8]),
         Fidelity::Full => (150_000, 10_000, vec![0.3, 0.5, 0.7, 0.8]),
     };
-    let mut out = banner("Extension", "line network of MMRs (end-to-end, CBR mix)", fidelity);
+    let mut out = banner(
+        "Extension",
+        "line network of MMRs (end-to-end, CBR mix)",
+        fidelity,
+    );
     let mut table = TextTable::new(vec![
         "stages",
         "load(%)",
@@ -72,7 +82,9 @@ fn main() {
         }
     }
     out.push_str(&table.render());
-    out.push_str("# expectation: delay grows ~linearly with hops below saturation;\n\
-                  # COA's QoS advantage compounds across stages\n");
+    out.push_str(
+        "# expectation: delay grows ~linearly with hops below saturation;\n\
+                  # COA's QoS advantage compounds across stages\n",
+    );
     emit("ext_network.txt", &out);
 }

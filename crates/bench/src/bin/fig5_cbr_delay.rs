@@ -52,7 +52,11 @@ fn main() {
             p.class_delay_us(TrafficClass::CbrHigh)
         });
         match sat {
-            Some(l) => out.push_str(&format!("{}: saturates near {:.0}% load\n", kind.label(), l * 100.0)),
+            Some(l) => out.push_str(&format!(
+                "{}: saturates near {:.0}% load\n",
+                kind.label(),
+                l * 100.0
+            )),
             None => out.push_str(&format!("{}: no saturation in sweep range\n", kind.label())),
         }
     }

@@ -14,7 +14,11 @@ fn main() {
         Fidelity::Quick => 2,
         Fidelity::Full => 8,
     };
-    let mut out = banner("Fig. 6", "Flower Garden sequence bandwidth profile", fidelity);
+    let mut out = banner(
+        "Fig. 6",
+        "Flower Garden sequence bandwidth profile",
+        fidelity,
+    );
     let params = standard_sequences()
         .into_iter()
         .find(|s| s.name == "Flower Garden")
@@ -23,10 +27,18 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(0xF10E);
     let trace = MpegTrace::generate(&params, gops, &tb, &mut rng);
     out.push_str("# time(ms)   rate(Mbit/s)   frame\n");
-    for (i, (rate, frame)) in trace.rate_profile_mbps().iter().zip(&trace.frames).enumerate() {
+    for (i, (rate, frame)) in trace
+        .rate_profile_mbps()
+        .iter()
+        .zip(&trace.frames)
+        .enumerate()
+    {
         let t_ms = i as f64 * FRAME_TIME_SECS * 1e3;
         let bar = "#".repeat((rate / 2.0).round() as usize);
-        out.push_str(&format!("{t_ms:>9.0} {rate:>12.1}   {:?} {bar}\n", frame.ty));
+        out.push_str(&format!(
+            "{t_ms:>9.0} {rate:>12.1}   {:?} {bar}\n",
+            frame.ty
+        ));
     }
     let s = trace.stats();
     out.push_str(&format!(

@@ -2,8 +2,8 @@
 //! timelines for one frame under Back-to-Back and Smooth-Rate.
 
 use mmr_bench::{banner, emit, fidelity_from_args};
-use mmr_sim::time::{RouterCycle, TimeBase};
 use mmr_sim::rng::SimRng;
+use mmr_sim::time::{RouterCycle, TimeBase};
 use mmr_traffic::connection::ConnectionId;
 use mmr_traffic::injection::InjectionModel;
 use mmr_traffic::mpeg::{standard_sequences, MpegTrace, FRAME_TIME_SECS};
@@ -29,7 +29,9 @@ fn timeline(model: InjectionModel, label: &str, out: &mut String) {
         buckets[slot.min(SLOTS - 1)] += 1;
         emitted += 1;
     }
-    out.push_str(&format!("\n{label} — {emitted} flits of frame 0 across one 33 ms frame time:\n"));
+    out.push_str(&format!(
+        "\n{label} — {emitted} flits of frame 0 across one 33 ms frame time:\n"
+    ));
     let max = *buckets.iter().max().unwrap() as f64;
     for (i, &b) in buckets.iter().enumerate() {
         let t_ms = i as f64 / SLOTS as f64 * 33.0;
@@ -46,6 +48,10 @@ fn main() {
     // burst visibly finishes early.
     let bb = InjectionModel::back_to_back_for(2500, FRAME_TIME_SECS, &tb);
     timeline(bb, "(a) Back-to-Back: peak-rate burst, then idle", &mut out);
-    timeline(InjectionModel::SmoothRate, "(b) Smooth-Rate: evenly spread", &mut out);
+    timeline(
+        InjectionModel::SmoothRate,
+        "(b) Smooth-Rate: evenly spread",
+        &mut out,
+    );
     emit("fig7_injection_models.txt", &out);
 }

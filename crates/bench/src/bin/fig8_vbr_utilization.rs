@@ -29,10 +29,9 @@ fn main() {
         // generated — backlog that slips past the generation window does
         // not count, so the curve bends exactly where the scheduler stops
         // keeping up.
-        let window_util =
-            |p: &mmr_core::sweep::SweepPoint| {
-                p.mean_of(|r| r.summary.generation_window_utilization()) * 100.0
-            };
+        let window_util = |p: &mmr_core::sweep::SweepPoint| {
+            p.mean_of(|r| r.summary.generation_window_utilization()) * 100.0
+        };
         out.push_str(&render_xy_table(
             &format!("Fig. 8 — {} injection model", injection.label()),
             "crossbar utilization within the generation window (%)",

@@ -61,6 +61,8 @@ fn main() {
         }
         out.push('\n');
     }
-    out.push_str("# paper: COA low delays to ≈78%; WFA saturates ≈70%; BB delays > SR below saturation\n");
+    out.push_str(
+        "# paper: COA low delays to ≈78%; WFA saturates ≈70%; BB delays > SR below saturation\n",
+    );
     emit("fig9_vbr_frame_delay.txt", &out);
 }

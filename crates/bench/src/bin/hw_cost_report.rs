@@ -58,7 +58,13 @@ fn main() {
     ));
 
     // Scaling study: priority bits and port count.
-    let mut t3 = TextTable::new(vec!["ports", "COA area", "COA delay", "WFA area", "WFA delay"]);
+    let mut t3 = TextTable::new(vec![
+        "ports",
+        "COA area",
+        "COA delay",
+        "WFA area",
+        "WFA delay",
+    ]);
     for ports in [4u32, 8, 16] {
         let c = coa_cost(ports, 4, 16);
         let w = wfa_cost(ports);

@@ -12,7 +12,11 @@ use mmr_core::sweep::sweep;
 
 fn main() {
     let fidelity = fidelity_from_args();
-    let mut out = banner("§5.2 jitter", "average frame jitter (µs), VBR traffic", fidelity);
+    let mut out = banner(
+        "§5.2 jitter",
+        "average frame jitter (µs), VBR traffic",
+        fidelity,
+    );
     for injection in [InjectionKind::SmoothRate, InjectionKind::BackToBack] {
         let spec = jitter(injection, fidelity);
         eprintln!(

@@ -169,7 +169,10 @@ fn cmd_run(args: &[String]) {
     let cfg = config_from_flags(&flags);
     let result = run_experiment(&cfg);
     if switches.iter().any(|s| s == "json") {
-        println!("{}", serde_json::to_string_pretty(&result).expect("result serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("result serializes")
+        );
         return;
     }
     println!(
@@ -212,13 +215,22 @@ fn cmd_sweep(args: &[String]) {
     let base = config_from_flags(&flags);
     let loads: Vec<f64> = flags
         .get("loads")
-        .map(|s| s.split(',').map(|x| x.trim().parse().expect("load")).collect())
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.trim().parse().expect("load"))
+                .collect()
+        })
         .unwrap_or_else(|| vec![0.5, 0.7, 0.8, 0.9]);
     let arbiters: Vec<ArbiterKind> = flags
         .get("arbiters")
         .map(|s| s.split(',').map(|x| parse_arbiter(x.trim())).collect())
         .unwrap_or_else(|| vec![ArbiterKind::Coa, ArbiterKind::Wfa]);
-    let spec = SweepSpec { seeds: vec![base.seed], base, loads, arbiters };
+    let spec = SweepSpec {
+        seeds: vec![base.seed],
+        base,
+        loads,
+        arbiters,
+    };
     eprintln!("running {} points…", spec.point_count());
     let points = sweep(&spec);
     let is_vbr = matches!(spec.base.workload, WorkloadSpec::Vbr { .. });

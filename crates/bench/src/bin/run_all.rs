@@ -50,7 +50,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        eprintln!("\nall {} experiments completed; outputs in results/", BINS.len());
+        eprintln!(
+            "\nall {} experiments completed; outputs in results/",
+            BINS.len()
+        );
     } else {
         eprintln!("\nFAILED: {failures:?}");
         std::process::exit(1);

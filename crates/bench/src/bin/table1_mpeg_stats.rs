@@ -18,7 +18,11 @@ fn main() {
         Fidelity::Quick => 4,
         Fidelity::Full => 40,
     };
-    let mut out = banner("Table 1", "MPEG-2 video sequence statistics (bits)", fidelity);
+    let mut out = banner(
+        "Table 1",
+        "MPEG-2 video sequence statistics (bits)",
+        fidelity,
+    );
     let tb = TimeBase::default();
     let root = SimRng::seed_from_u64(0xB1ACA);
     let mut table = TextTable::new(vec![
@@ -43,6 +47,8 @@ fn main() {
         ]);
     }
     out.push_str(&table.render());
-    out.push_str(&format!("\n({gops} GOPs per sequence, GOP = IBBPBBPBBPBBPBB, 33 ms frame time)\n"));
+    out.push_str(&format!(
+        "\n({gops} GOPs per sequence, GOP = IBBPBBPBBPBBPBB, 33 ms frame time)\n"
+    ));
     emit("table1_mpeg_stats.txt", &out);
 }

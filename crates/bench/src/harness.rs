@@ -1,0 +1,124 @@
+//! Minimal self-calibrating timing harness.
+//!
+//! Replaces the Criterion dependency (unavailable offline) for the
+//! kernel micro-benchmarks: each measurement first calibrates a batch
+//! size so one batch runs long enough to swamp timer overhead, then
+//! takes several timed batches and reports the median, which is robust
+//! to scheduler noise without Criterion's full statistics machinery.
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration across the sample batches.
+    pub ns_per_iter: f64,
+    /// Iterations per timed batch after calibration.
+    pub iters_per_batch: u64,
+    /// Number of timed batches.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median.
+    pub fn per_second(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Calibration floor: a batch must take at least this long before we
+/// trust `elapsed / iters`.
+const CALIBRATION_NS: u128 = 2_000_000; // 2 ms
+/// Target duration of each timed batch.
+const BATCH_TARGET_NS: u128 = 20_000_000; // 20 ms
+/// Timed batches per measurement (median of these is reported).
+const SAMPLES: usize = 5;
+
+fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> u128 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos()
+}
+
+/// Measure `f` with default sampling (5 × ~20 ms batches).
+pub fn bench<F: FnMut()>(f: F) -> Measurement {
+    bench_with(f, SAMPLES, BATCH_TARGET_NS)
+}
+
+/// Measure `f` with a custom sample count and per-batch time target
+/// (nanoseconds).  Use smaller targets for smoke runs.
+pub fn bench_with<F: FnMut()>(mut f: F, samples: usize, batch_target_ns: u128) -> Measurement {
+    // Calibrate: double the batch size until one batch crosses the floor.
+    let mut iters = 1u64;
+    let mut elapsed = time_batch(&mut f, iters);
+    while elapsed < CALIBRATION_NS.min(batch_target_ns) {
+        iters = iters.saturating_mul(2);
+        elapsed = time_batch(&mut f, iters);
+    }
+    // Scale so one batch lands near the target duration.
+    let ns_per_iter_est = (elapsed as f64 / iters as f64).max(0.01);
+    let iters_per_batch = ((batch_target_ns as f64 / ns_per_iter_est) as u64).max(1);
+
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| time_batch(&mut f, iters_per_batch) as f64 / iters_per_batch as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let ns_per_iter = per_iter[per_iter.len() / 2];
+    Measurement {
+        ns_per_iter,
+        iters_per_batch,
+        samples: samples.max(1),
+    }
+}
+
+/// Render a measurement as a human-readable report line.
+pub fn report_line(name: &str, m: &Measurement) -> String {
+    let rate = m.per_second();
+    let rate_str = if rate >= 1e6 {
+        format!("{:.2} M/s", rate / 1e6)
+    } else {
+        format!("{:.1} K/s", rate / 1e3)
+    };
+    format!(
+        "{name:<44} {:>12.1} ns/iter   {rate_str:>12}",
+        m.ns_per_iter
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hint::black_box;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let mut acc = 0u64;
+        let m = bench_with(
+            || {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(acc);
+            },
+            3,
+            200_000,
+        );
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters_per_batch >= 1);
+        assert_eq!(m.samples, 3);
+        assert!(m.per_second() > 0.0);
+    }
+
+    #[test]
+    fn report_line_contains_name_and_units() {
+        let m = Measurement {
+            ns_per_iter: 125.0,
+            iters_per_batch: 1000,
+            samples: 5,
+        };
+        let line = report_line("coa/16x16", &m);
+        assert!(line.contains("coa/16x16"));
+        assert!(line.contains("ns/iter"));
+        assert!(line.contains("M/s"));
+    }
+}

@@ -1,12 +1,17 @@
 //! # mmr-bench — the benchmark harness
 //!
 //! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index) plus ablations; Criterion micro-benchmarks for the arbitration
-//! and priority kernels live under `benches/`.
+//! index) plus ablations; micro-benchmarks for the arbitration and
+//! priority kernels live under `benches/` and run on the self-contained
+//! [`harness`] module (no external benchmark framework).  The
+//! `bench_report` binary aggregates the kernel numbers into
+//! `results/BENCH_<n>.json` for trajectory tracking across revisions.
 //!
 //! Every binary accepts `--full` for paper-scale runs (minutes) and
 //! defaults to a quick mode (seconds) that preserves the shapes.  Results
 //! are printed and also written under `results/`.
+
+pub mod harness;
 
 use mmr_core::scenarios::Fidelity;
 use std::path::{Path, PathBuf};

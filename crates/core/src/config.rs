@@ -57,7 +57,12 @@ impl WorkloadSpec {
     /// VBR at `target_load` with the paper's defaults (4 GOPs, SR, no
     /// peak test).
     pub fn vbr(target_load: f64, injection: InjectionKind) -> Self {
-        WorkloadSpec::Vbr { target_load, gops: 4, injection, enforce_peak: false }
+        WorkloadSpec::Vbr {
+            target_load,
+            gops: 4,
+            injection,
+            enforce_peak: false,
+        }
     }
 
     /// The configured target load.
@@ -108,7 +113,10 @@ pub struct BestEffortSpec {
 
 impl Default for BestEffortSpec {
     fn default() -> Self {
-        BestEffortSpec { per_link_load: 0.1, mean_flits: 8.0 }
+        BestEffortSpec {
+            per_link_load: 0.1,
+            mean_flits: 8.0,
+        }
     }
 }
 
@@ -151,17 +159,26 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A copy with a different load.
     pub fn with_load(&self, load: f64) -> Self {
-        SimConfig { workload: self.workload.with_load(load), ..self.clone() }
+        SimConfig {
+            workload: self.workload.with_load(load),
+            ..self.clone()
+        }
     }
 
     /// A copy with a different arbiter.
     pub fn with_arbiter(&self, arbiter: ArbiterKind) -> Self {
-        SimConfig { arbiter, ..self.clone() }
+        SimConfig {
+            arbiter,
+            ..self.clone()
+        }
     }
 
     /// A copy with a different seed.
     pub fn with_seed(&self, seed: u64) -> Self {
-        SimConfig { seed, ..self.clone() }
+        SimConfig {
+            seed,
+            ..self.clone()
+        }
     }
 }
 
@@ -184,7 +201,12 @@ mod tests {
         let v2 = v.with_load(0.8);
         assert_eq!(v2.target_load(), 0.8);
         match v2 {
-            WorkloadSpec::Vbr { gops, injection, enforce_peak, .. } => {
+            WorkloadSpec::Vbr {
+                gops,
+                injection,
+                enforce_peak,
+                ..
+            } => {
                 assert_eq!(gops, 4);
                 assert_eq!(injection, InjectionKind::BackToBack);
                 assert!(!enforce_peak);

@@ -34,7 +34,12 @@ pub fn build_workload(cfg: &SimConfig) -> Workload {
                 .target_load(*target_load)
                 .build(&mut rng)
         }
-        WorkloadSpec::Vbr { target_load, gops, injection, enforce_peak } => {
+        WorkloadSpec::Vbr {
+            target_load,
+            gops,
+            injection,
+            enforce_peak,
+        } => {
             let inj = match injection {
                 InjectionKind::SmoothRate => VbrInjection::SmoothRate,
                 InjectionKind::BackToBack => VbrInjection::BackToBack,
@@ -107,7 +112,11 @@ mod tests {
         };
         let r = run_experiment(&cfg);
         assert!(r.connections > 0);
-        assert!((r.achieved_load - 0.4).abs() < 0.08, "load {}", r.achieved_load);
+        assert!(
+            (r.achieved_load - 0.4).abs() < 0.08,
+            "load {}",
+            r.achieved_load
+        );
         assert_eq!(r.executed_cycles, 3_000);
         assert!(r.summary.delivered_flits > 0);
         assert!(!r.drained, "CBR sources are infinite");
@@ -123,7 +132,9 @@ mod tests {
                 enforce_peak: false,
             },
             warmup_cycles: 0,
-            run: RunLength::UntilDrained { max_cycles: 2_000_000 },
+            run: RunLength::UntilDrained {
+                max_cycles: 2_000_000,
+            },
             ..Default::default()
         };
         let r = run_experiment(&cfg);

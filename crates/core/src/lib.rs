@@ -8,8 +8,8 @@
 //! * [`experiment`] — build-and-run: constructs the workload, instantiates
 //!   the router, drives it with warm-up, and returns a
 //!   [`experiment::ExperimentResult`].
-//! * [`sweep`](mod@sweep) — load sweeps across arbiters and seeds, parallelized with
-//!   rayon (each point is an independent deterministic simulation).
+//! * [`sweep`](mod@sweep) — load sweeps across arbiters and seeds, parallelized
+//!   with scoped threads (each point is an independent deterministic simulation).
 //! * [`saturation`] — saturation-point detection over sweep results.
 //! * [`scenarios`] — the canned configurations reproducing each figure of
 //!   the paper (Fig. 5 CBR delay, Fig. 8 VBR utilization, Fig. 9 VBR frame

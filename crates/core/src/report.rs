@@ -74,12 +74,7 @@ where
 /// Render sweep series as an ASCII scatter plot — x is load (%), y is the
 /// metric, optionally log-scaled (the paper's Fig. 9 uses a log y-axis).
 /// Each arbiter's series is drawn with its own glyph.
-pub fn ascii_plot<F>(
-    title: &str,
-    points: &[SweepPoint],
-    log_y: bool,
-    f: F,
-) -> String
+pub fn ascii_plot<F>(title: &str, points: &[SweepPoint], log_y: bool, f: F) -> String
 where
     F: Fn(&SweepPoint) -> f64,
 {
@@ -99,12 +94,16 @@ where
             xs.push(p.achieved_load * 100.0);
         }
     }
-    let (ymin, ymax) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
-    let (xmin, xmax) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (ymin, ymax) = ys
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let (xmin, xmax) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let yspan = (ymax - ymin).max(1e-9);
     let xspan = (xmax - xmin).max(1e-9);
     let mut grid = vec![vec![' '; W]; H];
@@ -117,17 +116,39 @@ where
         }
     }
     let mut out = format!("# {title}\n");
-    let label = |v: f64| if log_y { format!("{:.3e}", 10f64.powf(v)) } else { format!("{v:.1}") };
+    let label = |v: f64| {
+        if log_y {
+            format!("{:.3e}", 10f64.powf(v))
+        } else {
+            format!("{v:.1}")
+        }
+    };
     for (row, line) in grid.iter().enumerate() {
         let yval = ymax - row as f64 / (H - 1) as f64 * yspan;
-        let tick = if row % 4 == 0 { label(yval) } else { String::new() };
-        out.push_str(&format!("{tick:>10} |{}\n", line.iter().collect::<String>()));
+        let tick = if row % 4 == 0 {
+            label(yval)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "{tick:>10} |{}\n",
+            line.iter().collect::<String>()
+        ));
     }
     out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(W)));
-    out.push_str(&format!("{:>10}  {:<10}{:>width$}\n", "", format!("{xmin:.0}%"),
-        format!("{xmax:.0}% load"), width = W - 10));
+    out.push_str(&format!(
+        "{:>10}  {:<10}{:>width$}\n",
+        "",
+        format!("{xmin:.0}%"),
+        format!("{xmax:.0}% load"),
+        width = W - 10
+    ));
     for (si, (k, _)) in series.iter().enumerate() {
-        out.push_str(&format!("{:>12} = {}\n", GLYPHS[si % GLYPHS.len()], k.label()));
+        out.push_str(&format!(
+            "{:>12} = {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            k.label()
+        ));
     }
     out
 }
@@ -142,7 +163,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -291,7 +315,10 @@ mod tests {
     fn ascii_plot_log_scale_labels() {
         let pts = sample_points();
         let plot = ascii_plot("delay", &pts, true, |p| p.utilization() * 1e4);
-        assert!(plot.contains('e'), "log scale should print exponent labels:\n{plot}");
+        assert!(
+            plot.contains('e'),
+            "log scale should print exponent labels:\n{plot}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct SaturationCriteria {
 
 impl Default for SaturationCriteria {
     fn default() -> Self {
-        SaturationCriteria { min_throughput_ratio: 0.95, delay_blowup: 20.0 }
+        SaturationCriteria {
+            min_throughput_ratio: 0.95,
+            delay_blowup: 20.0,
+        }
     }
 }
 
@@ -120,26 +123,37 @@ mod tests {
 
     #[test]
     fn no_saturation_in_healthy_series() {
-        let series = vec![point(0.2, 1.0, 10.0), point(0.4, 1.0, 11.0), point(0.6, 1.0, 14.0)];
+        let series = vec![
+            point(0.2, 1.0, 10.0),
+            point(0.4, 1.0, 11.0),
+            point(0.6, 1.0, 14.0),
+        ];
         assert_eq!(
-            detect_saturation(&series, SaturationCriteria::default(), |p| p.frame_delay_us()),
+            detect_saturation(&series, SaturationCriteria::default(), |p| p
+                .frame_delay_us()),
             None
         );
     }
 
     #[test]
     fn throughput_deficit_triggers() {
-        let series = vec![point(0.5, 1.0, 10.0), point(0.7, 0.99, 12.0), point(0.8, 0.80, 15.0)];
-        let sat =
-            detect_saturation(&series, SaturationCriteria::default(), |p| p.frame_delay_us());
+        let series = vec![
+            point(0.5, 1.0, 10.0),
+            point(0.7, 0.99, 12.0),
+            point(0.8, 0.80, 15.0),
+        ];
+        let sat = detect_saturation(&series, SaturationCriteria::default(), |p| {
+            p.frame_delay_us()
+        });
         assert_eq!(sat, Some(0.8));
     }
 
     #[test]
     fn delay_blowup_triggers() {
         let series = vec![point(0.5, 1.0, 10.0), point(0.7, 0.99, 500.0)];
-        let sat =
-            detect_saturation(&series, SaturationCriteria::default(), |p| p.frame_delay_us());
+        let sat = detect_saturation(&series, SaturationCriteria::default(), |p| {
+            p.frame_delay_us()
+        });
         assert_eq!(sat, Some(0.7));
     }
 

@@ -36,7 +36,9 @@ pub fn fig5(fidelity: Fidelity) -> SweepSpec {
         Fidelity::Full => (
             20_000,
             400_000,
-            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9],
+            vec![
+                0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9,
+            ],
         ),
     };
     let base = SimConfig {
@@ -54,12 +56,22 @@ pub fn fig5(fidelity: Fidelity) -> SweepSpec {
 pub fn fig8_fig9(injection: InjectionKind, fidelity: Fidelity) -> SweepSpec {
     let (gops, loads): (usize, Vec<f64>) = match fidelity {
         Fidelity::Quick => (1, vec![0.4, 0.6, 0.75, 0.85]),
-        Fidelity::Full => (4, vec![0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95]),
+        Fidelity::Full => (
+            4,
+            vec![0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95],
+        ),
     };
     let base = SimConfig {
-        workload: WorkloadSpec::Vbr { target_load: 0.5, gops, injection, enforce_peak: false },
+        workload: WorkloadSpec::Vbr {
+            target_load: 0.5,
+            gops,
+            injection,
+            enforce_peak: false,
+        },
         warmup_cycles: 0,
-        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(gops) },
+        run: RunLength::UntilDrained {
+            max_cycles: vbr_cycle_budget(gops),
+        },
         ..Default::default()
     };
     SweepSpec::coa_vs_wfa(base, loads)
@@ -101,7 +113,9 @@ mod tests {
     fn fig8_spec_drains_vbr() {
         let s = fig8_fig9(InjectionKind::BackToBack, Fidelity::Quick);
         match &s.base.workload {
-            WorkloadSpec::Vbr { injection, gops, .. } => {
+            WorkloadSpec::Vbr {
+                injection, gops, ..
+            } => {
                 assert_eq!(*injection, InjectionKind::BackToBack);
                 assert!(*gops >= 1);
             }

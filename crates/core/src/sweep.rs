@@ -2,13 +2,14 @@
 //!
 //! A sweep is a grid of (load, arbiter, seed) points over a base config.
 //! Points are independent deterministic simulations, so they parallelize
-//! embarrassingly; rayon fans them out across cores.
+//! embarrassingly; a scoped-thread fan-out spreads them across cores while
+//! preserving the spec's deterministic result order.
 
 use crate::config::SimConfig;
 use crate::experiment::{run_experiment, ExperimentResult};
 use mmr_arbiter::scheduler::ArbiterKind;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A sweep definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,7 +47,12 @@ impl SweepSpec {
         for &arbiter in &self.arbiters {
             for &load in &self.loads {
                 for &seed in &self.seeds {
-                    out.push(self.base.with_load(load).with_arbiter(arbiter).with_seed(seed));
+                    out.push(
+                        self.base
+                            .with_load(load)
+                            .with_arbiter(arbiter)
+                            .with_seed(seed),
+                    );
                 }
             }
         }
@@ -90,7 +96,11 @@ impl SweepPoint {
     /// Seed-mean flit delay for a class (µs); 0 if the class is absent.
     pub fn class_delay_us(&self, class: mmr_traffic::connection::TrafficClass) -> f64 {
         self.mean_of(|r| {
-            r.summary.metrics.class(class).map(|c| c.mean_delay_us).unwrap_or(0.0)
+            r.summary
+                .metrics
+                .class(class)
+                .map(|c| c.mean_delay_us)
+                .unwrap_or(0.0)
         })
     }
 
@@ -104,8 +114,7 @@ impl SweepPoint {
 /// grouped by (arbiter, load) in the spec's order.
 pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
     let configs = spec.configs();
-    let results: Vec<ExperimentResult> =
-        configs.par_iter().map(run_experiment).collect();
+    let results = parallel_map(&configs, run_experiment);
     // Regroup: configs() nests seeds innermost.
     let s = spec.seeds.len();
     let mut points = Vec::with_capacity(spec.loads.len() * spec.arbiters.len());
@@ -113,8 +122,7 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
     for &arbiter in &spec.arbiters {
         for &load in &spec.loads {
             let group: Vec<ExperimentResult> = (&mut it).take(s).collect();
-            let achieved =
-                group.iter().map(|r| r.achieved_load).sum::<f64>() / group.len() as f64;
+            let achieved = group.iter().map(|r| r.achieved_load).sum::<f64>() / group.len() as f64;
             points.push(SweepPoint {
                 arbiter,
                 target_load: load,
@@ -125,6 +133,58 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
     }
     points
 }
+
+/// Order-preserving parallel map over a slice: results land at the same
+/// index as their input regardless of which worker computed them.
+fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    if workers <= 1 {
+        for (slot, item) in slots.iter_mut().zip(items) {
+            *slot = Some(f(item));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slot_ptrs: Vec<_> = slots
+            .iter_mut()
+            .map(|s| SendPtr(s as *mut Option<R>))
+            .collect();
+        let (next, f, slot_ptrs) = (&next, &f, &slot_ptrs);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(&items[i]);
+                    let SendPtr(p) = slot_ptrs[i];
+                    // Safety: each index is claimed by exactly one worker via
+                    // the atomic counter, so no slot is written twice, and
+                    // the scope joins all workers before `slots` is read.
+                    unsafe { *p = Some(result) };
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for SendPtr<R> {}
+unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 #[cfg(test)]
 mod tests {
@@ -166,8 +226,11 @@ mod tests {
     fn parallel_matches_sequential() {
         let spec = SweepSpec::coa_vs_wfa(quick_base(), vec![0.3]);
         let parallel = sweep(&spec);
-        let sequential: Vec<ExperimentResult> =
-            spec.configs().iter().map(crate::experiment::run_experiment).collect();
+        let sequential: Vec<ExperimentResult> = spec
+            .configs()
+            .iter()
+            .map(crate::experiment::run_experiment)
+            .collect();
         assert_eq!(parallel[0].results[0], sequential[0]);
         assert_eq!(parallel[1].results[0], sequential[1]);
     }

@@ -65,8 +65,14 @@ impl RouterConfig {
     /// nonsense configurations.
     pub fn validate(&self) {
         assert!(self.ports > 0, "router needs at least one port");
-        assert!(self.candidate_levels > 0, "need at least one candidate level");
-        assert!(self.vc_buffer_flits > 0, "VC buffers need capacity for one flit");
+        assert!(
+            self.candidate_levels > 0,
+            "need at least one candidate level"
+        );
+        assert!(
+            self.vc_buffer_flits > 0,
+            "VC buffers need capacity for one flit"
+        );
         assert!(self.vc_ram_banks > 0, "VC memory needs at least one bank");
         assert!(self.round.cycles_per_round > 0, "round must contain slots");
         if let LinkPolicy::SlotTable { table_len, .. } = self.link_policy {
@@ -97,12 +103,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "candidate level")]
     fn zero_levels_rejected() {
-        RouterConfig { candidate_levels: 0, ..Default::default() }.validate();
+        RouterConfig {
+            candidate_levels: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "at least one port")]
     fn zero_ports_rejected() {
-        RouterConfig { ports: 0, ..Default::default() }.validate();
+        RouterConfig {
+            ports: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -41,7 +41,10 @@ impl CreditBank {
     /// Spend one credit (flit forwarded NIC → router).  Panics if none —
     /// the link controller must check first.
     pub fn spend(&mut self, conn: usize) {
-        assert!(self.credits[conn] > 0, "connection {conn}: credit underflow");
+        assert!(
+            self.credits[conn] > 0,
+            "connection {conn}: credit underflow"
+        );
         self.credits[conn] -= 1;
     }
 
@@ -55,7 +58,10 @@ impl CreditBank {
     pub fn apply_returns(&mut self) {
         for (c, p) in self.credits.iter_mut().zip(self.pending.iter_mut()) {
             *c += *p;
-            assert!(*c <= self.capacity, "credit overflow: more returns than buffer slots");
+            assert!(
+                *c <= self.capacity,
+                "credit overflow: more returns than buffer slots"
+            );
             *p = 0;
         }
     }

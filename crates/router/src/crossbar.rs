@@ -143,7 +143,11 @@ mod tests {
     fn mem_with(vcs: usize) -> VcMemory {
         let mut m = VcMemory::new(vcs, 4, 2);
         for vc in 0..vcs {
-            m.push(vc, Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)), RouterCycle(5));
+            m.push(
+                vc,
+                Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)),
+                RouterCycle(5),
+            );
         }
         m
     }
@@ -153,8 +157,18 @@ mod tests {
         let mut xbar = Crossbar::new(4);
         let mut mem = mem_with(4);
         let mut m = Matching::new(4);
-        m.add(Grant { input: 0, output: 2, vc: 0, level: 0 });
-        m.add(Grant { input: 1, output: 3, vc: 1, level: 0 });
+        m.add(Grant {
+            input: 0,
+            output: 2,
+            vc: 0,
+            level: 0,
+        });
+        m.add(Grant {
+            input: 1,
+            output: 3,
+            vc: 1,
+            level: 0,
+        });
         let mut out = Vec::new();
         xbar.transfer(&m, &mut mem, true, &mut out);
         assert_eq!(out.len(), 2);
@@ -170,13 +184,23 @@ mod tests {
         let mut xbar = Crossbar::new(4);
         let mut mem = mem_with(4);
         let mut m = Matching::new(4);
-        m.add(Grant { input: 0, output: 0, vc: 0, level: 0 });
+        m.add(Grant {
+            input: 0,
+            output: 0,
+            vc: 0,
+            level: 0,
+        });
         let mut out = Vec::new();
         xbar.transfer(&m, &mut mem, false, &mut out);
         assert_eq!(xbar.cycles(), 0);
         assert_eq!(xbar.grants(), 0);
         let mut m2 = Matching::new(4);
-        m2.add(Grant { input: 1, output: 1, vc: 1, level: 0 });
+        m2.add(Grant {
+            input: 1,
+            output: 1,
+            vc: 1,
+            level: 0,
+        });
         xbar.transfer(&m2, &mut mem, true, &mut out);
         assert_eq!(xbar.cycles(), 1);
         assert_eq!(xbar.grants(), 1);
@@ -189,13 +213,26 @@ mod tests {
         let mut xbar = Crossbar::new(2);
         let mut mem = VcMemory::new(2, 4, 1);
         for _ in 0..3 {
-            mem.push(0, Flit::cbr(ConnectionId(0), 0, RouterCycle(0)), RouterCycle(0));
+            mem.push(
+                0,
+                Flit::cbr(ConnectionId(0), 0, RouterCycle(0)),
+                RouterCycle(0),
+            );
         }
-        mem.push(1, Flit::cbr(ConnectionId(1), 0, RouterCycle(0)), RouterCycle(0));
+        mem.push(
+            1,
+            Flit::cbr(ConnectionId(1), 0, RouterCycle(0)),
+            RouterCycle(0),
+        );
         let mut out = Vec::new();
         let grant_vc = |vc: usize| {
             let mut m = Matching::new(2);
-            m.add(Grant { input: 0, output: 0, vc, level: 0 });
+            m.add(Grant {
+                input: 0,
+                output: 0,
+                vc,
+                level: 0,
+            });
             m
         };
         xbar.transfer(&grant_vc(0), &mut mem, true, &mut out); // first: reconfig
@@ -210,7 +247,12 @@ mod tests {
         let mut xbar = Crossbar::new(2);
         let mut mem = VcMemory::new(2, 4, 1);
         let mut m = Matching::new(2);
-        m.add(Grant { input: 0, output: 0, vc: 0, level: 0 });
+        m.add(Grant {
+            input: 0,
+            output: 0,
+            vc: 0,
+            level: 0,
+        });
         let mut out = Vec::new();
         xbar.transfer(&m, &mut mem, true, &mut out);
     }
@@ -220,7 +262,12 @@ mod tests {
         let mut xbar = Crossbar::new(2);
         let mut mem = mem_with(2);
         let mut m = Matching::new(2);
-        m.add(Grant { input: 0, output: 0, vc: 0, level: 0 });
+        m.add(Grant {
+            input: 0,
+            output: 0,
+            vc: 0,
+            level: 0,
+        });
         let mut out = Vec::new();
         xbar.transfer(&m, &mut mem, true, &mut out);
         xbar.reset_stats();

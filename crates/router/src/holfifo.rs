@@ -104,7 +104,11 @@ mod tests {
         sw.run(0.4, 200_000);
         let t = sw.throughput();
         assert!((t - 0.4).abs() < 0.01, "throughput {t} at load 0.4");
-        assert!(sw.backlog() < 200, "backlog {} should be bounded", sw.backlog());
+        assert!(
+            sw.backlog() < 200,
+            "backlog {} should be bounded",
+            sw.backlog()
+        );
     }
 
     #[test]
@@ -134,7 +138,10 @@ mod tests {
             large < small,
             "HOL throughput must shrink with N: N=4 -> {small}, N=32 -> {large}"
         );
-        assert!((large - FifoSwitch::KAROL_LIMIT).abs() < 0.02, "N=32 throughput {large}");
+        assert!(
+            (large - FifoSwitch::KAROL_LIMIT).abs() < 0.02,
+            "N=32 throughput {large}"
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl LinkScheduler {
     /// Scheduler for `input`, serving the given VC indices.
     pub fn new(input: usize, vcs: Vec<usize>) -> Self {
         let cap = vcs.len();
-        LinkScheduler { input, vcs, scratch: Vec::with_capacity(cap) }
+        LinkScheduler {
+            input,
+            vcs,
+            scratch: Vec::with_capacity(cap),
+        }
     }
 
     /// VCs homed on this input.
@@ -99,7 +103,8 @@ impl LinkScheduler {
             });
             self.scratch.truncate(levels);
         }
-        self.scratch.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        self.scratch
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
         for &(p, vc) in self.scratch.iter().take(n) {
             let ok = cs.push(Candidate {
                 input: self.input,
@@ -123,13 +128,21 @@ mod tests {
     fn setup(vcs: usize) -> (VcMemory, Vec<VcQosInfo>) {
         let mem = VcMemory::new(vcs, 4, 2);
         let qos = (0..vcs)
-            .map(|i| VcQosInfo { output: i % 4, reserved_slots: 1 + i as u64, iat_rc: 1000.0 })
+            .map(|i| VcQosInfo {
+                output: i % 4,
+                reserved_slots: 1 + i as u64,
+                iat_rc: 1000.0,
+            })
             .collect();
         (mem, qos)
     }
 
     fn push(mem: &mut VcMemory, vc: usize, entered: u64) {
-        mem.push(vc, Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)), RouterCycle(entered));
+        mem.push(
+            vc,
+            Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)),
+            RouterCycle(entered),
+        );
     }
 
     #[test]
@@ -167,7 +180,11 @@ mod tests {
         let mut ls = LinkScheduler::new(0, vec![0, 1]);
         let mut cs = CandidateSet::new(4, 2);
         ls.select(&mem, &qos, &Siabp, RouterCycle(1_048_576), &mut cs);
-        assert_eq!(cs.get(0, 0).unwrap().vc, 0, "long-waiting flit must outrank");
+        assert_eq!(
+            cs.get(0, 0).unwrap().vc,
+            0,
+            "long-waiting flit must outrank"
+        );
     }
 
     #[test]

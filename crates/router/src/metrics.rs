@@ -122,9 +122,7 @@ impl MetricsCollector {
     pub fn mean_delay_per_connection_us(&self) -> Vec<Option<f64>> {
         self.delay_per_conn
             .iter()
-            .map(|r| {
-                (r.count() > 0).then(|| r.mean() * self.tb.router_cycle_secs() * 1e6)
-            })
+            .map(|r| (r.count() > 0).then(|| r.mean() * self.tb.router_cycle_secs() * 1e6))
             .collect()
     }
 
@@ -165,7 +163,11 @@ impl MetricsCollector {
                 generated: acc.generated,
                 delivered: acc.delivered,
                 mean_delay_us: to_us(acc.delay.mean()),
-                p99_delay_us: acc.hist.quantile(0.99).map(|v| to_us(v as f64)).unwrap_or(0.0),
+                p99_delay_us: acc
+                    .hist
+                    .quantile(0.99)
+                    .map(|v| to_us(v as f64))
+                    .unwrap_or(0.0),
                 max_delay_us: acc.delay.max().map(to_us).unwrap_or(0.0),
             })
             .collect();
@@ -257,7 +259,11 @@ mod tests {
             Some(idx) => Flit::vbr(ConnectionId(conn), 0, RouterCycle(gen), idx, true),
             None => Flit::cbr(ConnectionId(conn), 0, RouterCycle(gen)),
         };
-        Delivery { flit, output: 0, delivered_at: RouterCycle(del) }
+        Delivery {
+            flit,
+            output: 0,
+            delivered_at: RouterCycle(del),
+        }
     }
 
     #[test]
@@ -300,7 +306,10 @@ mod tests {
         // Connection 1 delivers one frame -> no jitter sample.
         m.record_delivery(&delivery(1, 0, 999, Some(0)), TrafficClass::Vbr);
         let r = m.report();
-        assert_eq!(r.mean_frame_jitter_us, 0.0, "cross-connection deltas must not leak");
+        assert_eq!(
+            r.mean_frame_jitter_us, 0.0,
+            "cross-connection deltas must not leak"
+        );
     }
 
     #[test]
@@ -348,7 +357,10 @@ mod tests {
             }
         }
         let fair = m.jain_fairness(&[1.0, 2.0, 3.0, 4.0]);
-        assert!((fair - 1.0).abs() < 1e-12, "proportional -> 1.0, got {fair}");
+        assert!(
+            (fair - 1.0).abs() < 1e-12,
+            "proportional -> 1.0, got {fair}"
+        );
         // All service to one of four equal-weight connections -> 1/4.
         let skewed = m.jain_fairness(&[0.0, 0.0, 3.0, 0.0]);
         assert_eq!(skewed, 1.0, "single weighted connection is trivially fair");

@@ -82,7 +82,11 @@ impl LineNetwork {
     ) -> Self {
         assert!(stages >= 1, "need at least one stage");
         cfg.validate();
-        let Workload { connections: specs, sources, .. } = workload;
+        let Workload {
+            connections: specs,
+            sources,
+            ..
+        } = workload;
         let n = specs.len();
         let mut rng = SimRng::seed_from_u64(seed ^ 0x4C49_4E45);
 
@@ -188,13 +192,20 @@ impl LineNetwork {
 
     /// Mean crossbar utilization per stage.
     pub fn stage_utilizations(&self) -> Vec<f64> {
-        self.stages.iter().map(|s| s.crossbar.mean_utilization()).collect()
+        self.stages
+            .iter()
+            .map(|s| s.crossbar.mean_utilization())
+            .collect()
     }
 
     /// Flits buffered anywhere in the network.
     pub fn backlog(&self) -> usize {
         self.nics.iter().map(Nic::total_depth).sum::<usize>()
-            + self.stages.iter().map(|s| s.mem.total_occupancy()).sum::<usize>()
+            + self
+                .stages
+                .iter()
+                .map(|s| s.mem.total_occupancy())
+                .sum::<usize>()
     }
 
     /// True when sources are exhausted and all buffers empty.
@@ -263,7 +274,9 @@ impl CycleModel for LineNetwork {
             let mut crossed = std::mem::take(&mut self.crossed_buf);
             {
                 let stage = &mut self.stages[si];
-                stage.crossbar.transfer(&matchings[si], &mut stage.mem, measuring, &mut crossed);
+                stage
+                    .crossbar
+                    .transfer(&matchings[si], &mut stage.mem, measuring, &mut crossed);
             }
             for cf in &crossed {
                 if si == last {
@@ -275,13 +288,16 @@ impl CycleModel for LineNetwork {
                         delivered_at: RouterCycle(now_rc.0 + self.crossing_rc),
                     };
                     if measuring {
-                        self.metrics.record_delivery(&delivery, self.specs[cf.vc].class);
+                        self.metrics
+                            .record_delivery(&delivery, self.specs[cf.vc].class);
                     }
                 } else {
                     // Advance to the next stage; consumes a downstream
                     // credit (checked at candidate selection).
                     self.stages[si].credits_down.spend(cf.vc);
-                    self.stages[si + 1].mem.push(cf.vc, cf.buffered.flit, arrival);
+                    self.stages[si + 1]
+                        .mem
+                        .push(cf.vc, cf.buffered.flit, arrival);
                 }
                 // Return a credit upstream: to the NIC for stage 0, to the
                 // previous stage otherwise.
@@ -378,8 +394,18 @@ mod tests {
         let one = run(1);
         let three = run(3);
         assert!(three.delivered_flits > 0);
-        let d1 = one.metrics.classes.iter().map(|c| c.mean_delay_us).fold(0.0, f64::max);
-        let d3 = three.metrics.classes.iter().map(|c| c.mean_delay_us).fold(0.0, f64::max);
+        let d1 = one
+            .metrics
+            .classes
+            .iter()
+            .map(|c| c.mean_delay_us)
+            .fold(0.0, f64::max);
+        let d3 = three
+            .metrics
+            .classes
+            .iter()
+            .map(|c| c.mean_delay_us)
+            .fold(0.0, f64::max);
         assert!(d3 > d1, "3-hop delay {d3} must exceed 1-hop {d1}");
         assert_eq!(three.stage_utilization.len(), 3);
     }

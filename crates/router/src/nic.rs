@@ -24,10 +24,23 @@ pub struct Nic {
 }
 
 impl Nic {
+    /// Initial per-connection queue capacity.  The queues are elastic
+    /// (host memory backs them), but pre-sizing keeps sub-saturation
+    /// steady state free of `VecDeque` growth reallocations.
+    const INITIAL_QUEUE_CAPACITY: usize = 64;
+
     /// A NIC serving the given (global) connection ids.
     pub fn new(conns: Vec<usize>) -> Self {
         let n = conns.len();
-        Nic { conns, queues: (0..n).map(|_| VecDeque::new()).collect(), rr: 0, peak_depth: 0, depth: 0 }
+        Nic {
+            conns,
+            queues: (0..n)
+                .map(|_| VecDeque::with_capacity(Self::INITIAL_QUEUE_CAPACITY))
+                .collect(),
+            rr: 0,
+            peak_depth: 0,
+            depth: 0,
+        }
     }
 
     /// Connections homed here.
@@ -118,8 +131,9 @@ mod tests {
             nic.enqueue(local, flit(10 + local as u32, 0));
             nic.enqueue(local, flit(10 + local as u32, 1));
         }
-        let order: Vec<usize> =
-            (0..6).map(|_| nic.forward_one(|_| true).unwrap().0).collect();
+        let order: Vec<usize> = (0..6)
+            .map(|_| nic.forward_one(|_| true).unwrap().0)
+            .collect();
         assert_eq!(order, vec![10, 11, 12, 10, 11, 12]);
         assert!(nic.is_empty());
     }

@@ -36,7 +36,9 @@ pub struct OutputPorts {
 impl OutputPorts {
     /// Counters for `ports` output links.
     pub fn new(ports: usize) -> Self {
-        OutputPorts { delivered: vec![0; ports] }
+        OutputPorts {
+            delivered: vec![0; ports],
+        }
     }
 
     /// Record one delivery.

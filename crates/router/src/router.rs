@@ -22,12 +22,13 @@ use crate::config::{LinkPolicy, RouterConfig};
 use crate::credit::CreditBank;
 use crate::crossbar::{Crossbar, CrossedFlit};
 use crate::link_scheduler::{LinkScheduler, VcQosInfo};
-use crate::tdm::TdmLinkScheduler;
 use crate::metrics::{MetricsCollector, MetricsReport};
 use crate::nic::Nic;
 use crate::output::{Delivery, OutputPorts};
+use crate::tdm::TdmLinkScheduler;
 use crate::vcmem::VcMemory;
 use mmr_arbiter::candidate::CandidateSet;
+use mmr_arbiter::matching::Matching;
 use mmr_arbiter::priority::LinkPriority;
 use mmr_arbiter::scheduler::SwitchScheduler;
 use mmr_sim::engine::CycleModel;
@@ -78,6 +79,7 @@ pub struct MmrRouter {
     outputs: OutputPorts,
     metrics: MetricsCollector,
     candidates: CandidateSet,
+    matching: Matching,
     crossed: Vec<CrossedFlit>,
     drain_buf: Vec<Flit>,
     rng: SimRng,
@@ -104,11 +106,18 @@ impl MmrRouter {
         seed: u64,
     ) -> Self {
         cfg.validate();
-        let Workload { connections: specs, sources, .. } = workload;
+        let Workload {
+            connections: specs,
+            sources,
+            ..
+        } = workload;
         let n_conns = specs.len();
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.id.idx(), i, "connection ids must be dense");
-            assert!(s.input < cfg.ports && s.output < cfg.ports, "ports out of range");
+            assert!(
+                s.input < cfg.ports && s.output < cfg.ports,
+                "ports out of range"
+            );
         }
 
         // Group connections by input port.
@@ -130,9 +139,14 @@ impl MmrRouter {
                 LinkPolicy::Priority => {
                     AnyLinkScheduler::Priority(LinkScheduler::new(p, conns.clone()))
                 }
-                LinkPolicy::SlotTable { backfill, table_len } => {
-                    let reservations: Vec<(usize, u64)> =
-                        conns.iter().map(|&c| (c, specs[c].reserved_slots)).collect();
+                LinkPolicy::SlotTable {
+                    backfill,
+                    table_len,
+                } => {
+                    let reservations: Vec<(usize, u64)> = conns
+                        .iter()
+                        .map(|&c| (c, specs[c].reserved_slots))
+                        .collect();
                     AnyLinkScheduler::Tdm(TdmLinkScheduler::new(
                         p,
                         reservations,
@@ -168,6 +182,7 @@ impl MmrRouter {
             outputs: OutputPorts::new(cfg.ports),
             metrics: MetricsCollector::new(n_conns, cfg.time),
             candidates: CandidateSet::new(cfg.ports, cfg.candidate_levels),
+            matching: Matching::new(cfg.ports),
             crossed: Vec::with_capacity(cfg.ports),
             drain_buf: Vec::new(),
             rng: SimRng::seed_from_u64(seed ^ 0x4D4D_5221),
@@ -199,8 +214,7 @@ impl MmrRouter {
     /// Jain fairness of delivered throughput normalized by reservations
     /// (best-effort connections, with zero reservation, are excluded).
     pub fn reservation_fairness(&self) -> f64 {
-        let weights: Vec<f64> =
-            self.specs.iter().map(|s| s.reserved_slots as f64).collect();
+        let weights: Vec<f64> = self.specs.iter().map(|s| s.reserved_slots as f64).collect();
         self.metrics.jain_fairness(&weights)
     }
 
@@ -260,15 +274,25 @@ impl CycleModel for MmrRouter {
         // 2. Link scheduling: candidate selection per input.
         self.candidates.clear();
         for ls in &mut self.link_scheds {
-            ls.select(&self.mem, &self.qos, self.priority_fn.as_ref(), now_rc, &mut self.candidates);
+            ls.select(
+                &self.mem,
+                &self.qos,
+                self.priority_fn.as_ref(),
+                now_rc,
+                &mut self.candidates,
+            );
         }
 
-        // 3. Switch scheduling.
-        let matching = self.arbiter.schedule(&self.candidates, &mut self.rng);
+        // 3. Switch scheduling, into the reusable matching buffer — the
+        // arbiters' `schedule_into` and their struct scratch keep the
+        // whole step allocation-free in steady state.
+        self.arbiter
+            .schedule_into(&self.candidates, &mut self.rng, &mut self.matching);
 
         // 4. Crossbar traversal + delivery + credit returns.
         let mut crossed = std::mem::take(&mut self.crossed);
-        self.crossbar.transfer(&matching, &mut self.mem, measuring, &mut crossed);
+        self.crossbar
+            .transfer(&self.matching, &mut self.mem, measuring, &mut crossed);
         for cf in &crossed {
             self.outputs.record(cf.output);
             self.delivered_total += 1;
@@ -281,7 +305,8 @@ impl CycleModel for MmrRouter {
                 delivered_at: RouterCycle(now_rc.0 + self.crossing_rc),
             };
             if measuring {
-                self.metrics.record_delivery(&delivery, self.specs[cf.vc].class);
+                self.metrics
+                    .record_delivery(&delivery, self.specs[cf.vc].class);
             }
             self.credits.queue_return(cf.vc);
         }
@@ -381,9 +406,7 @@ impl RouterSummary {
     pub fn generation_window_utilization(&self) -> f64 {
         let ports = self.delivered_per_output.len().max(1) as f64;
         match self.generation_window_cycles {
-            Some(window) if window > 0 => {
-                self.delivered_in_window as f64 / (ports * window as f64)
-            }
+            Some(window) if window > 0 => self.delivered_in_window as f64 / (ports * window as f64),
             _ => self.crossbar_utilization,
         }
     }
@@ -458,7 +481,11 @@ mod tests {
     fn different_arbiters_share_workload() {
         // Same seed -> identical workload; arbiters may differ in results
         // but both must deliver traffic without violating invariants.
-        for kind in [ArbiterKind::Coa, ArbiterKind::Wfa, ArbiterKind::Islip { iterations: 2 }] {
+        for kind in [
+            ArbiterKind::Coa,
+            ArbiterKind::Wfa,
+            ArbiterKind::Islip { iterations: 2 },
+        ] {
             let mut r = small_cbr_router(0.5, kind, 3);
             Runner::new(200, StopCondition::Cycles(3_000)).run(&mut r);
             let s = r.summary();
@@ -501,7 +528,9 @@ mod tests {
         let out = Runner::new(0, StopCondition::ModelDoneOrCycles(3_000_000)).run(&mut r);
         assert!(out.model_finished);
         let s = r.summary();
-        let window = s.generation_window_cycles.expect("finite sources must close the window");
+        let window = s
+            .generation_window_cycles
+            .expect("finite sources must close the window");
         assert!(window > 0 && window <= out.executed);
         assert!(s.delivered_in_window <= s.delivered_flits);
         // At 30% load nearly everything is delivered inside the window.
@@ -522,9 +551,12 @@ mod tests {
     #[test]
     fn empty_workload_router_is_trivially_done() {
         let cfg = RouterConfig::default();
-        let w = Workload { connections: vec![], sources: vec![], per_input_load: vec![0.0; 4] };
-        let mut r =
-            MmrRouter::new(cfg, w, ArbiterKind::Coa.instantiate(4), Box::new(Siabp), 0);
+        let w = Workload {
+            connections: vec![],
+            sources: vec![],
+            per_input_load: vec![0.0; 4],
+        };
+        let mut r = MmrRouter::new(cfg, w, ArbiterKind::Coa.instantiate(4), Box::new(Siabp), 0);
         assert!(r.drained());
         let out = Runner::new(0, StopCondition::ModelDoneOrCycles(100)).run(&mut r);
         assert!(out.model_finished);

@@ -43,8 +43,9 @@ pub fn build_slot_table(
         if slots == 0 {
             continue; // best-effort: no reservation, no table entries
         }
-        let entries =
-            ((slots as f64 / cycles_per_round as f64) * table_len as f64).round().max(1.0) as usize;
+        let entries = ((slots as f64 / cycles_per_round as f64) * table_len as f64)
+            .round()
+            .max(1.0) as usize;
         let stride = table_len as f64 / entries as f64;
         for j in 0..entries {
             let ideal = (j as f64 * stride) as usize % table_len;
@@ -91,7 +92,14 @@ impl TdmLinkScheduler {
     ) -> Self {
         let table = build_slot_table(&reservations, cycles_per_round, table_len);
         let vcs = reservations.iter().map(|&(vc, _)| vc).collect();
-        TdmLinkScheduler { input, table, cursor: 0, backfill, vcs, scratch: Vec::new() }
+        TdmLinkScheduler {
+            input,
+            table,
+            cursor: 0,
+            backfill,
+            vcs,
+            scratch: Vec::new(),
+        }
     }
 
     /// The slot table (for tests/inspection).
@@ -151,9 +159,15 @@ impl TdmLinkScheduler {
                 });
             self.scratch.truncate(want);
         }
-        self.scratch.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        self.scratch
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
         for &(p, vc) in self.scratch.iter() {
-            let ok = cs.push(Candidate { input: self.input, vc, output: qos[vc].output, priority: p });
+            let ok = cs.push(Candidate {
+                input: self.input,
+                vc,
+                output: qos[vc].output,
+                priority: p,
+            });
             debug_assert!(ok);
             offered += 1;
         }
@@ -195,8 +209,12 @@ mod tests {
         let table = build_slot_table(&[(0, 8_192)], 16_384, 256);
         // 50% reservation -> 128 entries; max gap between consecutive
         // entries should be small (even striding).
-        let positions: Vec<usize> =
-            table.iter().enumerate().filter(|(_, e)| e.is_some()).map(|(i, _)| i).collect();
+        let positions: Vec<usize> = table
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(positions.len(), 128);
         let mut max_gap = 0;
         for w in positions.windows(2) {
@@ -216,13 +234,21 @@ mod tests {
     fn setup() -> (VcMemory, Vec<VcQosInfo>) {
         let mem = VcMemory::new(3, 4, 1);
         let qos = (0..3)
-            .map(|i| VcQosInfo { output: i, reserved_slots: 100, iat_rc: 1000.0 })
+            .map(|i| VcQosInfo {
+                output: i,
+                reserved_slots: 100,
+                iat_rc: 1000.0,
+            })
             .collect();
         (mem, qos)
     }
 
     fn push(mem: &mut VcMemory, vc: usize) {
-        mem.push(vc, Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)), RouterCycle(0));
+        mem.push(
+            vc,
+            Flit::cbr(ConnectionId(vc as u32), 0, RouterCycle(0)),
+            RouterCycle(0),
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl VcMemory {
     pub fn new(vcs: usize, capacity: usize, banks: usize) -> Self {
         assert!(capacity > 0 && banks > 0);
         VcMemory {
-            queues: (0..vcs).map(|_| VecDeque::with_capacity(capacity)).collect(),
+            queues: (0..vcs)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
             capacity,
             banks,
             peak_occupancy: 0,
@@ -82,7 +84,10 @@ impl VcMemory {
             self.queues[vc].len() < self.capacity,
             "VC {vc} overflow: credit protocol violated"
         );
-        self.queues[vc].push_back(BufferedFlit { flit, entered_at: now });
+        self.queues[vc].push_back(BufferedFlit {
+            flit,
+            entered_at: now,
+        });
         self.occupancy += 1;
         if self.occupancy > self.peak_occupancy {
             self.peak_occupancy = self.occupancy;

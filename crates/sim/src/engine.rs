@@ -85,7 +85,11 @@ impl Runner {
                 break;
             }
         }
-        RunOutcome { executed, measured, model_finished }
+        RunOutcome {
+            executed,
+            measured,
+            model_finished,
+        }
     }
 }
 
@@ -116,7 +120,12 @@ mod tests {
     }
 
     fn counter(done_after: Option<u64>) -> Counter {
-        Counter { steps: 0, measured_steps: 0, reset_at: None, done_after }
+        Counter {
+            steps: 0,
+            measured_steps: 0,
+            reset_at: None,
+            done_after,
+        }
     }
 
     #[test]

@@ -16,7 +16,12 @@ pub struct EventLog {
 impl EventLog {
     /// A log holding at most `capacity` events (0 disables logging).
     pub fn new(capacity: usize) -> Self {
-        EventLog { capacity, events: Vec::with_capacity(capacity), next: 0, enabled: capacity > 0 }
+        EventLog {
+            capacity,
+            events: Vec::with_capacity(capacity),
+            next: 0,
+            enabled: capacity > 0,
+        }
     }
 
     /// A disabled log that drops everything.

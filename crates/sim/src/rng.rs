@@ -3,10 +3,7 @@
 //! Experiments must be reproducible from a single seed across platforms and
 //! library versions, so the simulator carries its own `xoshiro256**`
 //! implementation (public domain algorithm by Blackman & Vigna) instead of
-//! relying on `rand`'s default engines.  `rand` is still used at the
-//! workload-construction layer through the [`rand::RngCore`] impl below.
-
-use rand::RngCore;
+//! relying on external RNG crates.
 
 /// A `xoshiro256**` generator.
 ///
@@ -31,7 +28,12 @@ impl SimRng {
     /// SplitMix64 as recommended by the xoshiro authors.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         SimRng { s }
     }
 
@@ -130,25 +132,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64_raw() >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let v = self.next_u64_raw().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,7 +149,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -175,7 +160,9 @@ mod tests {
         let root = SimRng::seed_from_u64(7);
         let mut s1 = root.split(0);
         let mut s2 = root.split(1);
-        let same = (0..256).filter(|_| s1.next_u64_raw() == s2.next_u64_raw()).count();
+        let same = (0..256)
+            .filter(|_| s1.next_u64_raw() == s2.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -236,6 +223,9 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+        assert_ne!(
+            xs, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
     }
 }

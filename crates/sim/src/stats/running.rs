@@ -15,7 +15,13 @@ pub struct Running {
 impl Running {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one sample.

@@ -17,7 +17,11 @@ impl WindowedSeries {
     /// the caller uses; must be non-zero).
     pub fn new(window: u64) -> Self {
         assert!(window > 0, "window must be non-zero");
-        WindowedSeries { window, sums: Vec::new(), counts: Vec::new() }
+        WindowedSeries {
+            window,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
     }
 
     /// Window width.
@@ -62,7 +66,10 @@ impl WindowedSeries {
 
     /// Iterator of `(window_start_tick, sum)` pairs.
     pub fn iter_sums(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.sums.iter().enumerate().map(move |(i, &s)| (i as u64 * self.window, s))
+        self.sums
+            .iter()
+            .enumerate()
+            .map(move |(i, &s)| (i as u64 * self.window, s))
     }
 }
 

@@ -20,14 +20,18 @@ use serde::{Deserialize, Serialize};
 ///
 /// This is the finest-grained clock in the simulator; queuing-delay counters
 /// used by the SIABP priority function tick in router cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct RouterCycle(pub u64);
 
 /// A point in time or a duration, measured in flit cycles.
 ///
 /// The router pipeline (link scheduling, switch scheduling, crossbar
 /// traversal) advances once per flit cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct FlitCycle(pub u64);
 
 impl RouterCycle {
@@ -113,7 +117,11 @@ pub struct TimeBase {
 
 impl Default for TimeBase {
     fn default() -> Self {
-        TimeBase { link_bits_per_sec: 1.24e9, phit_bits: 16, flit_bits: 1024 }
+        TimeBase {
+            link_bits_per_sec: 1.24e9,
+            phit_bits: 16,
+            flit_bits: 1024,
+        }
     }
 }
 
@@ -127,7 +135,11 @@ impl TimeBase {
             "flit width ({flit_bits}) must be a multiple of phit width ({phit_bits})"
         );
         assert!(link_bits_per_sec > 0.0, "link rate must be positive");
-        TimeBase { link_bits_per_sec, phit_bits, flit_bits }
+        TimeBase {
+            link_bits_per_sec,
+            phit_bits,
+            flit_bits,
+        }
     }
 
     /// Number of router (phit) cycles in one flit cycle.
@@ -209,7 +221,10 @@ mod tests {
         assert_eq!(tb.to_router(FlitCycle(3)), RouterCycle(192));
         let us = tb.router_cycles_to_us(RouterCycle(64));
         assert!((us - 0.8258).abs() < 0.01);
-        assert_eq!(tb.secs_to_router_cycles(tb.router_cycle_secs() * 10.0), RouterCycle(10));
+        assert_eq!(
+            tb.secs_to_router_cycles(tb.router_cycle_secs() * 10.0),
+            RouterCycle(10)
+        );
     }
 
     #[test]
@@ -232,7 +247,10 @@ mod tests {
     fn arithmetic_ops() {
         assert_eq!(RouterCycle(5) + RouterCycle(3), RouterCycle(8));
         assert_eq!(RouterCycle(5) - RouterCycle(3), RouterCycle(2));
-        assert_eq!(RouterCycle(3).saturating_sub(RouterCycle(5)), RouterCycle(0));
+        assert_eq!(
+            RouterCycle(3).saturating_sub(RouterCycle(5)),
+            RouterCycle(0)
+        );
         let mut t = FlitCycle(1);
         t += FlitCycle(2);
         assert_eq!(t, FlitCycle(3));

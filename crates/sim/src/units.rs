@@ -115,8 +115,13 @@ mod tests {
 
     #[test]
     fn bandwidth_sums() {
-        let total: Bandwidth =
-            [Bandwidth::mbps(1.0), Bandwidth::mbps(2.0), Bandwidth::mbps(3.0)].into_iter().sum();
+        let total: Bandwidth = [
+            Bandwidth::mbps(1.0),
+            Bandwidth::mbps(2.0),
+            Bandwidth::mbps(3.0),
+        ]
+        .into_iter()
+        .sum();
         assert!((total.as_mbps() - 6.0).abs() < 1e-12);
         let mut b = Bandwidth::mbps(1.0);
         b += Bandwidth::mbps(0.5);

@@ -32,7 +32,10 @@ impl Default for RoundConfig {
         // 16384 slots on a 1.24 Gbps link gives ~75.7 Kbps slot
         // granularity, fine enough to carry a 64 Kbps connection in one
         // slot without gross over-reservation.
-        RoundConfig { cycles_per_round: 16_384, concurrency_factor: 2.0 }
+        RoundConfig {
+            cycles_per_round: 16_384,
+            concurrency_factor: 2.0,
+        }
     }
 }
 
@@ -244,7 +247,9 @@ mod tests {
         assert_eq!(admitted, 22);
         assert!(c.input_load(0) > 0.97);
         // A tiny connection still fits in the remainder.
-        assert!(c.admit(0, 0, Bandwidth::kbps(64.0), Bandwidth::kbps(64.0)).is_ok());
+        assert!(c
+            .admit(0, 0, Bandwidth::kbps(64.0), Bandwidth::kbps(64.0))
+            .is_ok());
     }
 
     #[test]
@@ -265,7 +270,10 @@ mod tests {
 
     #[test]
     fn vbr_peak_test_uses_concurrency_factor() {
-        let round = RoundConfig { cycles_per_round: 1000, concurrency_factor: 2.0 };
+        let round = RoundConfig {
+            cycles_per_round: 1000,
+            concurrency_factor: 2.0,
+        };
         let tb = TimeBase::default();
         let mut c = AdmissionControl::new(2, round, tb);
         let slot = round.slot_bandwidth(&tb).as_bps();
@@ -278,7 +286,10 @@ mod tests {
         let err = c.admit(0, 0, avg, peak).unwrap_err(); // peak 2400 > 2000
         assert_eq!(err, AdmissionError::InputPeakExceeded);
         // With a larger concurrency factor the same connection fits.
-        let round2 = RoundConfig { cycles_per_round: 1000, concurrency_factor: 4.0 };
+        let round2 = RoundConfig {
+            cycles_per_round: 1000,
+            concurrency_factor: 4.0,
+        };
         let mut c2 = AdmissionControl::new(2, round2, tb);
         for _ in 0..6 {
             c2.admit(0, 0, avg, peak).unwrap();

@@ -159,7 +159,10 @@ mod tests {
         let mean = lengths.iter().sum::<u64>() as f64 / lengths.len() as f64;
         assert!((mean - 16.0).abs() < 2.5, "mean message length {mean}");
         assert!(lengths.contains(&1), "geometric has short messages");
-        assert!(lengths.iter().any(|&l| l > 24), "geometric has long messages");
+        assert!(
+            lengths.iter().any(|&l| l > 24),
+            "geometric has long messages"
+        );
     }
 
     #[test]

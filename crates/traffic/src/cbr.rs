@@ -31,7 +31,12 @@ impl CbrSource {
         tb: &TimeBase,
     ) -> Self {
         let iat_rc = tb.flit_iat_router_cycles(bandwidth.as_bps());
-        CbrSource { connection, iat_rc, next_time: phase.0 as f64, seq: 0 }
+        CbrSource {
+            connection,
+            iat_rc,
+            next_time: phase.0 as f64,
+            seq: 0,
+        }
     }
 
     /// The source's inter-arrival time in router cycles.
@@ -98,7 +103,12 @@ mod tests {
     #[test]
     fn phase_offsets_first_emission() {
         let tb = TimeBase::default();
-        let s = CbrSource::new(ConnectionId(2), Bandwidth::kbps(64.0), RouterCycle(12345), &tb);
+        let s = CbrSource::new(
+            ConnectionId(2),
+            Bandwidth::kbps(64.0),
+            RouterCycle(12345),
+            &tb,
+        );
         assert_eq!(s.peek_next(), Some(RouterCycle(12345)));
     }
 

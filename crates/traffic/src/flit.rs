@@ -38,7 +38,12 @@ pub struct Flit {
 impl Flit {
     /// A CBR flit.
     pub fn cbr(connection: ConnectionId, seq: u64, generated_at: RouterCycle) -> Self {
-        Flit { connection, seq, generated_at, frame: None }
+        Flit {
+            connection,
+            seq,
+            generated_at,
+            frame: None,
+        }
     }
 
     /// A VBR flit belonging to frame `index`; `last` marks the frame's
@@ -50,7 +55,12 @@ impl Flit {
         index: u32,
         last: bool,
     ) -> Self {
-        Flit { connection, seq, generated_at, frame: Some(FrameRef { index, last }) }
+        Flit {
+            connection,
+            seq,
+            generated_at,
+            frame: Some(FrameRef { index, last }),
+        }
     }
 
     /// True if this flit closes a video frame.

@@ -32,7 +32,9 @@ impl InjectionModel {
     pub fn back_to_back_for(max_frame_flits: u64, frame_time_secs: f64, tb: &TimeBase) -> Self {
         assert!(max_frame_flits > 0);
         let bits = max_frame_flits * tb.flit_bits as u64;
-        InjectionModel::BackToBack { peak: Bandwidth::bps(bits as f64 / frame_time_secs) }
+        InjectionModel::BackToBack {
+            peak: Bandwidth::bps(bits as f64 / frame_time_secs),
+        }
     }
 
     /// Inter-arrival time in router cycles between consecutive flits of a
@@ -62,7 +64,9 @@ mod tests {
     fn bb_peak_fits_largest_frame() {
         let tb = TimeBase::default();
         let model = InjectionModel::back_to_back_for(1200, 0.033, &tb);
-        let InjectionModel::BackToBack { peak } = model else { panic!() };
+        let InjectionModel::BackToBack { peak } = model else {
+            panic!()
+        };
         // 1200 flits * 1024 bits / 33 ms ≈ 37.2 Mbps
         assert!((peak.as_mbps() - 37.236).abs() < 0.1, "{}", peak.as_mbps());
         // At that peak, exactly the largest frame fits in one frame time.
@@ -109,6 +113,9 @@ mod tests {
     fn labels() {
         let tb = TimeBase::default();
         assert_eq!(InjectionModel::SmoothRate.label(), "SR");
-        assert_eq!(InjectionModel::back_to_back_for(1, 0.033, &tb).label(), "BB");
+        assert_eq!(
+            InjectionModel::back_to_back_for(1, 0.033, &tb).label(),
+            "BB"
+        );
     }
 }

@@ -201,7 +201,11 @@ impl MpegTrace {
                 frames.push(TraceFrame { ty, bits, flits });
             }
         }
-        MpegTrace { name: params.name.to_string(), frames, flit_bits: tb.flit_bits }
+        MpegTrace {
+            name: params.name.to_string(),
+            frames,
+            flit_bits: tb.flit_bits,
+        }
     }
 
     /// Number of frames.
@@ -238,7 +242,10 @@ impl MpegTrace {
     /// Per-frame bit rate samples (bits of each frame / frame time), for
     /// Fig. 6 style profiles.
     pub fn rate_profile_mbps(&self) -> Vec<f64> {
-        self.frames.iter().map(|f| f.bits as f64 / FRAME_TIME_SECS / 1e6).collect()
+        self.frames
+            .iter()
+            .map(|f| f.bits as f64 / FRAME_TIME_SECS / 1e6)
+            .collect()
     }
 }
 
@@ -273,8 +280,12 @@ mod tests {
     fn i_frames_dominate_b_frames() {
         let t = flower_trace(8);
         let avg = |ty: FrameType| {
-            let xs: Vec<u64> =
-                t.frames.iter().filter(|f| f.ty == ty).map(|f| f.bits).collect();
+            let xs: Vec<u64> = t
+                .frames
+                .iter()
+                .filter(|f| f.ty == ty)
+                .map(|f| f.bits)
+                .collect();
             xs.iter().sum::<u64>() as f64 / xs.len() as f64
         };
         let (ai, ap, ab) = (avg(FrameType::I), avg(FrameType::P), avg(FrameType::B));
@@ -348,6 +359,9 @@ mod tests {
         let measured = t.stats().avg_bits;
         let nominal = params.mean_frame_bits();
         let rel = (measured - nominal).abs() / nominal;
-        assert!(rel < 0.05, "measured {measured}, nominal {nominal}, rel {rel}");
+        assert!(
+            rel < 0.05,
+            "measured {measured}, nominal {nominal}, rel {rel}"
+        );
     }
 }

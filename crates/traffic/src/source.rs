@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn drain_until_respects_timestamps() {
-        let mut s = Scripted { times: vec![0, 10, 20, 30], pos: 0 };
+        let mut s = Scripted {
+            times: vec![0, 10, 20, 30],
+            pos: 0,
+        };
         let mut out = Vec::new();
         assert_eq!(s.drain_until(RouterCycle(15), &mut out), 2);
         assert_eq!(out.len(), 2);

@@ -42,8 +42,7 @@ impl VbrSource {
         tb: &TimeBase,
     ) -> Self {
         assert!(!trace.is_empty(), "trace must contain frames");
-        let frame_time_rc =
-            crate::mpeg::FRAME_TIME_SECS / tb.router_cycle_secs();
+        let frame_time_rc = crate::mpeg::FRAME_TIME_SECS / tb.router_cycle_secs();
         let total = trace.total_flits();
         VbrSource {
             connection,
@@ -67,7 +66,9 @@ impl VbrSource {
     /// Emission time (f64 router cycles) of flit `j` of frame `k`.
     fn emission_time(&self, k: usize, j: u64) -> f64 {
         let frame = &self.trace.frames[k];
-        let iat = self.model.iat_router_cycles(frame.flits, self.frame_time_rc, &self.tb);
+        let iat = self
+            .model
+            .iat_router_cycles(frame.flits, self.frame_time_rc, &self.tb);
         self.start_rc + k as f64 * self.frame_time_rc + j as f64 * iat
     }
 
@@ -86,7 +87,10 @@ impl TrafficSource for VbrSource {
         if self.frame_idx >= self.trace.len() {
             return None;
         }
-        Some(RouterCycle(self.emission_time(self.frame_idx, self.flit_in_frame).round() as u64))
+        Some(RouterCycle(
+            self.emission_time(self.frame_idx, self.flit_in_frame)
+                .round() as u64,
+        ))
     }
 
     fn emit(&mut self) -> Flit {
@@ -215,10 +219,12 @@ mod tests {
             }
         }
         let span = (times_frame0[times_frame0.len() - 1] - times_frame0[0]) as f64;
-        assert!(span < 0.5 * ft_rc, "BB burst should finish early, span {span} of {ft_rc}");
+        assert!(
+            span < 0.5 * ft_rc,
+            "BB burst should finish early, span {span} of {ft_rc}"
+        );
         // And the gaps are uniform (constant peak IAT).
-        let gaps: Vec<u64> =
-            times_frame0.windows(2).map(|w| w[1] - w[0]).collect();
+        let gaps: Vec<u64> = times_frame0.windows(2).map(|w| w[1] - w[0]).collect();
         let (min, max) = (gaps.iter().min().unwrap(), gaps.iter().max().unwrap());
         assert!(max - min <= 1, "gaps {min}..{max}");
     }

@@ -80,8 +80,7 @@ impl Workload {
         if per_link_load == 0.0 {
             return;
         }
-        let per_pair =
-            Bandwidth::bps(per_link_load * tb.link_bits_per_sec / ports as f64);
+        let per_pair = Bandwidth::bps(per_link_load * tb.link_bits_per_sec / ports as f64);
         for input in 0..ports {
             for output in 0..ports {
                 let id = ConnectionId(self.connections.len() as u32);
@@ -203,7 +202,11 @@ impl CbrMixBuilder {
             }
         }
         let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
-        Workload { connections, sources, per_input_load }
+        Workload {
+            connections,
+            sources,
+            per_input_load,
+        }
     }
 }
 
@@ -287,8 +290,11 @@ impl VbrMixBuilder {
     /// The Back-to-Back peak rate implied by the configured sequences: the
     /// largest clamped frame must fit within one frame time.
     pub fn bb_peak(&self) -> Bandwidth {
-        let max_bits =
-            self.sequences.iter().map(|s| s.max_bits).fold(0.0f64, f64::max);
+        let max_bits = self
+            .sequences
+            .iter()
+            .map(|s| s.max_bits)
+            .fold(0.0f64, f64::max);
         Bandwidth::bps(max_bits / FRAME_TIME_SECS)
     }
 
@@ -296,10 +302,12 @@ impl VbrMixBuilder {
         match self.injection {
             VbrInjection::SmoothRate => InjectionModel::SmoothRate,
             VbrInjection::BackToBack => {
-                let max_bits =
-                    self.sequences.iter().map(|s| s.max_bits).fold(0.0f64, f64::max);
-                let max_flits =
-                    (max_bits / self.tb.flit_bits as f64).ceil() as u64;
+                let max_bits = self
+                    .sequences
+                    .iter()
+                    .map(|s| s.max_bits)
+                    .fold(0.0f64, f64::max);
+                let max_flits = (max_bits / self.tb.flit_bits as f64).ceil() as u64;
                 InjectionModel::back_to_back_for(max_flits, FRAME_TIME_SECS, &self.tb)
             }
         }
@@ -311,8 +319,8 @@ impl VbrMixBuilder {
         let mut cac = AdmissionControl::new(self.ports, self.round, self.tb);
         let mut connections = Vec::new();
         let mut sources: Vec<BoxedSource> = Vec::new();
-        let gop_time_rc = crate::mpeg::GOP_PATTERN.len() as f64 * FRAME_TIME_SECS
-            / self.tb.router_cycle_secs();
+        let gop_time_rc =
+            crate::mpeg::GOP_PATTERN.len() as f64 * FRAME_TIME_SECS / self.tb.router_cycle_secs();
         for input in 0..self.ports {
             let mut failures = 0;
             while cac.input_load(input) < self.target_load && failures < MAX_PLACEMENT_FAILURES {
@@ -356,7 +364,11 @@ impl VbrMixBuilder {
             }
         }
         let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
-        Workload { connections, sources, per_input_load }
+        Workload {
+            connections,
+            sources,
+            per_input_load,
+        }
     }
 }
 
@@ -444,7 +456,11 @@ mod tests {
             .gops(1)
             .build(&mut rng);
         assert!(!w.is_empty());
-        assert!((w.mean_load() - 0.6).abs() < 0.06, "mean load {}", w.mean_load());
+        assert!(
+            (w.mean_load() - 0.6).abs() < 0.06,
+            "mean load {}",
+            w.mean_load()
+        );
         assert!(w.connections.iter().all(|c| c.class == TrafficClass::Vbr));
     }
 
@@ -465,13 +481,19 @@ mod tests {
     fn vbr_bb_peak_covers_largest_frame() {
         let b = VbrMixBuilder::new(2, tb(), RoundConfig::default());
         let peak = b.bb_peak();
-        let max_bits = standard_sequences().iter().map(|s| s.max_bits).fold(0.0, f64::max);
+        let max_bits = standard_sequences()
+            .iter()
+            .map(|s| s.max_bits)
+            .fold(0.0, f64::max);
         assert!((peak.as_bps() - max_bits / FRAME_TIME_SECS).abs() < 1.0);
     }
 
     #[test]
     fn vbr_enforce_peak_limits_admission() {
-        let round = RoundConfig { cycles_per_round: 16_384, concurrency_factor: 1.5 };
+        let round = RoundConfig {
+            cycles_per_round: 16_384,
+            concurrency_factor: 1.5,
+        };
         let mut rng_a = SimRng::seed_from_u64(8);
         let unconstrained = VbrMixBuilder::new(2, tb(), round)
             .target_load(0.8)
@@ -495,7 +517,9 @@ mod tests {
     fn workload_is_deterministic() {
         let build = || {
             let mut rng = SimRng::seed_from_u64(42);
-            CbrMixBuilder::new(4, tb(), RoundConfig::default()).target_load(0.5).build(&mut rng)
+            CbrMixBuilder::new(4, tb(), RoundConfig::default())
+                .target_load(0.5)
+                .build(&mut rng)
         };
         let a = build();
         let b = build();

@@ -13,7 +13,10 @@ use mmr_core::traffic::connection::TrafficClass;
 
 fn main() {
     let load = 0.8;
-    println!("CBR mix at {:.0}% offered load, identical workload for every arbiter\n", load * 100.0);
+    println!(
+        "CBR mix at {:.0}% offered load, identical workload for every arbiter\n",
+        load * 100.0
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "arbiter", "util(%)", "low(µs)", "med(µs)", "high(µs)", "throughput"

@@ -61,8 +61,10 @@ fn main() {
     while cac.admit(0, 0, audio, audio).is_ok() {
         extra += 1;
     }
-    println!("  plus {extra} audio connections in the residual slots ({:.1}% final load)",
-        cac.input_load(0) * 100.0);
+    println!(
+        "  plus {extra} audio connections in the residual slots ({:.1}% final load)",
+        cac.input_load(0) * 100.0
+    );
 
     // Other links are unaffected: per-link ledgers.
     assert_eq!(cac.input_load(1), 0.0);

@@ -28,7 +28,9 @@ fn main() {
             },
             arbiter: ArbiterKind::Coa,
             warmup_cycles: 0,
-            run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(gops) },
+            run: RunLength::UntilDrained {
+                max_cycles: vbr_cycle_budget(gops),
+            },
             ..Default::default()
         };
         let r = run_experiment(&cfg);

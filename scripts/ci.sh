@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a revision must pass before merge.
+# Offline-friendly: no network access, no external tools beyond the
+# pinned Rust toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== bench_report smoke =="
+SMOKE_OUT="$(mktemp /tmp/bench_smoke_XXXXXX.json)"
+trap 'rm -f "$SMOKE_OUT"' EXIT
+cargo run --release -q -p mmr-bench --bin bench_report -- --quick --out "$SMOKE_OUT"
+test -s "$SMOKE_OUT"
+
+echo "== CI green =="

@@ -7,10 +7,7 @@ use mmr_core::sim::rng::SimRng;
 use proptest::prelude::*;
 
 /// Strategy: a random candidate set for a `ports`-port router.
-fn candidate_set_strategy(
-    ports: usize,
-    levels: usize,
-) -> impl Strategy<Value = CandidateSet> {
+fn candidate_set_strategy(ports: usize, levels: usize) -> impl Strategy<Value = CandidateSet> {
     // Per input: up to `levels` (output, priority) pairs.
     let per_input = proptest::collection::vec((0..ports, 0u64..1_000_000), 0..=levels);
     proptest::collection::vec(per_input, ports).prop_map(move |inputs| {

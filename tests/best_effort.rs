@@ -8,7 +8,10 @@ use mmr_core::traffic::connection::TrafficClass;
 fn with_be(reserved: f64, be: f64) -> SimConfig {
     SimConfig {
         workload: WorkloadSpec::cbr(reserved),
-        best_effort: Some(BestEffortSpec { per_link_load: be, mean_flits: 8.0 }),
+        best_effort: Some(BestEffortSpec {
+            per_link_load: be,
+            mean_flits: 8.0,
+        }),
         warmup_cycles: 2_000,
         run: RunLength::Cycles(25_000),
         ..Default::default()
@@ -40,7 +43,10 @@ fn best_effort_gets_through_when_headroom_exists() {
 
 #[test]
 fn reserved_qos_survives_best_effort_intrusion() {
-    let without = run_experiment(&SimConfig { best_effort: None, ..with_be(0.6, 0.0) });
+    let without = run_experiment(&SimConfig {
+        best_effort: None,
+        ..with_be(0.6, 0.0)
+    });
     let with = run_experiment(&with_be(0.6, 0.3));
     for class in [TrafficClass::CbrMedium, TrafficClass::CbrHigh] {
         let base = without.summary.metrics.class(class).unwrap().mean_delay_us;
@@ -70,7 +76,10 @@ fn best_effort_yields_under_pressure() {
 
 #[test]
 fn zero_best_effort_load_is_a_noop() {
-    let mut w = build_workload(&SimConfig { best_effort: None, ..with_be(0.5, 0.0) });
+    let mut w = build_workload(&SimConfig {
+        best_effort: None,
+        ..with_be(0.5, 0.0)
+    });
     let before = w.len();
     let tb = mmr_core::sim::time::TimeBase::default();
     let mut rng = mmr_core::sim::rng::SimRng::seed_from_u64(1);

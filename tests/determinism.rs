@@ -23,7 +23,10 @@ fn experiments_are_bit_identical() {
     let a = run_experiment(&cfg);
     let b = run_experiment(&cfg);
     assert_eq!(a, b);
-    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
 }
 
 #[test]
@@ -36,7 +39,9 @@ fn vbr_experiments_are_bit_identical() {
             enforce_peak: false,
         },
         warmup_cycles: 0,
-        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(1) },
+        run: RunLength::UntilDrained {
+            max_cycles: vbr_cycle_budget(1),
+        },
         seed: 99,
         ..Default::default()
     };
@@ -66,7 +71,11 @@ fn parallel_sweep_is_deterministic() {
     let b = sweep(&spec);
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x, y, "parallel sweep nondeterminism at load {}", x.target_load);
+        assert_eq!(
+            x, y,
+            "parallel sweep nondeterminism at load {}",
+            x.target_load
+        );
     }
 }
 

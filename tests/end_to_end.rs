@@ -17,11 +17,22 @@ fn cbr_pipeline_delivers_all_classes() {
         ..Default::default()
     };
     let r = run_experiment(&cfg);
-    for class in [TrafficClass::CbrLow, TrafficClass::CbrMedium, TrafficClass::CbrHigh] {
-        let c = r.summary.metrics.class(class).unwrap_or_else(|| panic!("{class:?} missing"));
+    for class in [
+        TrafficClass::CbrLow,
+        TrafficClass::CbrMedium,
+        TrafficClass::CbrHigh,
+    ] {
+        let c = r
+            .summary
+            .metrics
+            .class(class)
+            .unwrap_or_else(|| panic!("{class:?} missing"));
         assert!(c.delivered > 0, "{class:?} delivered nothing");
     }
-    assert!(r.summary.throughput_ratio() > 0.98, "60% load must not saturate");
+    assert!(
+        r.summary.throughput_ratio() > 0.98,
+        "60% load must not saturate"
+    );
 }
 
 #[test]
@@ -36,7 +47,9 @@ fn vbr_pipeline_conserves_flits() {
             enforce_peak: false,
         },
         warmup_cycles: 0,
-        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(1) },
+        run: RunLength::UntilDrained {
+            max_cycles: vbr_cycle_budget(1),
+        },
         ..Default::default()
     };
     let r = run_experiment(&cfg);
@@ -56,14 +69,17 @@ fn vbr_delivers_every_frame_exactly_once() {
             enforce_peak: false,
         },
         warmup_cycles: 0,
-        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(2) },
+        run: RunLength::UntilDrained {
+            max_cycles: vbr_cycle_budget(2),
+        },
         ..Default::default()
     };
     let workload = build_workload(&cfg);
     let expected_frames: u64 =
         workload.connections.len() as u64 * 2 * mmr_core::traffic::mpeg::GOP_PATTERN.len() as u64;
     let mut router = build_router(&cfg, workload);
-    let out = Runner::new(0, StopCondition::ModelDoneOrCycles(vbr_cycle_budget(2))).run(&mut router);
+    let out =
+        Runner::new(0, StopCondition::ModelDoneOrCycles(vbr_cycle_budget(2))).run(&mut router);
     assert!(out.model_finished, "router must drain");
     assert_eq!(router.summary().metrics.frames_delivered, expected_frames);
 }

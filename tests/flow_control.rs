@@ -16,7 +16,10 @@ fn single_flit_buffers_never_overflow_under_saturation() {
     // The harshest case: 1-flit VC buffers at 90% offered load.  Credits
     // are the only thing standing between the NIC and an overflow.
     let cfg = SimConfig {
-        router: RouterConfig { vc_buffer_flits: 1, ..Default::default() },
+        router: RouterConfig {
+            vc_buffer_flits: 1,
+            ..Default::default()
+        },
         workload: WorkloadSpec::cbr(0.9),
         warmup_cycles: 0,
         run: RunLength::Cycles(20_000),
@@ -32,7 +35,10 @@ fn single_flit_buffers_never_overflow_under_saturation() {
 fn every_arbiter_respects_credits_with_tiny_buffers() {
     for kind in ArbiterKind::all() {
         let cfg = SimConfig {
-            router: RouterConfig { vc_buffer_flits: 2, ..Default::default() },
+            router: RouterConfig {
+                vc_buffer_flits: 2,
+                ..Default::default()
+            },
             workload: WorkloadSpec::cbr(0.85),
             arbiter: kind,
             warmup_cycles: 0,
@@ -53,7 +59,10 @@ fn vc_occupancy_bounded_by_credit_budget() {
     // Peak total occupancy can never exceed connections x buffer depth.
     for depth in [1usize, 3, 4, 8] {
         let cfg = SimConfig {
-            router: RouterConfig { vc_buffer_flits: depth, ..Default::default() },
+            router: RouterConfig {
+                vc_buffer_flits: depth,
+                ..Default::default()
+            },
             workload: WorkloadSpec::cbr(0.8),
             warmup_cycles: 0,
             run: RunLength::Cycles(10_000),
@@ -74,7 +83,10 @@ fn bursty_vbr_respects_flow_control() {
     // Back-to-back MPEG-2 bursts hammer the input links; credits must
     // absorb them without loss (conservation) or overflow (no panic).
     let cfg = SimConfig {
-        router: RouterConfig { vc_buffer_flits: 2, ..Default::default() },
+        router: RouterConfig {
+            vc_buffer_flits: 2,
+            ..Default::default()
+        },
         workload: WorkloadSpec::Vbr {
             target_load: 0.85,
             gops: 1,
@@ -82,7 +94,9 @@ fn bursty_vbr_respects_flow_control() {
             enforce_peak: false,
         },
         warmup_cycles: 0,
-        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(1) },
+        run: RunLength::UntilDrained {
+            max_cycles: vbr_cycle_budget(1),
+        },
         ..Default::default()
     };
     let r = run_experiment(&cfg);

@@ -53,7 +53,10 @@ fn both_arbiters_equivalent_at_low_load() {
     let coa = worst_class_delay(&base);
     let wfa = worst_class_delay(&base.with_arbiter(ArbiterKind::Wfa));
     let ratio = coa.max(wfa) / coa.min(wfa);
-    assert!(ratio < 2.0, "low-load delays should be comparable: COA {coa:.2} WFA {wfa:.2}");
+    assert!(
+        ratio < 2.0,
+        "low-load delays should be comparable: COA {coa:.2} WFA {wfa:.2}"
+    );
 }
 
 #[test]
@@ -91,7 +94,9 @@ fn vbr_jitter_stays_in_microsecond_range_below_saturation() {
                 enforce_peak: false,
             },
             warmup_cycles: 0,
-            run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(2) },
+            run: RunLength::UntilDrained {
+                max_cycles: vbr_cycle_budget(2),
+            },
             ..Default::default()
         };
         let r = run_experiment(&cfg);
@@ -118,7 +123,9 @@ fn bb_injection_has_higher_frame_delay_than_sr() {
                 enforce_peak: false,
             },
             warmup_cycles: 0,
-            run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(2) },
+            run: RunLength::UntilDrained {
+                max_cycles: vbr_cycle_budget(2),
+            },
             ..Default::default()
         };
         run_experiment(&cfg).summary.metrics.mean_frame_delay_us
@@ -143,8 +150,18 @@ fn high_bandwidth_class_gets_priority_under_contention() {
         ..Default::default()
     };
     let r = run_experiment(&cfg);
-    let high = r.summary.metrics.class(TrafficClass::CbrHigh).unwrap().mean_delay_us;
-    let low = r.summary.metrics.class(TrafficClass::CbrLow).unwrap().mean_delay_us;
+    let high = r
+        .summary
+        .metrics
+        .class(TrafficClass::CbrHigh)
+        .unwrap()
+        .mean_delay_us;
+    let low = r
+        .summary
+        .metrics
+        .class(TrafficClass::CbrLow)
+        .unwrap()
+        .mean_delay_us;
     assert!(
         high <= low * 1.5,
         "high class {high:.1} µs should not trail low class {low:.1} µs"
@@ -178,7 +195,10 @@ fn coa_protects_high_bandwidth_throughput_past_saturation() {
     // Characterize the fairness metric itself: past saturation both
     // schedulers fall well short of reservation-proportional service.
     let coa_fair = run_experiment(&base).summary.reservation_fairness;
-    assert!(coa_fair < 0.95, "past saturation fairness should degrade, got {coa_fair}");
+    assert!(
+        coa_fair < 0.95,
+        "past saturation fairness should degrade, got {coa_fair}"
+    );
 }
 
 #[test]
@@ -209,7 +229,11 @@ fn aged_low_priority_flits_are_never_starved_below_saturation() {
     };
     let r = run_experiment(&cfg);
     let low = r.summary.metrics.class(TrafficClass::CbrLow).unwrap();
-    assert!(low.generated > 50, "need a meaningful sample, got {}", low.generated);
+    assert!(
+        low.generated > 50,
+        "need a meaningful sample, got {}",
+        low.generated
+    );
     let ratio = low.delivered as f64 / low.generated as f64;
     assert!(
         ratio > 0.95,
@@ -235,7 +259,9 @@ fn wfa_utilization_does_not_beat_coa_at_saturation() {
             enforce_peak: false,
         },
         warmup_cycles: 0,
-        run: RunLength::UntilDrained { max_cycles: vbr_cycle_budget(1) },
+        run: RunLength::UntilDrained {
+            max_cycles: vbr_cycle_budget(1),
+        },
         ..Default::default()
     };
     let coa = run_experiment(&base);

@@ -1,0 +1,379 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset.
+//!
+//! Written against `proc_macro` alone (no syn/quote — the build
+//! environment is offline), so the item parser is deliberately small.  It
+//! supports exactly the shapes this workspace uses:
+//!
+//! * non-generic structs with named fields, tuple structs, unit structs;
+//! * non-generic enums with unit, tuple, and struct variants;
+//! * no `#[serde(...)]` field/container attributes.
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    /// Tuple fields (arity).
+    Tuple(usize),
+    Unit,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attribute groups at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(...)`) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse the fields of a braced group: `name: Type, ...`.  Returns the
+/// field names.  Types are skipped with angle-bracket depth tracking so
+/// generic arguments containing commas do not split fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Count the fields of a parenthesized tuple group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde derive does not support generics (on `{name}`)"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g)),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let vt: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < vt.len() {
+                j = skip_attrs(&vt, j);
+                let vname = match vt.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => return Err(format!("expected variant, got `{other}`")),
+                    None => break,
+                };
+                j += 1;
+                let fields = match vt.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Fields::Named(parse_named_fields(g)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Fields::Tuple(count_tuple_fields(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                if matches!(vt.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    return Err(format!(
+                        "offline serde derive does not support discriminants (variant `{vname}`)"
+                    ));
+                }
+                if matches!(vt.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                variants.push((vname, fields));
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Emit the expression serializing `fields` accessed through `access`
+/// (e.g. `&self.x` for structs, a bound name for enum variants).
+fn ser_fields_expr(fields: &Fields, bind: impl Fn(usize, &str) -> String) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut s = String::from("{ let mut __f: Vec<(String, serde::Value)> = Vec::new(); ");
+            for (idx, n) in names.iter().enumerate() {
+                s.push_str(&format!(
+                    "__f.push(({n:?}.to_string(), serde::Serialize::to_value({})));",
+                    bind(idx, n)
+                ));
+            }
+            s.push_str(" serde::Value::Object(__f) }");
+            s
+        }
+        Fields::Tuple(1) => format!("serde::Serialize::to_value({})", bind(0, "")),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value({})", bind(i, "")))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "serde::Value::Null".to_string(),
+    }
+}
+
+/// Emit the expression deserializing `fields` of `ctor` from `__v`
+/// (a `&serde::Value`).
+fn de_fields_expr(ctor: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut s = format!(
+                "{{ let __obj = __v; let _ = __obj.as_object().ok_or_else(|| \
+                 serde::Error::new(format!(\"expected object for {ctor}, got {{__obj:?}}\")))?; \
+                 Ok({ctor} {{ "
+            );
+            for n in names {
+                s.push_str(&format!(
+                    "{n}: serde::Deserialize::from_maybe(__obj.get({n:?}), {n:?})?, "
+                ));
+            }
+            s.push_str("}) }");
+            s
+        }
+        Fields::Tuple(1) => format!("Ok({ctor}(serde::Deserialize::from_value(__v)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__xs[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ serde::Value::Array(__xs) if __xs.len() == {n} => \
+                 Ok({ctor}({})), __other => Err(serde::Error::new(format!(\
+                 \"expected {n}-element array for {ctor}, got {{__other:?}}\"))) }}",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("Ok({ctor})"),
+    }
+}
+
+/// `#[derive(Serialize)]` for the vendored serde subset.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match &item {
+        Item::Struct { name, fields } => {
+            let body = ser_fields_expr(fields, |i, n| match fields {
+                Fields::Named(_) => format!("&self.{n}"),
+                _ => format!("&self.{i}"),
+            });
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    Fields::Named(names) => {
+                        let pat = names.join(", ");
+                        let body = ser_fields_expr(fields, |_, n| n.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), {body})]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__b{i}")).collect();
+                        let pat = binds.join(", ");
+                        let body = ser_fields_expr(fields, |i, _| format!("__b{i}"));
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => serde::Value::Object(vec![\
+                             ({vname:?}.to_string(), {body})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]` for the vendored serde subset.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match &item {
+        Item::Struct { name, fields } => {
+            let body = de_fields_expr(name, fields);
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Externally tagged: "Variant" or {"Variant": payload}.
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                        tagged_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                    }
+                    _ => {
+                        let body = de_fields_expr(&format!("{name}::{vname}"), fields);
+                        tagged_arms
+                            .push_str(&format!("{vname:?} => {{ let __v = __payload; {body} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                   match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                       {unit_arms}\n\
+                       __other => Err(serde::Error::new(format!(\
+                         \"unknown {name} variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                       let (__tag, __payload) = &__fields[0];\n\
+                       match __tag.as_str() {{\n\
+                         {tagged_arms}\n\
+                         __other => Err(serde::Error::new(format!(\
+                           \"unknown {name} variant {{__other:?}}\"))),\n\
+                       }}\n\
+                     }}\n\
+                     __other => Err(serde::Error::new(format!(\
+                       \"expected {name} variant, got {{__other:?}}\"))),\n\
+                   }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}

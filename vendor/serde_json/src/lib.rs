@@ -1,0 +1,374 @@
+//! Offline drop-in subset of `serde_json`: renders and parses the
+//! vendored [`serde::Value`] data model.
+//!
+//! Floats are printed with Rust's shortest round-trip formatting (`{:?}`),
+//! so `to_string` → `from_str` round-trips every finite `f64` exactly —
+//! required for the simulator's deterministic config round-trip tests.
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value)
+}
+
+/// Parse JSON text into a [`Value`] without binding it to a type.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    // `{:?}` is the shortest representation that round-trips; it always
+    // includes a `.0` or exponent for integral values, keeping the token
+    // recognizably a float.
+    let _ = write!(out, "{x:?}");
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, padc, sep) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (level + 1)),
+            " ".repeat(w * level),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, x, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&padc);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(out, k);
+                out.push_str(sep);
+                write_value(out, x, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&padc);
+            out.push('}');
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected `{lit}` at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, "\"")?;
+    let mut s = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error::new("unterminated string"));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error::new("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'u' => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            expect(bytes, pos, "\\u")?;
+                            let lo = parse_hex4(bytes, pos)?;
+                            0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
+                        } else {
+                            hi
+                        };
+                        s.push(char::from_u32(cp).ok_or_else(|| Error::new("invalid \\u escape"))?);
+                    }
+                    other => return Err(Error::new(format!("bad escape `\\{}`", other as char))),
+                }
+            }
+            _ => {
+                // Re-sync to char boundary for multi-byte UTF-8.
+                let start = *pos - 1;
+                let len = utf8_len(b);
+                let end = start + len;
+                if end > bytes.len() {
+                    return Err(Error::new("truncated UTF-8"));
+                }
+                s.push_str(
+                    std::str::from_utf8(&bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8"))?,
+                );
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let end = *pos + 4;
+    if end > bytes.len() {
+        return Err(Error::new("truncated \\u escape"));
+    }
+    let s = std::str::from_utf8(&bytes[*pos..end]).map_err(|_| Error::new("bad hex"))?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad hex"))?;
+    *pos = end;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    let mut is_float = false;
+    if matches!(bytes.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(n) = stripped.parse::<u64>() {
+                if n <= i64::MAX as u64 + 1 {
+                    return Ok(Value::I64((n as i64).wrapping_neg()));
+                }
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if matches!(bytes.get(*pos), Some(b']')) {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected , or ] at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if matches!(bytes.get(*pos), Some(b'}')) {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_at(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::new(format!("expected , or }} at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+            let v = parse_value(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 826e-9, f64::MAX] {
+            let v = Value::F64(x);
+            let text = to_string(&v).unwrap();
+            match parse_value(&text).unwrap() {
+                Value::F64(y) => assert_eq!(x, y, "text {text}"),
+                other => panic!("reparsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x\ny"}"#;
+        let v = parse_value(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+        assert_eq!(v.get("c"), Some(&Value::Str("x\ny".into())));
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let text = r#"{"a":[1,2],"b":{"c":true}}"#;
+        let v = parse_value(text).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse_value(r#""é😀""#).unwrap();
+        assert_eq!(v, Value::Str("é😀".into()));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("12 34").is_err());
+    }
+}
