@@ -3,6 +3,8 @@
 use mmr_arbiter::priority::PriorityKind;
 use mmr_arbiter::scheduler::ArbiterKind;
 use mmr_router::config::RouterConfig;
+use mmr_router::fault::FaultProfile;
+use mmr_sim::fault::FaultPlanConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which injection model a VBR workload uses (mirrors
@@ -120,6 +122,32 @@ impl Default for BestEffortSpec {
     }
 }
 
+/// Fault injection for a simulation: the randomized schedule to generate
+/// and the router's detection/recovery policy.
+///
+/// The concrete [`mmr_sim::fault::FaultPlan`] is derived at build time
+/// from the plan config, the router geometry, and a stream split off the
+/// master seed — so a `(SimConfig, seed)` pair fully determines the chaos
+/// run and it replays bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Randomized fault-schedule parameters.
+    pub plan: FaultPlanConfig,
+    /// Detection/recovery policy.
+    pub profile: FaultProfile,
+}
+
+impl FaultSpec {
+    /// A copy with every fault rate multiplied by `factor` (the x-axis of
+    /// fault-rate sweeps).
+    pub fn scaled(&self, factor: f64) -> Self {
+        FaultSpec {
+            plan: self.plan.scaled(factor),
+            profile: self.profile,
+        }
+    }
+}
+
 /// A complete, reproducible description of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -139,6 +167,8 @@ pub struct SimConfig {
     pub warmup_cycles: u64,
     /// Run length.
     pub run: RunLength,
+    /// Optional fault injection (chaos experiments).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for SimConfig {
@@ -152,6 +182,7 @@ impl Default for SimConfig {
             seed: 0xB1ACA,
             warmup_cycles: 2_000,
             run: RunLength::Cycles(50_000),
+            fault: None,
         }
     }
 }
@@ -177,6 +208,14 @@ impl SimConfig {
     pub fn with_seed(&self, seed: u64) -> Self {
         SimConfig {
             seed,
+            ..self.clone()
+        }
+    }
+
+    /// A copy with fault injection enabled (or reconfigured).
+    pub fn with_fault(&self, fault: FaultSpec) -> Self {
+        SimConfig {
+            fault: Some(fault),
             ..self.clone()
         }
     }
@@ -221,6 +260,20 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn fault_spec_roundtrips_and_scales() {
+        let cfg = SimConfig::default().with_fault(FaultSpec::default());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        let fs = FaultSpec::default().scaled(3.0);
+        assert_eq!(
+            fs.plan.corrupt_per_kcycle,
+            FaultPlanConfig::default().corrupt_per_kcycle * 3.0
+        );
+        assert_eq!(fs.profile, FaultProfile::default());
     }
 
     #[test]

@@ -224,6 +224,7 @@ mod tests {
             reservation_fairness: 1.0,
             metrics: MetricsReport {
                 classes: vec![],
+                qos_violations: 0,
                 frames_delivered: 0,
                 mean_frame_delay_us: 0.0,
                 max_frame_delay_us: 0.0,
@@ -243,6 +244,7 @@ mod tests {
             backlog_flits: 0,
             generation_window_cycles: None,
             delivered_in_window: 0,
+            faults: mmr_router::fault::FaultReport::default(),
         };
         SweepPoint {
             arbiter,

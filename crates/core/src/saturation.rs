@@ -81,6 +81,7 @@ mod tests {
                 p99_delay_us: frame_delay_us,
                 max_delay_us: frame_delay_us,
             }],
+            qos_violations: 0,
             frames_delivered: 10,
             mean_frame_delay_us: frame_delay_us,
             max_frame_delay_us: frame_delay_us,
@@ -105,6 +106,7 @@ mod tests {
             backlog_flits: 0,
             generation_window_cycles: None,
             delivered_in_window: 0,
+            faults: mmr_router::fault::FaultReport::default(),
         };
         SweepPoint {
             arbiter: ArbiterKind::Coa,

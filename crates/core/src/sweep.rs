@@ -113,8 +113,16 @@ impl SweepPoint {
 /// Run a sweep, parallelized across points, returning aggregated points
 /// grouped by (arbiter, load) in the spec's order.
 pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
+    sweep_with_workers(spec, None)
+}
+
+/// [`sweep`] with an explicit worker count (`None` = one per core).
+/// Results are identical for any worker count — points are independent
+/// deterministic simulations and land at spec order regardless of which
+/// thread computed them.
+pub fn sweep_with_workers(spec: &SweepSpec, workers: Option<usize>) -> Vec<SweepPoint> {
     let configs = spec.configs();
-    let results = parallel_map(&configs, run_experiment);
+    let results = parallel_map(&configs, run_experiment, workers);
     // Regroup: configs() nests seeds innermost.
     let s = spec.seeds.len();
     let mut points = Vec::with_capacity(spec.loads.len() * spec.arbiters.len());
@@ -134,17 +142,27 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
     points
 }
 
+/// Run a flat list of configs in parallel, preserving input order.
+/// `workers = None` uses one thread per core.
+pub fn run_all(configs: &[SimConfig], workers: Option<usize>) -> Vec<ExperimentResult> {
+    parallel_map(configs, run_experiment, workers)
+}
+
 /// Order-preserving parallel map over a slice: results land at the same
 /// index as their input regardless of which worker computed them.
-fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+fn parallel_map<T, R, F>(items: &[T], f: F, workers: Option<usize>) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
         .min(items.len().max(1));
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     if workers <= 1 {
@@ -233,6 +251,14 @@ mod tests {
             .collect();
         assert_eq!(parallel[0].results[0], sequential[0]);
         assert_eq!(parallel[1].results[0], sequential[1]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = SweepSpec::coa_vs_wfa(quick_base(), vec![0.3, 0.5]);
+        let one = sweep_with_workers(&spec, Some(1));
+        let four = sweep_with_workers(&spec, Some(4));
+        assert_eq!(one, four);
     }
 
     #[test]

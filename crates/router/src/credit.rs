@@ -66,6 +66,50 @@ impl CreditBank {
         }
     }
 
+    /// Apply all queued returns, clamping each counter at capacity instead
+    /// of panicking.  Returns the number of excess credits discarded.
+    ///
+    /// Under fault injection a duplicated credit return can push a counter
+    /// past the buffer depth; a real link controller would saturate the
+    /// counter exactly like this (the credit watchdog reconciles any
+    /// remaining drift).  Without faults this is equivalent to
+    /// [`CreditBank::apply_returns`].
+    pub fn apply_returns_clamped(&mut self) -> u32 {
+        let mut excess = 0;
+        for (c, p) in self.credits.iter_mut().zip(self.pending.iter_mut()) {
+            *c += *p;
+            if *c > self.capacity {
+                excess += *c - self.capacity;
+                *c = self.capacity;
+            }
+            *p = 0;
+        }
+        excess
+    }
+
+    /// Per-connection buffer depth (the credit budget).
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// True if `conn`'s counters are consistent with `occupancy` flits
+    /// resident in its VC buffer: available + pending + occupancy must
+    /// equal the buffer depth.
+    pub fn consistent(&self, conn: usize, occupancy: usize) -> bool {
+        self.credits[conn] as usize + self.pending[conn] as usize + occupancy
+            == self.capacity as usize
+    }
+
+    /// Force `conn`'s available-credit counter to `expected` (watchdog
+    /// resynchronization after detected drift).  Returns the signed drift
+    /// that was corrected (`expected - previous`).
+    pub fn resync(&mut self, conn: usize, expected: u32) -> i64 {
+        debug_assert!(expected <= self.capacity);
+        let drift = expected as i64 - self.credits[conn] as i64;
+        self.credits[conn] = expected;
+        drift
+    }
+
     /// Sum of available credits (diagnostic).
     pub fn total_available(&self) -> u32 {
         self.credits.iter().sum()
@@ -111,5 +155,33 @@ mod tests {
         let mut b = CreditBank::new(1, 1);
         b.queue_return(0);
         b.apply_returns();
+    }
+
+    #[test]
+    fn clamped_returns_discard_excess() {
+        let mut b = CreditBank::new(2, 2);
+        b.spend(0);
+        b.queue_return(0);
+        b.queue_return(0); // duplicated credit
+        b.queue_return(1); // phantom: conn 1 never spent
+        let excess = b.apply_returns_clamped();
+        assert_eq!(excess, 2);
+        assert_eq!(b.available(0), 2);
+        assert_eq!(b.available(1), 2);
+    }
+
+    #[test]
+    fn consistency_and_resync() {
+        let mut b = CreditBank::new(1, 4);
+        b.spend(0);
+        b.spend(0);
+        // Two flits "in the buffer": consistent.
+        assert!(b.consistent(0, 2));
+        // One flit lost on the link: occupancy 1, counters stale.
+        assert!(!b.consistent(0, 1));
+        let drift = b.resync(0, 3);
+        assert_eq!(drift, 1);
+        assert!(b.consistent(0, 1));
+        assert_eq!(b.available(0), 3);
     }
 }

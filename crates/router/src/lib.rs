@@ -16,6 +16,9 @@
 //! * [`vcmem`] — the virtual-channel memory (bounded per-VC FIFOs with an
 //!   interleaved-RAM-bank occupancy model, Fig. 2).
 //! * [`credit`] — NIC-side credit counters.
+//! * [`fault`] — deterministic fault injection (corruption, loss, stalls,
+//!   rogue sources) and the matching recovery machinery: ingress
+//!   checksums, a credit watchdog, and contract-policing quarantine.
 //! * [`nic`] — per-connection infinite queues + demand-driven round-robin
 //!   link controller.
 //! * [`link_scheduler`] — candidate selection with pluggable priority
@@ -36,6 +39,7 @@
 pub mod config;
 pub mod credit;
 pub mod crossbar;
+pub mod fault;
 pub mod holfifo;
 pub mod link_scheduler;
 pub mod metrics;
@@ -47,5 +51,6 @@ pub mod tdm;
 pub mod vcmem;
 
 pub use config::RouterConfig;
+pub use fault::{FaultProfile, FaultReport};
 pub use metrics::{ClassStats, MetricsCollector, MetricsReport};
 pub use router::MmrRouter;

@@ -64,6 +64,10 @@ pub struct MetricsCollector {
     jitter_per_conn: Vec<JitterTracker>,
     delivered_per_conn: Vec<u64>,
     delay_per_conn: Vec<Running>,
+    /// Per-connection QoS delay bound (router cycles); deliveries slower
+    /// than this count as violations.  `None` disables the accounting.
+    delay_bound_rc: Option<u64>,
+    violations_per_conn: Vec<u64>,
 }
 
 impl MetricsCollector {
@@ -78,7 +82,15 @@ impl MetricsCollector {
             jitter_per_conn: (0..connections).map(|_| JitterTracker::new()).collect(),
             delivered_per_conn: vec![0; connections],
             delay_per_conn: (0..connections).map(|_| Running::new()).collect(),
+            delay_bound_rc: None,
+            violations_per_conn: vec![0; connections],
         }
+    }
+
+    /// Set (or clear) the per-connection QoS delay bound, in router
+    /// cycles.  Survives [`MetricsCollector::reset`].
+    pub fn set_delay_bound(&mut self, bound_rc: Option<u64>) {
+        self.delay_bound_rc = bound_rc;
     }
 
     /// Record a generated flit.
@@ -97,6 +109,9 @@ impl MetricsCollector {
         let conn_idx = delivery.flit.connection.idx();
         self.delivered_per_conn[conn_idx] += 1;
         self.delay_per_conn[conn_idx].push(delay_rc as f64);
+        if self.delay_bound_rc.is_some_and(|b| delay_rc > b) {
+            self.violations_per_conn[conn_idx] += 1;
+        }
         if delivery.flit.is_frame_end() {
             self.frame_delay.push(delay_rc as f64);
             self.frame_hist.record(delay_rc);
@@ -109,12 +124,21 @@ impl MetricsCollector {
     /// Reset all statistics (start of measurement window).
     pub fn reset(&mut self) {
         let n = self.jitter_per_conn.len();
+        let bound = self.delay_bound_rc;
         *self = MetricsCollector::new(n, self.tb);
+        self.delay_bound_rc = bound;
     }
 
     /// Flits delivered per connection during measurement.
     pub fn delivered_per_connection(&self) -> &[u64] {
         &self.delivered_per_conn
+    }
+
+    /// Delay-bound violations per connection during measurement (all
+    /// zero unless a bound was set with
+    /// [`MetricsCollector::set_delay_bound`]).
+    pub fn violations_per_connection(&self) -> &[u64] {
+        &self.violations_per_conn
     }
 
     /// Mean delay per connection, in microseconds (`None` for connections
@@ -178,6 +202,7 @@ impl MetricsCollector {
         }
         MetricsReport {
             classes,
+            qos_violations: self.violations_per_conn.iter().sum(),
             frames_delivered: self.frames_delivered,
             mean_frame_delay_us: to_us(self.frame_delay.mean()),
             max_frame_delay_us: self.frame_delay.max().map(to_us).unwrap_or(0.0),
@@ -214,6 +239,9 @@ pub struct ClassStats {
 pub struct MetricsReport {
     /// Per-class statistics (classes with traffic only).
     pub classes: Vec<ClassStats>,
+    /// Deliveries that exceeded the configured QoS delay bound (0 when no
+    /// bound is set; see [`MetricsCollector::set_delay_bound`]).
+    pub qos_violations: u64,
     /// Video frames fully delivered.
     pub frames_delivered: u64,
     /// Mean frame delay since generation, microseconds.
@@ -345,6 +373,29 @@ mod tests {
         let delays = m.mean_delay_per_connection_us();
         assert!(delays[0].unwrap() > 0.0);
         assert!(delays[1].is_none());
+    }
+
+    #[test]
+    fn delay_bound_violations_counted_per_connection() {
+        let mut m = MetricsCollector::new(2, TimeBase::default());
+        m.set_delay_bound(Some(100));
+        m.record_delivery(&delivery(0, 0, 64, None), TrafficClass::CbrLow); // within
+        m.record_delivery(&delivery(0, 0, 150, None), TrafficClass::CbrLow); // violation
+        m.record_delivery(&delivery(1, 0, 101, None), TrafficClass::CbrHigh); // violation
+        assert_eq!(m.violations_per_connection(), &[1, 1]);
+        assert_eq!(m.report().qos_violations, 2);
+        // The bound survives a measurement reset.
+        m.reset();
+        assert_eq!(m.report().qos_violations, 0);
+        m.record_delivery(&delivery(1, 0, 500, None), TrafficClass::CbrHigh);
+        assert_eq!(m.report().qos_violations, 1);
+    }
+
+    #[test]
+    fn no_bound_means_no_violations() {
+        let mut m = MetricsCollector::new(1, TimeBase::default());
+        m.record_delivery(&delivery(0, 0, 1_000_000, None), TrafficClass::CbrLow);
+        assert_eq!(m.report().qos_violations, 0);
     }
 
     #[test]

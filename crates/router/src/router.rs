@@ -21,6 +21,7 @@
 use crate::config::{LinkPolicy, RouterConfig};
 use crate::credit::CreditBank;
 use crate::crossbar::{Crossbar, CrossedFlit};
+use crate::fault::{FaultProfile, FaultReport, FaultState, LinkFate};
 use crate::link_scheduler::{LinkScheduler, VcQosInfo};
 use crate::metrics::{MetricsCollector, MetricsReport};
 use crate::nic::Nic;
@@ -59,6 +60,23 @@ impl AnyLinkScheduler {
             AnyLinkScheduler::Tdm(ts) => ts.select(mem, qos, priority_fn, now, cs),
         }
     }
+
+    fn select_where<F: Fn(usize) -> bool>(
+        &mut self,
+        mem: &crate::vcmem::VcMemory,
+        qos: &[VcQosInfo],
+        priority_fn: &dyn LinkPriority,
+        now: RouterCycle,
+        cs: &mut mmr_arbiter::candidate::CandidateSet,
+        eligible: F,
+    ) -> usize {
+        match self {
+            AnyLinkScheduler::Priority(ls) => {
+                ls.select_where(mem, qos, priority_fn, now, cs, eligible)
+            }
+            AnyLinkScheduler::Tdm(ts) => ts.select_where(mem, qos, priority_fn, now, cs, eligible),
+        }
+    }
 }
 
 /// The Multimedia Router with its NICs and traffic sources.
@@ -92,6 +110,9 @@ pub struct MmrRouter {
     generation_ended_at: Option<u64>,
     /// Flits delivered while sources were still generating.
     delivered_in_window: u64,
+    /// Fault injection + detection/recovery; inert unless a plan is
+    /// installed with [`MmrRouter::set_faults`].
+    faults: FaultState,
 }
 
 impl MmrRouter {
@@ -192,8 +213,65 @@ impl MmrRouter {
             delivered_total: 0,
             generation_ended_at: None,
             delivered_in_window: 0,
+            faults: FaultState::inactive(cfg.ports, n_conns),
             cfg,
         }
+    }
+
+    /// Install a fault plan and recovery profile (chaos experiments).
+    ///
+    /// Per-connection contract rates for the rogue-source policing are
+    /// derived from the admitted QoS parameters; the profile's delay
+    /// bound (flit cycles) is handed to the metrics collector so QoS
+    /// violations are counted per connection.
+    pub fn set_faults(&mut self, plan: mmr_sim::fault::FaultPlan, profile: FaultProfile) {
+        let window_rc = (profile.rate_window * self.rc_per_flit) as f64;
+        let contract: Vec<f64> = self
+            .qos
+            .iter()
+            .map(|q| {
+                if q.iat_rc > 0.0 {
+                    window_rc / q.iat_rc
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let guaranteed: Vec<bool> = self.qos.iter().map(|q| q.reserved_slots > 0).collect();
+        self.metrics.set_delay_bound(
+            profile
+                .delay_bound_flit_cycles
+                .map(|b| b * self.rc_per_flit),
+        );
+        self.faults.install(plan, profile, contract, guaranteed);
+    }
+
+    /// Fault-subsystem counters (all zero when no plan is installed).
+    pub fn fault_report(&self) -> FaultReport {
+        self.faults.report()
+    }
+
+    /// Per-connection quarantine flags.
+    pub fn quarantined(&self) -> &[bool] {
+        self.faults.quarantined()
+    }
+
+    /// True if every connection's NIC credit counters agree with its VC
+    /// occupancy (call between cycles; the watchdog restores this after
+    /// credit-path faults).
+    pub fn credits_consistent(&self) -> bool {
+        (0..self.specs.len()).all(|c| self.credits.consistent(c, self.mem.len(c)))
+    }
+
+    /// Delay-bound violations per connection in the current measurement
+    /// window (all zero unless a fault profile set a bound).
+    pub fn violations_per_connection(&self) -> &[u64] {
+        self.metrics.violations_per_connection()
+    }
+
+    /// Flits delivered per connection in the current measurement window.
+    pub fn delivered_per_connection(&self) -> &[u64] {
+        self.metrics.delivered_per_connection()
     }
 
     /// Router configuration.
@@ -237,6 +315,7 @@ impl MmrRouter {
             backlog_flits: self.backlog(),
             generation_window_cycles: self.generation_ended_at,
             delivered_in_window: self.delivered_in_window,
+            faults: self.faults.report(),
         }
     }
 
@@ -256,6 +335,16 @@ impl CycleModel for MmrRouter {
     fn step(&mut self, now: FlitCycle, measuring: bool) {
         let now_rc = RouterCycle(now.0 * self.rc_per_flit);
 
+        // 0. Fault events due this cycle fire before anything moves.
+        let faults_active = self.faults.is_active();
+        if faults_active {
+            self.faults.begin_cycle(now.0);
+            for conn in self.faults.take_pending_dups() {
+                // A phantom credit return materializes on the return path.
+                self.credits.queue_return(conn);
+            }
+        }
+
         // 1. Source generation into NIC queues.
         for i in 0..self.sources.len() {
             self.drain_buf.clear();
@@ -268,19 +357,58 @@ impl CycleModel for MmrRouter {
                 if measuring {
                     self.metrics.record_generated(class);
                 }
+                if faults_active {
+                    self.faults.note_generated(i);
+                }
             }
         }
+        // 1b. Rogue sources inject beyond their admitted contract; the
+        // rate meter sees the excess and may quarantine the connection.
+        if faults_active {
+            for i in 0..self.specs.len() {
+                if let Some((seq0, n)) = self.faults.rogue_take(i, now.0) {
+                    let (port, local) = self.nic_slot[i];
+                    let class = self.specs[i].class;
+                    for k in 0..n as u64 {
+                        let flit = Flit::cbr(self.specs[i].id, seq0 + k, now_rc);
+                        self.nics[port].enqueue(local, flit);
+                        self.generated_total += 1;
+                        if measuring {
+                            self.metrics.record_generated(class);
+                        }
+                        self.faults.note_generated(i);
+                    }
+                }
+            }
+            self.faults.poll_contracts(now.0);
+            for idx in 0..self.faults.newly_quarantined().len() {
+                // Degradation policy: the violator loses its reservation,
+                // so the link schedulers treat it as best-effort and its
+                // slots return to the best-effort pool.
+                let conn = self.faults.newly_quarantined()[idx];
+                self.qos[conn].reserved_slots = 0;
+            }
+            self.faults.clear_newly_quarantined();
+        }
 
-        // 2. Link scheduling: candidate selection per input.
+        // 2. Link scheduling: candidate selection per input.  VCs routed
+        // to a stalled output are ineligible — offering them would waste
+        // crossbar grants on a port that cannot accept.
         self.candidates.clear();
-        for ls in &mut self.link_scheds {
-            ls.select(
-                &self.mem,
-                &self.qos,
-                self.priority_fn.as_ref(),
-                now_rc,
-                &mut self.candidates,
-            );
+        let mem = &self.mem;
+        let qos = &self.qos;
+        let priority_fn = self.priority_fn.as_ref();
+        if faults_active && self.faults.any_stall(now.0) {
+            let faults = &self.faults;
+            for ls in &mut self.link_scheds {
+                ls.select_where(mem, qos, priority_fn, now_rc, &mut self.candidates, |vc| {
+                    !faults.output_stalled(qos[vc].output, now.0)
+                });
+            }
+        } else {
+            for ls in &mut self.link_scheds {
+                ls.select(mem, qos, priority_fn, now_rc, &mut self.candidates);
+            }
         }
 
         // 3. Switch scheduling, into the reusable matching buffer — the
@@ -308,22 +436,69 @@ impl CycleModel for MmrRouter {
                 self.metrics
                     .record_delivery(&delivery, self.specs[cf.vc].class);
             }
-            self.credits.queue_return(cf.vc);
+            if faults_active && self.faults.steal_return(cf.vc) {
+                // Credit return lost on the return path: the NIC's
+                // counter drifts low until the watchdog resynchronizes.
+            } else {
+                self.credits.queue_return(cf.vc);
+            }
         }
         self.crossed = crossed;
 
         // 5. NIC link controllers forward one flit per input link.
         let arrival = RouterCycle(now_rc.0 + self.rc_per_flit);
-        for nic in &mut self.nics {
+        for (input, nic) in self.nics.iter_mut().enumerate() {
             let credits = &self.credits;
-            if let Some((conn, flit)) = nic.forward_one(|c| credits.has_credit(c)) {
-                self.credits.spend(conn);
-                self.mem.push(conn, flit, arrival);
+            let Some((conn, mut flit)) = nic.forward_one(|c| credits.has_credit(c)) else {
+                continue;
+            };
+            self.credits.spend(conn);
+            if faults_active {
+                if self.faults.on_link_flit(input, &mut flit) == LinkFate::Dropped {
+                    // Silent loss: the spent credit vanishes with the
+                    // flit; only the watchdog can recover it.
+                    continue;
+                }
+                if !flit.integrity_ok() {
+                    // Ingress checksum catch: discard the damaged flit
+                    // and return its credit immediately (the buffer slot
+                    // was never consumed).
+                    self.faults.note_corrupt_detected();
+                    self.credits.queue_return(conn);
+                    continue;
+                }
+                if self.mem.free_space(conn) == 0 {
+                    // Phantom-credit guard: a duplicated credit let the
+                    // NIC send into a full buffer.  Discarding the flit
+                    // without a credit return annihilates the phantom.
+                    self.faults.note_phantom_drop();
+                    continue;
+                }
             }
+            self.mem.push(conn, flit, arrival);
         }
 
-        // 6. Credit returns become visible next cycle.
-        self.credits.apply_returns();
+        // 6. Credit returns become visible next cycle.  Under fault
+        // injection the counters saturate instead of panicking, and the
+        // watchdog periodically audits them against VC occupancy.
+        if faults_active {
+            let excess = self.credits.apply_returns_clamped();
+            if excess > 0 {
+                self.faults.note_excess_credits(excess);
+            }
+            if self.faults.watchdog_due(now.0) {
+                for conn in 0..self.specs.len() {
+                    let occupancy = self.mem.len(conn);
+                    if !self.credits.consistent(conn, occupancy) {
+                        let expected = self.credits.capacity() - occupancy as u32;
+                        self.credits.resync(conn, expected);
+                        self.faults.note_resync();
+                    }
+                }
+            }
+        } else {
+            self.credits.apply_returns();
+        }
 
         // Track the end of the generation window (finite workloads only).
         if self.generation_ended_at.is_none()
@@ -341,6 +516,7 @@ impl CycleModel for MmrRouter {
         self.delivered_total = 0;
         self.delivered_in_window = 0;
         self.generation_ended_at = None;
+        self.faults.reset_stats();
     }
 
     fn is_done(&self, _now: FlitCycle) -> bool {
@@ -385,6 +561,8 @@ pub struct RouterSummary {
     pub generation_window_cycles: Option<u64>,
     /// Flits delivered during the generation window.
     pub delivered_in_window: u64,
+    /// Fault-subsystem counters (all zero when no faults were injected).
+    pub faults: FaultReport,
 }
 
 impl RouterSummary {
@@ -561,6 +739,135 @@ mod tests {
         let out = Runner::new(0, StopCondition::ModelDoneOrCycles(100)).run(&mut r);
         assert!(out.model_finished);
         assert_eq!(r.summary().generated_flits, 0);
+    }
+
+    #[test]
+    fn faults_are_detected_and_credits_recover() {
+        use crate::fault::FaultProfile;
+        use mmr_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+        let mut r = small_cbr_router(0.5, ArbiterKind::Coa, 11);
+        let conns = r.connections().len();
+        let mut events = Vec::new();
+        for c in 0..conns.min(8) {
+            events.push(FaultEvent {
+                at: 100 + c as u64 * 7,
+                kind: FaultKind::DropCredit { conn: c },
+            });
+            events.push(FaultEvent {
+                at: 130 + c as u64 * 7,
+                kind: FaultKind::DuplicateCredit { conn: c },
+            });
+        }
+        for input in 0..4 {
+            events.push(FaultEvent {
+                at: 200 + input as u64,
+                kind: FaultKind::CorruptFlit { input },
+            });
+            events.push(FaultEvent {
+                at: 300 + input as u64,
+                kind: FaultKind::DropFlit { input },
+            });
+        }
+        r.set_faults(FaultPlan::from_events(events), FaultProfile::default());
+        Runner::new(0, StopCondition::Cycles(3_000)).run(&mut r);
+        let rep = r.fault_report();
+        assert!(rep.events_fired > 0);
+        assert_eq!(rep.corrupted_flits, 4, "every corruption must be caught");
+        assert!(rep.dropped_flits >= 4);
+        assert!(rep.credits_lost > 0);
+        assert!(rep.credit_resyncs > 0, "watchdog must fix the drift");
+        assert!(
+            r.credits_consistent(),
+            "credits must be consistent after recovery"
+        );
+        // The router keeps delivering traffic through the faults.
+        assert!(r.summary().delivered_flits > 0);
+    }
+
+    #[test]
+    fn stalled_output_receives_nothing_during_the_stall() {
+        use crate::fault::FaultProfile;
+        use mmr_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+        let mut r = small_cbr_router(0.6, ArbiterKind::Coa, 12);
+        r.set_faults(
+            FaultPlan::from_events(vec![FaultEvent {
+                at: 500,
+                kind: FaultKind::StallOutput {
+                    output: 2,
+                    flit_cycles: 200,
+                },
+            }]),
+            FaultProfile::default(),
+        );
+        let mut during_stall = 0;
+        let mut after_stall = 0;
+        for t in 0..1_500u64 {
+            let prev = r.summary().delivered_per_output[2];
+            r.step(FlitCycle(t), true);
+            let delta = r.summary().delivered_per_output[2] - prev;
+            if (500..700).contains(&t) {
+                during_stall += delta;
+            } else if t >= 700 {
+                after_stall += delta;
+            }
+        }
+        assert_eq!(r.fault_report().stall_cycles, 200);
+        assert_eq!(during_stall, 0, "stalled port must accept nothing");
+        assert!(after_stall > 0, "port must resume after the stall");
+        assert!(r.summary().delivered_flits > 0);
+    }
+
+    #[test]
+    fn rogue_source_is_quarantined_and_loses_priority() {
+        use crate::fault::FaultProfile;
+        use mmr_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+        let mut r = small_cbr_router(0.5, ArbiterKind::Coa, 13);
+        let victim = 0usize;
+        r.set_faults(
+            FaultPlan::from_events(vec![FaultEvent {
+                at: 100,
+                kind: FaultKind::RogueSource {
+                    conn: victim,
+                    flit_cycles: 3_000,
+                    extra_flits_per_cycle: 2,
+                },
+            }]),
+            FaultProfile {
+                rate_window: 512,
+                ..Default::default()
+            },
+        );
+        Runner::new(0, StopCondition::Cycles(4_000)).run(&mut r);
+        let rep = r.fault_report();
+        assert!(rep.rogue_flits > 1_000);
+        assert_eq!(rep.quarantined_connections, 1);
+        assert!(r.quarantined()[victim]);
+        for (c, q) in r.quarantined().iter().enumerate() {
+            assert_eq!(*q, c == victim, "only the violator is quarantined");
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use crate::fault::FaultProfile;
+        use mmr_sim::fault::FaultPlanConfig;
+        let run = || {
+            let mut r = small_cbr_router(0.6, ArbiterKind::Wfa, 17);
+            let cfg = FaultPlanConfig {
+                window_start: 200,
+                window_len: 2_000,
+                ..Default::default()
+            };
+            let conns = r.connections().len();
+            let plan = cfg.generate(4, conns, &mut SimRng::seed_from_u64(99));
+            r.set_faults(plan, FaultProfile::default());
+            Runner::new(0, StopCondition::Cycles(4_000)).run(&mut r);
+            r.summary()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical seed + plan must replay bit-for-bit");
+        assert!(a.faults.events_fired > 0);
     }
 
     #[test]

@@ -116,6 +116,23 @@ impl TdmLinkScheduler {
         now: RouterCycle,
         cs: &mut CandidateSet,
     ) -> usize {
+        self.select_where(mem, qos, priority_fn, now, cs, |_| true)
+    }
+
+    /// Like [`TdmLinkScheduler::select`], but only VCs for which
+    /// `eligible` returns true may become candidates (owner included) —
+    /// used to exclude connections routed to a stalled output port.  The
+    /// table cursor advances regardless: a stalled owner's slot is lost,
+    /// exactly as the contract's time-division semantics dictate.
+    pub fn select_where<F: Fn(usize) -> bool>(
+        &mut self,
+        mem: &VcMemory,
+        qos: &[VcQosInfo],
+        priority_fn: &dyn LinkPriority,
+        now: RouterCycle,
+        cs: &mut CandidateSet,
+        eligible: F,
+    ) -> usize {
         let levels = cs.levels();
         let owner = self.table[self.cursor];
         self.cursor = (self.cursor + 1) % self.table.len();
@@ -125,7 +142,7 @@ impl TdmLinkScheduler {
         // above-everything priority: its slot is contractually its own.
         let mut owner_offered = None;
         if let Some(vc) = owner {
-            if mem.head(vc).is_some() {
+            if eligible(vc) && mem.head(vc).is_some() {
                 let ok = cs.push(Candidate {
                     input: self.input,
                     vc,
@@ -143,7 +160,7 @@ impl TdmLinkScheduler {
         // Backfill the remaining levels by dynamic priority.
         self.scratch.clear();
         for &vc in &self.vcs {
-            if Some(vc) == owner_offered {
+            if Some(vc) == owner_offered || !eligible(vc) {
                 continue;
             }
             let Some(head) = mem.head(vc) else { continue };

@@ -16,6 +16,9 @@
 //!   stepped one flit cycle at a time with warm-up handling and stop
 //!   conditions.
 //! * [`log`] — a bounded event ring buffer used for debugging simulations.
+//! * [`fault`] — deterministic fault schedules ([`fault::FaultPlan`]):
+//!   seeded, cycle-stamped fault events for chaos experiments that replay
+//!   bit-for-bit.
 //!
 //! The simulator is deliberately single-threaded and allocation-light: the
 //! experiment layer above it (in `mmr-core`) parallelizes across independent
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod log;
 pub mod rng;
 pub mod stats;
@@ -31,6 +35,7 @@ pub mod time;
 pub mod units;
 
 pub use engine::{CycleModel, RunOutcome, Runner, StopCondition};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use rng::SimRng;
 pub use time::{FlitCycle, RouterCycle, TimeBase};
 pub use units::{Bandwidth, DataSize};

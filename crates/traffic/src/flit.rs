@@ -33,17 +33,24 @@ pub struct Flit {
     pub generated_at: RouterCycle,
     /// Frame bookkeeping for VBR flits; `None` for CBR.
     pub frame: Option<FrameRef>,
+    /// Header checksum, sealed at generation.  The router-ingress
+    /// integrity check ([`Flit::integrity_ok`]) recomputes it to detect
+    /// in-transit corruption injected by chaos experiments.
+    pub crc: u16,
 }
 
 impl Flit {
     /// A CBR flit.
     pub fn cbr(connection: ConnectionId, seq: u64, generated_at: RouterCycle) -> Self {
-        Flit {
+        let mut f = Flit {
             connection,
             seq,
             generated_at,
             frame: None,
-        }
+            crc: 0,
+        };
+        f.crc = f.compute_crc();
+        f
     }
 
     /// A VBR flit belonging to frame `index`; `last` marks the frame's
@@ -55,17 +62,49 @@ impl Flit {
         index: u32,
         last: bool,
     ) -> Self {
-        Flit {
+        let mut f = Flit {
             connection,
             seq,
             generated_at,
             frame: Some(FrameRef { index, last }),
-        }
+            crc: 0,
+        };
+        f.crc = f.compute_crc();
+        f
     }
 
     /// True if this flit closes a video frame.
     pub fn is_frame_end(&self) -> bool {
         self.frame.is_some_and(|f| f.last)
+    }
+
+    /// Header checksum over all non-CRC fields (a folded FNV-1a —
+    /// standing in for the link-level CRC real hardware carries).
+    fn compute_crc(&self) -> u16 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        };
+        mix(self.connection.0 as u64);
+        mix(self.seq);
+        mix(self.generated_at.0);
+        match self.frame {
+            Some(fr) => mix(((fr.index as u64) << 1) | fr.last as u64 | 1 << 40),
+            None => mix(0),
+        }
+        (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16
+    }
+
+    /// True if the stored checksum matches the header fields.
+    pub fn integrity_ok(&self) -> bool {
+        self.crc == self.compute_crc()
+    }
+
+    /// Flip bits in transit (fault injection).  `salt` varies which bits
+    /// flip; any value leaves the flit detectably corrupt.
+    pub fn corrupt_in_transit(&mut self, salt: u16) {
+        self.crc ^= salt | 1;
     }
 }
 
@@ -79,6 +118,21 @@ mod tests {
         assert_eq!(f.frame, None);
         assert!(!f.is_frame_end());
         assert_eq!(f.seq, 7);
+    }
+
+    #[test]
+    fn checksum_seals_at_construction_and_detects_corruption() {
+        let mut f = Flit::vbr(ConnectionId(9), 3, RouterCycle(64), 2, true);
+        assert!(f.integrity_ok());
+        f.corrupt_in_transit(0);
+        assert!(!f.integrity_ok(), "salt 0 must still flip at least one bit");
+        let mut g = Flit::cbr(ConnectionId(1), 0, RouterCycle(0));
+        g.corrupt_in_transit(0xBEEF);
+        assert!(!g.integrity_ok());
+        // Tampering with a header field without resealing is detected too.
+        let mut h = Flit::cbr(ConnectionId(1), 0, RouterCycle(0));
+        h.seq = 42;
+        assert!(!h.integrity_ok());
     }
 
     #[test]

@@ -23,4 +23,10 @@ trap 'rm -f "$SMOKE_OUT"' EXIT
 cargo run --release -q -p mmr-bench --bin bench_report -- --quick --out "$SMOKE_OUT"
 test -s "$SMOKE_OUT"
 
+echo "== chaos smoke =="
+cargo test --release -q -p mmr-core --test chaos
+cargo run --release -q -p mmr-bench --bin chaos_report
+test -s results/chaos_report.txt
+test -s results/chaos_report.json
+
 echo "== CI green =="

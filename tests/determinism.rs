@@ -4,8 +4,8 @@
 use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
 use mmr_core::experiment::{build_workload, run_experiment};
-use mmr_core::scenarios::vbr_cycle_budget;
-use mmr_core::sweep::{sweep, SweepSpec};
+use mmr_core::scenarios::{chaos, vbr_cycle_budget, Fidelity};
+use mmr_core::sweep::{run_all, sweep, SweepSpec};
 
 fn quick(load: f64, seed: u64) -> SimConfig {
     SimConfig {
@@ -77,6 +77,37 @@ fn parallel_sweep_is_deterministic() {
             x.target_load
         );
     }
+}
+
+#[test]
+fn chaos_experiments_are_bit_identical() {
+    // Fault injection rides its own seeded RNG stream: the same seed and
+    // FaultPlan must replay to byte-identical metrics, fault report
+    // included.
+    let cfg = chaos(Fidelity::Quick)
+        .configs()
+        .pop()
+        .expect("chaos spec has at least one fault rate");
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert!(a.summary.faults.events_fired > 0, "faults must fire");
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "chaos serialization must be byte-identical"
+    );
+}
+
+#[test]
+fn chaos_sweep_is_identical_across_worker_counts() {
+    // The same fault-rate sweep must produce identical results whether it
+    // runs serially or fanned out across worker threads.
+    let configs = chaos(Fidelity::Quick).configs();
+    let serial = run_all(&configs, Some(1));
+    let fanned = run_all(&configs, Some(4));
+    assert_eq!(serial, fanned, "worker count changed chaos sweep results");
+    assert!(serial.iter().any(|r| r.summary.faults.events_fired > 0));
 }
 
 #[test]

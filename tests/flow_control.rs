@@ -7,9 +7,14 @@
 
 use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
-use mmr_core::experiment::run_experiment;
+use mmr_core::experiment::{build_router, build_workload, run_experiment};
 use mmr_core::router::config::RouterConfig;
+use mmr_core::router::fault::FaultProfile;
 use mmr_core::scenarios::vbr_cycle_budget;
+use mmr_core::sim::engine::CycleModel;
+use mmr_core::sim::fault::{FaultEvent, FaultKind, FaultPlan};
+use mmr_core::sim::time::FlitCycle;
+use proptest::prelude::*;
 
 #[test]
 fn single_flit_buffers_never_overflow_under_saturation() {
@@ -111,6 +116,76 @@ fn bursty_vbr_respects_flow_control() {
             r.summary.generated_flits,
             r.summary.delivered_flits + r.summary.backlog_flits as u64,
             "flits leaked somewhere in the pipeline"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary credit-loss/duplication patterns (DESIGN.md §10): the
+    /// credit watchdog must resynchronize every counter, flits must be
+    /// conserved, and the router must keep delivering — no pattern of
+    /// credit damage may deadlock the pipeline.
+    #[test]
+    fn watchdog_recovers_from_arbitrary_credit_fault_patterns(
+        pattern in proptest::collection::vec(
+            (0u64..2_000, 0usize..64, 0usize..2),
+            1..48,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SimConfig {
+            workload: WorkloadSpec::cbr(0.5),
+            seed,
+            ..Default::default()
+        };
+        let workload = build_workload(&cfg);
+        let mut router = build_router(&cfg, workload);
+        let conns = router.connections().len();
+        let events: Vec<FaultEvent> = pattern
+            .iter()
+            .map(|&(at, conn, kind)| FaultEvent {
+                at: 500 + at,
+                kind: if kind == 0 {
+                    FaultKind::DropCredit { conn: conn % conns }
+                } else {
+                    FaultKind::DuplicateCredit { conn: conn % conns }
+                },
+            })
+            .collect();
+        let n_events = events.len() as u64;
+        router.set_faults(FaultPlan::from_events(events), FaultProfile::default());
+
+        router.on_measurement_start(FlitCycle(0));
+        for t in 0..2_500 {
+            router.step(FlitCycle(t), true);
+        }
+        let mid: u64 = router.delivered_per_connection().iter().sum();
+        prop_assert!(mid > 0, "no deliveries during the fault window");
+
+        // Recovery: run to just past a watchdog cycle (period 64) so the
+        // final resync has seen every credit movement, including returns
+        // stolen late by still-pending DropCredit events.
+        for t in 2_500..=3_968 {
+            router.step(FlitCycle(t), true);
+        }
+        prop_assert!(
+            router.credits_consistent(),
+            "watchdog failed to resynchronize credit counters"
+        );
+        let end: u64 = router.delivered_per_connection().iter().sum();
+        prop_assert!(end > mid, "router stopped delivering after credit faults");
+
+        let s = router.summary();
+        prop_assert_eq!(s.faults.events_fired, n_events);
+        // Credit faults never corrupt links; the only losses allowed are
+        // phantom-credit discards, and conservation must account for them.
+        prop_assert_eq!(s.faults.corrupted_flits, 0u64);
+        prop_assert_eq!(
+            s.generated_flits,
+            s.delivered_flits + s.backlog_flits as u64 + s.faults.lost_flits(),
+            "flits leaked under credit faults"
         );
     }
 }

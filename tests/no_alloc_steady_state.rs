@@ -20,8 +20,10 @@ use mmr_core::arbiter::matching::Matching;
 use mmr_core::arbiter::priority::Siabp;
 use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::router::config::RouterConfig;
+use mmr_core::router::fault::FaultProfile;
 use mmr_core::router::router::MmrRouter;
 use mmr_core::sim::engine::CycleModel;
+use mmr_core::sim::fault::{FaultEvent, FaultKind, FaultPlan};
 use mmr_core::sim::rng::SimRng;
 use mmr_core::sim::time::FlitCycle;
 use mmr_core::traffic::admission::RoundConfig;
@@ -140,7 +142,9 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
     // CBR traffic below saturation: after a warm-up every queue, VC
     // buffer and scratch vector has seen its steady-state high-water
     // mark.  (Near saturation the elastic NIC queues legitimately keep
-    // growing, so that regime cannot be allocation-free.)
+    // growing, so that regime cannot be allocation-free.)  These routers
+    // have no FaultPlan installed, so this also pins the contract that
+    // compiling the fault machinery in costs nothing when disabled.
     for kind in [
         ArbiterKind::Coa,
         ArbiterKind::Wfa,
@@ -175,6 +179,66 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
             0,
             "{}: router step allocated {allocs} times in steady state",
             kind.label()
+        );
+    }
+
+    // --- Router step with fault machinery armed ------------------------
+    // A FaultPlan is installed (so every fault path — begin_cycle, the
+    // credit watchdog, the pending-duplicate drain — runs each cycle) but
+    // all its events land during warm-up: the measured steady state must
+    // still make zero allocator calls.  All fault state is pre-sized per
+    // port/connection at install time.
+    {
+        let cfg = RouterConfig::default();
+        let mut rng = SimRng::seed_from_u64(5);
+        let workload = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
+            .target_load(0.4)
+            .build(&mut rng);
+        let arbiter_ports = cfg.ports;
+        let mut router = MmrRouter::new(
+            cfg,
+            workload,
+            ArbiterKind::Coa.instantiate(arbiter_ports),
+            Box::new(Siabp),
+            5,
+        );
+        let conns = router.connections().len();
+        let mut events = Vec::new();
+        for c in 0..conns {
+            events.push(FaultEvent {
+                at: 1_000 + c as u64 * 7,
+                kind: FaultKind::DropCredit { conn: c },
+            });
+            events.push(FaultEvent {
+                at: 2_000 + c as u64 * 7,
+                kind: FaultKind::DuplicateCredit { conn: c },
+            });
+        }
+        for input in 0..arbiter_ports {
+            events.push(FaultEvent {
+                at: 3_000 + input as u64,
+                kind: FaultKind::CorruptFlit { input },
+            });
+        }
+        router.set_faults(FaultPlan::from_events(events), FaultProfile::default());
+        let mut t = 0u64;
+        for _ in 0..5_000 {
+            router.step(FlitCycle(t), false);
+            t += 1;
+        }
+        assert!(
+            router.fault_report().events_fired > 0,
+            "warm-up must consume the fault plan"
+        );
+        let allocs = allocations_in(|| {
+            for _ in 0..2_000 {
+                router.step(FlitCycle(t), false);
+                t += 1;
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "armed fault machinery allocated {allocs} times in steady state"
         );
     }
 }
