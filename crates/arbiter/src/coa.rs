@@ -34,7 +34,7 @@
 
 use crate::candidate::{Candidate, CandidateSet};
 use crate::matching::{Grant, Matching};
-use crate::scheduler::SwitchScheduler;
+use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
 /// The Candidate-Order Arbiter.
@@ -62,6 +62,7 @@ pub struct CandidateOrderArbiter {
     conflicts: Vec<u32>, // levels x ports, level-major; live requests only
     live: Vec<u32>,      // per-level sum of `conflicts` row
     tie_buf: Vec<usize>,
+    probe: KernelProbe,
 }
 
 impl CandidateOrderArbiter {
@@ -73,6 +74,7 @@ impl CandidateOrderArbiter {
             conflicts: Vec::new(),
             live: Vec::new(),
             tie_buf: Vec::with_capacity(ports),
+            probe: KernelProbe::default(),
         }
     }
 
@@ -98,20 +100,31 @@ impl CandidateOrderArbiter {
 
     /// Remove a freshly matched (input, output) pair from the conflict
     /// vector in O(levels): first drop the input's live candidates, then
-    /// zero the output's column using the stored counts.
+    /// zero the output's column using the stored counts.  Returns the
+    /// number of conflict-vector entries retired (for the work probe).
     #[inline]
-    fn retire_pair(&mut self, cs: &CandidateSet, input: usize, output: usize, free_out: u64) {
+    fn retire_pair(
+        &mut self,
+        cs: &CandidateSet,
+        input: usize,
+        output: usize,
+        free_out: u64,
+    ) -> u64 {
+        let mut retired = 0u64;
         for (level, c) in cs.input_candidates(input).enumerate() {
             if free_out & (1u64 << c.output) != 0 {
                 self.conflicts[level * self.ports + c.output] -= 1;
                 self.live[level] -= 1;
+                retired += 1;
             }
         }
         for level in 0..self.live.len() {
             let e = &mut self.conflicts[level * self.ports + output];
             self.live[level] -= *e;
+            retired += u64::from(*e);
             *e = 0;
         }
+        retired
     }
 }
 
@@ -127,10 +140,16 @@ impl SwitchScheduler for CandidateOrderArbiter {
             (1u64 << self.ports) - 1
         };
         let mut free_out: u64 = free_in;
+        // Work counts batched into locals; one masked probe update at the
+        // end keeps the loop body unchanged whether the probe is armed.
+        let mut iters = 0u64;
+        let mut examined = 0u64;
+        let mut retired = 0u64;
 
         // Each iteration matches exactly one (input, output) pair, so the
         // loop runs at most `ports` times.
         while let Some(level) = (0..self.live.len()).find(|&l| self.live[l] > 0) {
+            iters += 1;
             // Port ordering: ascending conflict count within the lowest
             // level that still has requests; ties at random.
             let row = &self.conflicts[level * self.ports..(level + 1) * self.ports];
@@ -164,6 +183,7 @@ impl SwitchScheduler for CandidateOrderArbiter {
                 requesters != 0,
                 "conflict vector said this pair has a request"
             );
+            examined += u64::from(requesters.count_ones());
             let mut best: Option<(usize, Candidate)> = None;
             let mut ties = 0u32;
             while requesters != 0 {
@@ -199,14 +219,26 @@ impl SwitchScheduler for CandidateOrderArbiter {
                 level,
             });
             free_in &= !(1u64 << input);
-            self.retire_pair(cs, input, output, free_out);
+            retired += self.retire_pair(cs, input, output, free_out);
             free_out &= !(1u64 << output);
         }
+        self.probe.iterations(iters);
+        self.probe.examined(examined);
+        self.probe.retired(retired);
+        self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
         "Candidate-Order Arbiter"
+    }
+
+    fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe.set_enabled(enabled);
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.probe.stats()
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::candidate::{Candidate, CandidateSet};
 use crate::matching::{Grant, Matching};
-use crate::scheduler::SwitchScheduler;
+use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
 /// Greedy matching in descending global priority order.
@@ -19,6 +19,7 @@ pub struct GreedyPriorityArbiter {
     ports: usize,
     scratch: Vec<(Candidate, usize)>,
     keyed: Vec<(u64, usize)>,
+    probe: KernelProbe,
 }
 
 impl GreedyPriorityArbiter {
@@ -29,6 +30,7 @@ impl GreedyPriorityArbiter {
             ports,
             scratch: Vec::new(),
             keyed: Vec::new(),
+            probe: KernelProbe::default(),
         }
     }
 }
@@ -78,11 +80,24 @@ impl SwitchScheduler for GreedyPriorityArbiter {
                 free_out &= !(1u64 << c.output);
             }
         }
+        // One sorted pass over every candidate: examined = list length,
+        // and a single "iteration" per call.
+        self.probe.iterations(1);
+        self.probe.examined(self.scratch.len() as u64);
+        self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
         "Greedy priority"
+    }
+
+    fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe.set_enabled(enabled);
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.probe.stats()
     }
 }
 

@@ -24,7 +24,7 @@
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
-use crate::scheduler::SwitchScheduler;
+use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
 /// First set bit of `mask` at-or-after `start` (< 64), wrapping around —
@@ -52,6 +52,7 @@ pub struct IslipArbiter {
     /// Scratch: per input, bitmask of outputs that granted it this
     /// iteration.
     grants_in: Vec<u64>,
+    probe: KernelProbe,
 }
 
 impl IslipArbiter {
@@ -64,6 +65,7 @@ impl IslipArbiter {
             grant_ptr: vec![0; ports],
             accept_ptr: vec![0; ports],
             grants_in: vec![0; ports],
+            probe: KernelProbe::default(),
         }
     }
 
@@ -81,8 +83,11 @@ impl SwitchScheduler for IslipArbiter {
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let mut free_in = full;
         let mut free_out = full;
+        let mut iters = 0u64;
+        let mut examined = 0u64;
 
         for iter in 0..self.iterations {
+            iters += 1;
             // Grant phase: each free output picks one requesting free
             // input by round-robin from its pointer.
             self.grants_in.fill(0);
@@ -91,6 +96,7 @@ impl SwitchScheduler for IslipArbiter {
                 let output = of.trailing_zeros() as usize;
                 of &= of - 1;
                 let requesters = cs.requesters(output) & free_in;
+                examined += u64::from(requesters.count_ones());
                 if requesters != 0 {
                     let input = rr_first(requesters, self.grant_ptr[output]);
                     self.grants_in[input] |= 1u64 << output;
@@ -129,6 +135,9 @@ impl SwitchScheduler for IslipArbiter {
                 break; // converged early
             }
         }
+        self.probe.iterations(iters);
+        self.probe.examined(examined);
+        self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
     }
 
@@ -139,6 +148,14 @@ impl SwitchScheduler for IslipArbiter {
     fn reset(&mut self) {
         self.grant_ptr.fill(0);
         self.accept_ptr.fill(0);
+    }
+
+    fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe.set_enabled(enabled);
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.probe.stats()
     }
 }
 

@@ -55,5 +55,5 @@ pub use matching::{Grant, Matching};
 pub use pim::PimArbiter;
 pub use priority::{Fifo, Iabp, LinkPriority, PriorityKind, Siabp, StaticPriority};
 pub use random::RandomArbiter;
-pub use scheduler::{ArbiterKind, SwitchScheduler};
+pub use scheduler::{ArbiterKind, KernelProbe, KernelStats, SwitchScheduler};
 pub use wfa::WaveFrontArbiter;

@@ -16,7 +16,7 @@
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
-use crate::scheduler::SwitchScheduler;
+use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
 /// Index of the `k`-th set bit of `mask` (0-based, from the bottom).
@@ -39,6 +39,7 @@ pub struct PimArbiter {
     /// Scratch: per input, bitmask of outputs that granted it this
     /// iteration.
     grants_in: Vec<u64>,
+    probe: KernelProbe,
 }
 
 impl PimArbiter {
@@ -49,6 +50,7 @@ impl PimArbiter {
             ports,
             iterations,
             grants_in: vec![0; ports],
+            probe: KernelProbe::default(),
         }
     }
 }
@@ -61,8 +63,11 @@ impl SwitchScheduler for PimArbiter {
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let mut free_in = full;
         let mut free_out = full;
+        let mut iters = 0u64;
+        let mut examined = 0u64;
 
         for _ in 0..self.iterations {
+            iters += 1;
             // Grant: each free output picks a random requesting free input.
             self.grants_in.fill(0);
             let mut of = free_out;
@@ -70,6 +75,7 @@ impl SwitchScheduler for PimArbiter {
                 let output = of.trailing_zeros() as usize;
                 of &= of - 1;
                 let requesters = cs.requesters(output) & free_in;
+                examined += u64::from(requesters.count_ones());
                 if requesters != 0 {
                     let input =
                         kth_set_bit(requesters, rng.index(requesters.count_ones() as usize));
@@ -104,11 +110,22 @@ impl SwitchScheduler for PimArbiter {
                 break;
             }
         }
+        self.probe.iterations(iters);
+        self.probe.examined(examined);
+        self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
         "Parallel Iterative Matching"
+    }
+
+    fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe.set_enabled(enabled);
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.probe.stats()
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
-use crate::scheduler::SwitchScheduler;
+use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
 /// Random maximal matching arbiter.
@@ -19,6 +19,7 @@ use mmr_sim::rng::SimRng;
 pub struct RandomArbiter {
     ports: usize,
     pairs: Vec<(usize, usize)>,
+    probe: KernelProbe,
 }
 
 impl RandomArbiter {
@@ -28,6 +29,7 @@ impl RandomArbiter {
         RandomArbiter {
             ports,
             pairs: Vec::new(),
+            probe: KernelProbe::default(),
         }
     }
 }
@@ -67,11 +69,23 @@ impl SwitchScheduler for RandomArbiter {
                 free_out &= !(1u64 << output);
             }
         }
+        // One shuffled pass over every distinct request pair.
+        self.probe.iterations(1);
+        self.probe.examined(self.pairs.len() as u64);
+        self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
         "Random maximal matching"
+    }
+
+    fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe.set_enabled(enabled);
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.probe.stats()
     }
 }
 

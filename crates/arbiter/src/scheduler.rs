@@ -5,6 +5,109 @@ use crate::matching::Matching;
 use mmr_sim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
+/// Logical work counters an arbitration kernel accumulates while its
+/// probe is armed (see [`KernelProbe`]).  These measure algorithmic
+/// effort independent of wall time, so they are exactly reproducible:
+/// how many candidates the kernel visited, how many conflict-vector
+/// entries it retired, how many matching iterations it ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// `schedule_into` calls counted.
+    pub matchings: u64,
+    /// Grants issued across those calls.
+    pub grants: u64,
+    /// Candidate requests examined (inner-loop visits).
+    pub candidates_examined: u64,
+    /// Conflict-vector entries retired (COA) — zero for kernels without a
+    /// conflict vector.
+    pub conflicts_retired: u64,
+    /// Matching iterations: COA grant loop passes, WFA diagonals swept,
+    /// iSLIP/PIM grant-accept passes, one per call for single-pass
+    /// kernels.
+    pub iterations: u64,
+}
+
+impl KernelStats {
+    /// Mean iterations per matching (0 when nothing was recorded).
+    pub fn iterations_per_matching(&self) -> f64 {
+        if self.matchings == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.matchings as f64
+        }
+    }
+
+    /// Mean candidates examined per matching (0 when nothing recorded).
+    pub fn examined_per_matching(&self) -> f64 {
+        if self.matchings == 0 {
+            0.0
+        } else {
+            self.candidates_examined as f64 / self.matchings as f64
+        }
+    }
+}
+
+/// Branch-free work-count probe embedded in every optimized kernel.
+///
+/// Counts are accumulated with masked adds (`stats.x += n & mask`), so an
+/// unarmed probe costs the same handful of ALU instructions as an armed
+/// one — no branch in the kernel inner loops, and no RNG interaction, so
+/// arming a probe can never perturb the matchings (the differential tests
+/// pin this).  Kernels batch inner-loop counts into locals and feed the
+/// probe once per loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelProbe {
+    mask: u64,
+    stats: KernelStats,
+}
+
+impl KernelProbe {
+    /// Arm or disarm the probe (disarmed by default).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.mask = if enabled { u64::MAX } else { 0 };
+    }
+
+    /// Whether counts currently accumulate.
+    pub fn is_enabled(&self) -> bool {
+        self.mask != 0
+    }
+
+    /// Count `n` candidate requests examined.
+    #[inline]
+    pub fn examined(&mut self, n: u64) {
+        self.stats.candidates_examined += n & self.mask;
+    }
+
+    /// Count `n` conflict-vector entries retired.
+    #[inline]
+    pub fn retired(&mut self, n: u64) {
+        self.stats.conflicts_retired += n & self.mask;
+    }
+
+    /// Count `n` matching iterations.
+    #[inline]
+    pub fn iterations(&mut self, n: u64) {
+        self.stats.iterations += n & self.mask;
+    }
+
+    /// Close one `schedule_into` call that produced `grants` grants.
+    #[inline]
+    pub fn matched(&mut self, grants: u64) {
+        self.stats.matchings += 1 & self.mask;
+        self.stats.grants += grants & self.mask;
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Zero the counters (armed state is preserved).
+    pub fn reset(&mut self) {
+        self.stats = KernelStats::default();
+    }
+}
+
 /// A crossbar arbitration algorithm.
 ///
 /// Schedulers may keep state across cycles (WFA's rotating diagonal,
@@ -30,6 +133,17 @@ pub trait SwitchScheduler: Send {
 
     /// Reset any cross-cycle state (pointers, diagonals).
     fn reset(&mut self) {}
+
+    /// Arm or disarm the kernel's work-count probe.  The default is a
+    /// no-op: reference transcriptions and custom schedulers without a
+    /// probe simply report empty [`KernelStats`].
+    fn set_probe_enabled(&mut self, _enabled: bool) {}
+
+    /// Work counters accumulated while the probe was armed (all zero if
+    /// the scheduler has no probe or it was never armed).
+    fn kernel_stats(&self) -> KernelStats {
+        KernelStats::default()
+    }
 }
 
 /// Serializable arbiter selector used by experiment configs.

@@ -23,7 +23,7 @@
 
 use crate::candidate::CandidateSet;
 use crate::matching::{Grant, Matching};
-use crate::scheduler::SwitchScheduler;
+use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
 /// Wrapped Wave Front Arbiter (plus two study variants).
@@ -39,6 +39,7 @@ pub struct WaveFrontArbiter {
     top_level_only: bool,
     /// Request matrix scratch: per input, a bitmask of requested outputs.
     rows: Vec<u64>,
+    probe: KernelProbe,
 }
 
 impl WaveFrontArbiter {
@@ -51,6 +52,7 @@ impl WaveFrontArbiter {
             wrapped: true,
             top_level_only: false,
             rows: vec![0; ports],
+            probe: KernelProbe::default(),
         }
     }
 
@@ -104,6 +106,7 @@ impl SwitchScheduler for WaveFrontArbiter {
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let mut row_free = full;
         let mut col_free = full;
+        let mut cells = 0u64;
         // Sweep the N anti-diagonals starting from the rotating one.  The
         // N cells of an anti-diagonal touch N distinct rows and columns,
         // so their grants never conflict with each other — snapshotting
@@ -111,6 +114,7 @@ impl SwitchScheduler for WaveFrontArbiter {
         for d in 0..n {
             let diag = (self.start_diag + d) % n;
             let mut rf = row_free;
+            cells += u64::from(rf.count_ones());
             while rf != 0 {
                 let input = rf.trailing_zeros() as usize;
                 rf &= rf - 1;
@@ -133,6 +137,9 @@ impl SwitchScheduler for WaveFrontArbiter {
         if self.wrapped {
             self.start_diag = (self.start_diag + 1) % n;
         }
+        self.probe.iterations(n as u64);
+        self.probe.examined(cells);
+        self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
     }
 
@@ -146,6 +153,14 @@ impl SwitchScheduler for WaveFrontArbiter {
 
     fn reset(&mut self) {
         self.start_diag = 0;
+    }
+
+    fn set_probe_enabled(&mut self, enabled: bool) {
+        self.probe.set_enabled(enabled);
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.probe.stats()
     }
 }
 

@@ -12,6 +12,13 @@
 //! Each invocation writes the next free `BENCH_<n>.json` under
 //! `results/` (override with `--out <path>`); pass `--quick` for a smoke
 //! run with shorter batches.
+//!
+//! The report also carries a telemetry-overhead section (router step with
+//! telemetry disabled vs armed).  Pass `--gate <baseline.json>` to fail
+//! (exit 1) if the instrumented-but-disabled router step regresses more
+//! than `MMR_TELEMETRY_GATE_PCT` percent (default 2) against the COA
+//! router number in a committed baseline report — the "zero-overhead
+//! when disarmed" contract, enforced in CI.
 
 use mmr_arbiter::candidate::{Candidate, CandidateSet, Priority};
 use mmr_arbiter::matching::Matching;
@@ -20,12 +27,13 @@ use mmr_bench::harness::{bench_with, Measurement};
 use mmr_bench::results_dir;
 use mmr_core::config::{RunLength, SimConfig, WorkloadSpec};
 use mmr_core::experiment::{build_router, build_workload};
+use mmr_router::telemetry::TelemetryConfig;
 use mmr_sim::engine::CycleModel;
 use mmr_sim::rng::SimRng;
 use mmr_sim::time::FlitCycle;
 use serde_json::Value;
 use std::hint::black_box;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const LEVELS: usize = 4;
 
@@ -93,6 +101,19 @@ fn measure_reference_coa(ports: usize, samples: usize, target: u128) -> Measurem
 }
 
 fn measure_router(kind: ArbiterKind, load: f64, samples: usize, target: u128) -> Measurement {
+    measure_router_telemetry(kind, load, samples, target, false)
+}
+
+/// Router step throughput with telemetry optionally armed.  Disarmed
+/// routers still carry the instrumentation (probes compiled in, masked
+/// off) — exactly the configuration the overhead gate polices.
+fn measure_router_telemetry(
+    kind: ArbiterKind,
+    load: f64,
+    samples: usize,
+    target: u128,
+    armed: bool,
+) -> Measurement {
     let cfg = SimConfig {
         workload: WorkloadSpec::cbr(load),
         arbiter: kind,
@@ -100,6 +121,13 @@ fn measure_router(kind: ArbiterKind, load: f64, samples: usize, target: u128) ->
         ..Default::default()
     };
     let mut router = build_router(&cfg, build_workload(&cfg));
+    if armed {
+        // Worst-case arming: wall-clock stage timing plus tracing.
+        router.set_telemetry(TelemetryConfig {
+            wall_clock: true,
+            ..TelemetryConfig::default()
+        });
+    }
     let mut t = 0u64;
     bench_with(
         || {
@@ -110,6 +138,28 @@ fn measure_router(kind: ArbiterKind, load: f64, samples: usize, target: u128) ->
         samples,
         target,
     )
+}
+
+/// The COA `ns_per_cycle` recorded in a previous `BENCH_<n>.json`.
+fn baseline_router_ns(path: &Path) -> f64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+    let report = serde_json::parse_value(&text)
+        .unwrap_or_else(|e| panic!("parse baseline {}: {e}", path.display()));
+    let rows = match report.get("router") {
+        Some(Value::Array(rows)) => rows,
+        _ => panic!("baseline {} has no router section", path.display()),
+    };
+    for row in rows {
+        if let (Some(Value::Str(arbiter)), Some(Value::F64(ns))) =
+            (row.get("arbiter"), row.get("ns_per_cycle"))
+        {
+            if arbiter == ArbiterKind::Coa.label() {
+                return *ns;
+            }
+        }
+    }
+    panic!("baseline {} has no COA router row", path.display());
 }
 
 /// Next free `BENCH_<n>.json` path under `results/`.
@@ -147,6 +197,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(next_report_path);
+    let gate_baseline = args
+        .iter()
+        .position(|a| a == "--gate")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--gate needs a baseline path")));
 
     println!(
         "bench_report: {} mode",
@@ -197,8 +251,12 @@ fn main() {
 
     // --- Whole-router throughput -----------------------------------------
     let mut router_rows = Vec::new();
+    let mut coa_disabled_ns = f64::INFINITY;
     for kind in [ArbiterKind::Coa, ArbiterKind::Wfa] {
         let m = measure_router(kind, 0.5, samples, target);
+        if kind == ArbiterKind::Coa {
+            coa_disabled_ns = m.ns_per_iter;
+        }
         println!(
             "  router {:<8} load 0.5: {:>8.0} ns/cycle  {:>8.1} K cycles/s",
             kind.label(),
@@ -213,6 +271,21 @@ fn main() {
         ]));
     }
 
+    // --- Telemetry overhead: disabled vs armed ----------------------------
+    let armed = measure_router_telemetry(ArbiterKind::Coa, 0.5, samples, target, true);
+    let armed_overhead_pct = (armed.ns_per_iter / coa_disabled_ns - 1.0) * 100.0;
+    println!(
+        "  telemetry COA load 0.5: disabled {:>8.0} ns/cycle, armed {:>8.0} ns/cycle ({:+.1}%)",
+        coa_disabled_ns, armed.ns_per_iter, armed_overhead_pct,
+    );
+    let telemetry = obj(vec![
+        ("arbiter", Value::Str(ArbiterKind::Coa.label().to_string())),
+        ("load", Value::F64(0.5)),
+        ("disabled_ns_per_cycle", Value::F64(coa_disabled_ns)),
+        ("armed_ns_per_cycle", Value::F64(armed.ns_per_iter)),
+        ("armed_overhead_pct", Value::F64(armed_overhead_pct)),
+    ]);
+
     let report = obj(vec![
         ("schema", Value::Str("mmr-bench-report/1".to_string())),
         (
@@ -222,6 +295,7 @@ fn main() {
         ("kernels", Value::Array(kernels)),
         ("coa_vs_reference", coa_vs_reference),
         ("router", Value::Array(router_rows)),
+        ("telemetry", telemetry),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write report");
@@ -230,5 +304,37 @@ fn main() {
     if !quick && speedup < 2.0 {
         eprintln!("warning: COA speedup vs reference below 2x ({speedup:.2}x)");
         std::process::exit(1);
+    }
+
+    // --- Telemetry-overhead gate ------------------------------------------
+    if let Some(baseline_path) = gate_baseline {
+        let baseline_ns = baseline_router_ns(&baseline_path);
+        let gate_pct: f64 = std::env::var("MMR_TELEMETRY_GATE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2.0);
+        // Re-measure at full fidelity (long batches, even under --quick —
+        // quick batches swing ±20%) and keep the minimum: the gate should
+        // only trip on a real regression, not a noisy sample.
+        let mut gate_ns = coa_disabled_ns;
+        for _ in 0..2 {
+            let m = measure_router(ArbiterKind::Coa, 0.5, 5, 20_000_000);
+            gate_ns = gate_ns.min(m.ns_per_iter);
+        }
+        let limit = baseline_ns * (1.0 + gate_pct / 100.0);
+        let delta_pct = (gate_ns / baseline_ns - 1.0) * 100.0;
+        println!(
+            "  gate: disabled COA router {gate_ns:.0} ns/cycle vs baseline {baseline_ns:.0} \
+             ({delta_pct:+.1}%, limit +{gate_pct:.1}%) [{}]",
+            baseline_path.display(),
+        );
+        if gate_ns > limit {
+            eprintln!(
+                "error: telemetry-disabled router step regressed {delta_pct:.1}% \
+                 over baseline {} (limit {gate_pct:.1}%)",
+                baseline_path.display(),
+            );
+            std::process::exit(1);
+        }
     }
 }

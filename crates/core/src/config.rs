@@ -4,6 +4,7 @@ use mmr_arbiter::priority::PriorityKind;
 use mmr_arbiter::scheduler::ArbiterKind;
 use mmr_router::config::RouterConfig;
 use mmr_router::fault::FaultProfile;
+use mmr_router::telemetry::TelemetryConfig;
 use mmr_sim::fault::FaultPlanConfig;
 use serde::{Deserialize, Serialize};
 
@@ -148,6 +149,47 @@ impl FaultSpec {
     }
 }
 
+/// Telemetry for a simulation: arming parameters for the router's
+/// counter registry, stage profiler, flight recorder, and snapshot
+/// windows.  Mirrors [`TelemetryConfig`] so it serializes alongside the
+/// rest of the config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Flit cycles per snapshot window (0 disables windowing).
+    pub snapshot_interval: u64,
+    /// Flight-recorder capacity in events (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Maximum retained snapshot windows.
+    pub max_snapshots: usize,
+    /// Measure stage wall time with a real clock (sacrifices report
+    /// determinism for the wall-time fields only).
+    pub wall_clock: bool,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        let d = TelemetryConfig::default();
+        TelemetrySpec {
+            snapshot_interval: d.snapshot_interval,
+            trace_capacity: d.trace_capacity,
+            max_snapshots: d.max_snapshots,
+            wall_clock: d.wall_clock,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// The router-side arming config this spec describes.
+    pub fn to_config(self) -> TelemetryConfig {
+        TelemetryConfig {
+            snapshot_interval: self.snapshot_interval,
+            trace_capacity: self.trace_capacity,
+            max_snapshots: self.max_snapshots,
+            wall_clock: self.wall_clock,
+        }
+    }
+}
+
 /// A complete, reproducible description of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -169,6 +211,10 @@ pub struct SimConfig {
     pub run: RunLength,
     /// Optional fault injection (chaos experiments).
     pub fault: Option<FaultSpec>,
+    /// Optional telemetry arming (observability; `None` keeps the router
+    /// fully disarmed).  Missing in older serialized configs — tolerated
+    /// as `None`.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Default for SimConfig {
@@ -183,6 +229,7 @@ impl Default for SimConfig {
             warmup_cycles: 2_000,
             run: RunLength::Cycles(50_000),
             fault: None,
+            telemetry: None,
         }
     }
 }
@@ -216,6 +263,14 @@ impl SimConfig {
     pub fn with_fault(&self, fault: FaultSpec) -> Self {
         SimConfig {
             fault: Some(fault),
+            ..self.clone()
+        }
+    }
+
+    /// A copy with telemetry armed (or re-armed).
+    pub fn with_telemetry(&self, telemetry: TelemetrySpec) -> Self {
+        SimConfig {
+            telemetry: Some(telemetry),
             ..self.clone()
         }
     }

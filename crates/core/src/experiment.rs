@@ -2,6 +2,7 @@
 
 use crate::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
 use mmr_router::router::{MmrRouter, RouterSummary};
+use mmr_router::telemetry::TelemetryReport;
 use mmr_sim::engine::{Runner, StopCondition};
 use mmr_sim::rng::SimRng;
 use mmr_traffic::workload::{CbrMixBuilder, VbrInjection, VbrMixBuilder, Workload};
@@ -23,6 +24,8 @@ pub struct ExperimentResult {
     pub drained: bool,
     /// Router-side results.
     pub summary: RouterSummary,
+    /// Telemetry observations (`None` unless the config armed telemetry).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Construct the workload a config describes.
@@ -89,6 +92,9 @@ pub fn run_experiment(cfg: &SimConfig) -> ExperimentResult {
         let plan = fault.plan.generate(cfg.router.ports, connections, &mut rng);
         router.set_faults(plan, fault.profile);
     }
+    if let Some(t) = &cfg.telemetry {
+        router.set_telemetry(t.to_config());
+    }
     let stop = match cfg.run {
         RunLength::Cycles(n) => StopCondition::Cycles(n),
         RunLength::UntilDrained { max_cycles } => StopCondition::ModelDoneOrCycles(max_cycles),
@@ -101,6 +107,7 @@ pub fn run_experiment(cfg: &SimConfig) -> ExperimentResult {
         executed_cycles: outcome.executed,
         drained: router.drained(),
         summary: router.summary(),
+        telemetry: cfg.telemetry.map(|_| router.telemetry_report()),
     }
 }
 

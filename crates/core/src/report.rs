@@ -257,6 +257,7 @@ mod tests {
                 executed_cycles: 100,
                 drained: true,
                 summary,
+                telemetry: None,
             }],
         }
     }

@@ -119,6 +119,7 @@ mod tests {
                 executed_cycles: 1000,
                 drained: true,
                 summary,
+                telemetry: None,
             }],
         }
     }

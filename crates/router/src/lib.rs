@@ -26,6 +26,9 @@
 //! * [`crossbar`] — crossbar traversal and utilization accounting.
 //! * [`output`] — output-link sinks and per-port delivery counters.
 //! * [`metrics`] — per-class flit delay, frame delay/jitter, throughput.
+//! * [`telemetry`] — opt-in observability: counters, per-stage cycle
+//!   profiling, an arbitration flight recorder, and windowed per-class
+//!   snapshots, all free when disarmed and deterministic when armed.
 //! * [`router`] — [`router::MmrRouter`], the top-level
 //!   [`mmr_sim::CycleModel`] tying the pipeline together.
 //! * [`network`] — multi-router extension (paper §6 future work): a line
@@ -48,9 +51,11 @@ pub mod nic;
 pub mod output;
 pub mod router;
 pub mod tdm;
+pub mod telemetry;
 pub mod vcmem;
 
 pub use config::RouterConfig;
 pub use fault::{FaultProfile, FaultReport};
 pub use metrics::{ClassStats, MetricsCollector, MetricsReport};
 pub use router::MmrRouter;
+pub use telemetry::{RouterTelemetry, TelemetryConfig, TelemetryReport};

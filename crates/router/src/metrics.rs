@@ -13,9 +13,11 @@ use mmr_sim::time::TimeBase;
 use mmr_traffic::connection::TrafficClass;
 use serde::{Deserialize, Serialize};
 
-const CLASS_COUNT: usize = 5;
+/// Number of traffic classes (the length of [`ALL_CLASSES`]).
+pub const CLASS_COUNT: usize = 5;
 
-fn class_index(class: TrafficClass) -> usize {
+/// Dense index of `class` within [`ALL_CLASSES`].
+pub fn class_index(class: TrafficClass) -> usize {
     match class {
         TrafficClass::CbrLow => 0,
         TrafficClass::CbrMedium => 1,

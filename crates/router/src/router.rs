@@ -27,6 +27,7 @@ use crate::metrics::{MetricsCollector, MetricsReport};
 use crate::nic::Nic;
 use crate::output::{Delivery, OutputPorts};
 use crate::tdm::TdmLinkScheduler;
+use crate::telemetry::{RouterTelemetry, TelemetryConfig, TelemetryReport};
 use crate::vcmem::VcMemory;
 use mmr_arbiter::candidate::CandidateSet;
 use mmr_arbiter::matching::Matching;
@@ -113,6 +114,9 @@ pub struct MmrRouter {
     /// Fault injection + detection/recovery; inert unless a plan is
     /// installed with [`MmrRouter::set_faults`].
     faults: FaultState,
+    /// Observability hooks; the disarmed default costs one branch per
+    /// probe point (see [`MmrRouter::set_telemetry`]).
+    telemetry: RouterTelemetry,
 }
 
 impl MmrRouter {
@@ -214,8 +218,42 @@ impl MmrRouter {
             generation_ended_at: None,
             delivered_in_window: 0,
             faults: FaultState::inactive(cfg.ports, n_conns),
+            telemetry: RouterTelemetry::disabled(),
             cfg,
         }
+    }
+
+    /// Arm telemetry per `cfg` and the arbiter's work-count probe.  All
+    /// buffers are sized here; the per-cycle path stays allocation-free.
+    /// Reports stay bit-deterministic unless `cfg.wall_clock` opts into
+    /// real stage timing.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = RouterTelemetry::armed(cfg);
+        self.arbiter.set_probe_enabled(true);
+    }
+
+    /// Telemetry state (disarmed by default).
+    pub fn telemetry(&self) -> &RouterTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry state (e.g. to reach the flight recorder).
+    pub fn telemetry_mut(&mut self) -> &mut RouterTelemetry {
+        &mut self.telemetry
+    }
+
+    /// Snapshot everything telemetry observed, including the arbitration
+    /// kernel's work counters.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.telemetry.report(self.arbiter.kernel_stats())
+    }
+
+    /// Fingerprint of the arbiter RNG's stream position: equal
+    /// fingerprints mean the two routers consumed identical draw
+    /// sequences.  Used by determinism tests to prove telemetry never
+    /// touches the RNG.
+    pub fn rng_fingerprint(&self) -> u64 {
+        self.rng.clone().next_u64_raw()
     }
 
     /// Install a fault plan and recovery profile (chaos experiments).
@@ -346,6 +384,8 @@ impl CycleModel for MmrRouter {
         }
 
         // 1. Source generation into NIC queues.
+        let t_gen = self.telemetry.stage_begin();
+        let mut gen_count = 0u64;
         for i in 0..self.sources.len() {
             self.drain_buf.clear();
             self.sources[i].drain_until(now_rc, &mut self.drain_buf);
@@ -354,6 +394,8 @@ impl CycleModel for MmrRouter {
             for &flit in self.drain_buf.iter() {
                 self.nics[port].enqueue(local, flit);
                 self.generated_total += 1;
+                gen_count += 1;
+                self.telemetry.on_generated(class);
                 if measuring {
                     self.metrics.record_generated(class);
                 }
@@ -373,6 +415,8 @@ impl CycleModel for MmrRouter {
                         let flit = Flit::cbr(self.specs[i].id, seq0 + k, now_rc);
                         self.nics[port].enqueue(local, flit);
                         self.generated_total += 1;
+                        gen_count += 1;
+                        self.telemetry.on_generated(class);
                         if measuring {
                             self.metrics.record_generated(class);
                         }
@@ -387,40 +431,67 @@ impl CycleModel for MmrRouter {
                 // slots return to the best-effort pool.
                 let conn = self.faults.newly_quarantined()[idx];
                 self.qos[conn].reserved_slots = 0;
+                self.telemetry.on_quarantine(now.0, conn);
             }
             self.faults.clear_newly_quarantined();
         }
+        self.telemetry.end_source_gen(t_gen, gen_count);
 
         // 2. Link scheduling: candidate selection per input.  VCs routed
         // to a stalled output are ineligible — offering them would waste
         // crossbar grants on a port that cannot accept.
+        let t_ls = self.telemetry.stage_begin();
         self.candidates.clear();
         let mem = &self.mem;
         let qos = &self.qos;
         let priority_fn = self.priority_fn.as_ref();
+        let mut cand_count = 0u64;
         if faults_active && self.faults.any_stall(now.0) {
             let faults = &self.faults;
             for ls in &mut self.link_scheds {
-                ls.select_where(mem, qos, priority_fn, now_rc, &mut self.candidates, |vc| {
-                    !faults.output_stalled(qos[vc].output, now.0)
-                });
+                cand_count +=
+                    ls.select_where(mem, qos, priority_fn, now_rc, &mut self.candidates, |vc| {
+                        !faults.output_stalled(qos[vc].output, now.0)
+                    }) as u64;
             }
         } else {
             for ls in &mut self.link_scheds {
-                ls.select(mem, qos, priority_fn, now_rc, &mut self.candidates);
+                cand_count += ls.select(mem, qos, priority_fn, now_rc, &mut self.candidates) as u64;
             }
         }
+        self.telemetry.end_link_schedule(t_ls, cand_count);
 
         // 3. Switch scheduling, into the reusable matching buffer — the
         // arbiters' `schedule_into` and their struct scratch keep the
         // whole step allocation-free in steady state.
+        let t_arb = self.telemetry.stage_begin();
         self.arbiter
             .schedule_into(&self.candidates, &mut self.rng, &mut self.matching);
+        self.telemetry
+            .end_arbitration(t_arb, self.matching.size() as u64);
+        if self.telemetry.is_enabled() {
+            // Trace grants, and inputs that offered a head candidate but
+            // went unmatched (VC stalled for at least this cycle).
+            for g in self.matching.grants() {
+                self.telemetry.on_grant(now.0, g.input, g.output, g.vc);
+            }
+            for input in 0..self.cfg.ports {
+                if !self.matching.input_matched(input) {
+                    if let Some(c) = self.candidates.get(input, 0) {
+                        self.telemetry.on_vc_stall(now.0, input, c.output, c.vc);
+                    }
+                }
+            }
+        }
 
         // 4. Crossbar traversal + delivery + credit returns.
+        let t_xbar = self.telemetry.stage_begin();
         let mut crossed = std::mem::take(&mut self.crossed);
         self.crossbar
             .transfer(&self.matching, &mut self.mem, measuring, &mut crossed);
+        self.telemetry.end_crossbar(t_xbar, crossed.len() as u64);
+        let t_dlv = self.telemetry.stage_begin();
+        let mut returns_queued = 0u64;
         for cf in &crossed {
             self.outputs.record(cf.output);
             self.delivered_total += 1;
@@ -436,16 +507,22 @@ impl CycleModel for MmrRouter {
                 self.metrics
                     .record_delivery(&delivery, self.specs[cf.vc].class);
             }
+            self.telemetry
+                .on_delivered(self.specs[cf.vc].class, delivery.delay().0);
             if faults_active && self.faults.steal_return(cf.vc) {
                 // Credit return lost on the return path: the NIC's
                 // counter drifts low until the watchdog resynchronizes.
             } else {
                 self.credits.queue_return(cf.vc);
+                returns_queued += 1;
             }
         }
+        self.telemetry.end_delivery(t_dlv, crossed.len() as u64);
         self.crossed = crossed;
 
         // 5. NIC link controllers forward one flit per input link.
+        let t_fwd = self.telemetry.stage_begin();
+        let mut forwarded = 0u64;
         let arrival = RouterCycle(now_rc.0 + self.rc_per_flit);
         for (input, nic) in self.nics.iter_mut().enumerate() {
             let credits = &self.credits;
@@ -453,6 +530,8 @@ impl CycleModel for MmrRouter {
                 continue;
             };
             self.credits.spend(conn);
+            forwarded += 1;
+            self.telemetry.on_credit_consumed(now.0, conn);
             if faults_active {
                 if self.faults.on_link_flit(input, &mut flit) == LinkFate::Dropped {
                     // Silent loss: the spent credit vanishes with the
@@ -464,7 +543,9 @@ impl CycleModel for MmrRouter {
                     // and return its credit immediately (the buffer slot
                     // was never consumed).
                     self.faults.note_corrupt_detected();
+                    self.telemetry.on_fault_detected(now.0, 0);
                     self.credits.queue_return(conn);
+                    returns_queued += 1;
                     continue;
                 }
                 if self.mem.free_space(conn) == 0 {
@@ -472,15 +553,18 @@ impl CycleModel for MmrRouter {
                     // NIC send into a full buffer.  Discarding the flit
                     // without a credit return annihilates the phantom.
                     self.faults.note_phantom_drop();
+                    self.telemetry.on_fault_detected(now.0, 1);
                     continue;
                 }
             }
             self.mem.push(conn, flit, arrival);
         }
+        self.telemetry.end_nic_forward(t_fwd, forwarded);
 
         // 6. Credit returns become visible next cycle.  Under fault
         // injection the counters saturate instead of panicking, and the
         // watchdog periodically audits them against VC occupancy.
+        let t_cr = self.telemetry.stage_begin();
         if faults_active {
             let excess = self.credits.apply_returns_clamped();
             if excess > 0 {
@@ -493,18 +577,27 @@ impl CycleModel for MmrRouter {
                         let expected = self.credits.capacity() - occupancy as u32;
                         self.credits.resync(conn, expected);
                         self.faults.note_resync();
+                        self.telemetry.on_fault_detected(now.0, 2);
                     }
                 }
             }
         } else {
             self.credits.apply_returns();
         }
+        self.telemetry.end_credit_return(t_cr, returns_queued);
 
         // Track the end of the generation window (finite workloads only).
         if self.generation_ended_at.is_none()
             && self.sources.iter().all(|s| s.peek_next().is_none())
         {
             self.generation_ended_at = Some(now.0 + 1);
+        }
+
+        // Close the telemetry cycle (gauges + snapshot-window roll); the
+        // backlog scan runs only when armed.
+        if self.telemetry.is_enabled() {
+            let backlog = self.backlog() as u64;
+            self.telemetry.end_cycle(now.0, backlog);
         }
     }
 

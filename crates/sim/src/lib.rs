@@ -16,6 +16,10 @@
 //!   stepped one flit cycle at a time with warm-up handling and stop
 //!   conditions.
 //! * [`log`] — a bounded event ring buffer used for debugging simulations.
+//! * [`telemetry`] — the zero-overhead observability substrate: a masked
+//!   counter [`telemetry::Registry`], a [`telemetry::Clock`]-injected
+//!   per-stage profiler, the binary [`telemetry::FlightRecorder`], and
+//!   pre-allocated snapshot buffers.
 //! * [`fault`] — deterministic fault schedules ([`fault::FaultPlan`]):
 //!   seeded, cycle-stamped fault events for chaos experiments that replay
 //!   bit-for-bit.
@@ -31,6 +35,7 @@ pub mod fault;
 pub mod log;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 

@@ -3,12 +3,46 @@
 //! Keeps the most recent `capacity` events in a ring buffer; recording is
 //! O(1) and never allocates after construction, so logging can stay enabled
 //! in tests without distorting timing-sensitive behaviour.
+//!
+//! Messages are formatted straight into a reusable byte buffer via
+//! [`std::fmt::Arguments`] (`log.record(t, format_args!(...))`): no
+//! `String` is built per event, and anything past the per-slot byte
+//! budget is truncated rather than allocated for.  Rendering the retained
+//! events back out ([`EventLog::entries`]) allocates, but that is a
+//! dump-time operation, not a hot-path one.
 
-/// A ring buffer of timestamped event strings.
+use std::fmt::{self, Write as _};
+
+/// Bytes reserved per event message; longer messages are truncated.
+const SLOT_BYTES: usize = 120;
+
+/// A `fmt::Write` sink over a fixed byte slice that truncates instead of
+/// growing.  Truncation may split a multi-byte character; readers decode
+/// lossily.
+struct SliceWriter<'a> {
+    buf: &'a mut [u8],
+    len: usize,
+}
+
+impl fmt::Write for SliceWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let room = self.buf.len() - self.len;
+        let take = s.len().min(room);
+        self.buf[self.len..self.len + take].copy_from_slice(&s.as_bytes()[..take]);
+        self.len += take;
+        Ok(())
+    }
+}
+
+/// A ring buffer of timestamped event messages backed by one flat,
+/// reusable byte buffer.
 #[derive(Debug)]
 pub struct EventLog {
     capacity: usize,
-    events: Vec<(u64, String)>,
+    /// `capacity * SLOT_BYTES` bytes, one fixed slot per retained event.
+    buf: Vec<u8>,
+    /// Per retained event: (tick, message length in bytes).
+    meta: Vec<(u64, u32)>,
     next: usize,
     enabled: bool,
 }
@@ -18,7 +52,8 @@ impl EventLog {
     pub fn new(capacity: usize) -> Self {
         EventLog {
             capacity,
-            events: Vec::with_capacity(capacity),
+            buf: vec![0; capacity * SLOT_BYTES],
+            meta: Vec::with_capacity(capacity),
             next: 0,
             enabled: capacity > 0,
         }
@@ -34,42 +69,59 @@ impl EventLog {
         self.enabled
     }
 
-    /// Record an event; the closure is only evaluated when logging is
-    /// enabled, so hot paths pay nothing when disabled.
+    /// Record an event, formatting `msg` into the slot's reusable byte
+    /// buffer: enabled logging performs no heap allocation.  Call as
+    /// `log.record(tick, format_args!("..."))` — the arguments are only
+    /// rendered when logging is enabled, so hot paths pay one branch when
+    /// disabled.
     #[inline]
-    pub fn record<F: FnOnce() -> String>(&mut self, tick: u64, f: F) {
+    pub fn record(&mut self, tick: u64, msg: fmt::Arguments<'_>) {
         if !self.enabled {
             return;
         }
-        let entry = (tick, f());
-        if self.events.len() < self.capacity {
-            self.events.push(entry);
+        let slot = self.next;
+        let mut w = SliceWriter {
+            buf: &mut self.buf[slot * SLOT_BYTES..(slot + 1) * SLOT_BYTES],
+            len: 0,
+        };
+        // Formatting primitives through fmt::Arguments does not allocate;
+        // the sink truncates at the slot budget instead of growing.
+        let _ = w.write_fmt(msg);
+        let entry = (tick, w.len as u32);
+        if self.meta.len() < self.capacity {
+            self.meta.push(entry);
         } else {
-            self.events[self.next] = entry;
+            self.meta[slot] = entry;
         }
         self.next = (self.next + 1) % self.capacity;
     }
 
-    /// Events in chronological order (oldest retained first).
+    /// Events in chronological order (oldest retained first), rendered to
+    /// owned strings.  Allocates — dump-time only.
     pub fn entries(&self) -> Vec<(u64, String)> {
-        if self.events.len() < self.capacity {
-            self.events.clone()
+        let render = |slot: usize| {
+            let (tick, len) = self.meta[slot];
+            let bytes = &self.buf[slot * SLOT_BYTES..slot * SLOT_BYTES + len as usize];
+            (tick, String::from_utf8_lossy(bytes).into_owned())
+        };
+        if self.meta.len() < self.capacity {
+            (0..self.meta.len()).map(render).collect()
         } else {
-            let mut out = Vec::with_capacity(self.capacity);
-            out.extend_from_slice(&self.events[self.next..]);
-            out.extend_from_slice(&self.events[..self.next]);
-            out
+            (self.next..self.capacity)
+                .chain(0..self.next)
+                .map(render)
+                .collect()
         }
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.meta.len()
     }
 
     /// True if nothing retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.meta.is_empty()
     }
 }
 
@@ -81,7 +133,7 @@ mod tests {
     fn keeps_most_recent() {
         let mut log = EventLog::new(3);
         for t in 0..5u64 {
-            log.record(t, || format!("e{t}"));
+            log.record(t, format_args!("e{t}"));
         }
         let entries = log.entries();
         assert_eq!(entries.len(), 3);
@@ -90,14 +142,9 @@ mod tests {
     }
 
     #[test]
-    fn disabled_drops_and_skips_closure() {
+    fn disabled_drops_everything() {
         let mut log = EventLog::disabled();
-        let mut evaluated = false;
-        log.record(0, || {
-            evaluated = true;
-            String::new()
-        });
-        assert!(!evaluated);
+        log.record(0, format_args!("x"));
         assert!(log.is_empty());
         assert!(!log.is_enabled());
     }
@@ -105,9 +152,27 @@ mod tests {
     #[test]
     fn under_capacity_in_order() {
         let mut log = EventLog::new(10);
-        log.record(1, || "a".into());
-        log.record(2, || "b".into());
+        log.record(1, format_args!("a"));
+        log.record(2, format_args!("b"));
         assert_eq!(log.len(), 2);
         assert_eq!(log.entries()[1].1, "b");
+    }
+
+    #[test]
+    fn oversized_messages_truncate_not_grow() {
+        let mut log = EventLog::new(2);
+        let long = "x".repeat(SLOT_BYTES * 3);
+        log.record(9, format_args!("{long}"));
+        let entries = log.entries();
+        assert_eq!(entries[0].0, 9);
+        assert_eq!(entries[0].1.len(), SLOT_BYTES);
+        assert!(entries[0].1.chars().all(|c| c == 'x'));
+    }
+
+    #[test]
+    fn formatted_values_render() {
+        let mut log = EventLog::new(4);
+        log.record(3, format_args!("grant {}->{} vc {}", 1, 2, 7));
+        assert_eq!(log.entries()[0].1, "grant 1->2 vc 7");
     }
 }

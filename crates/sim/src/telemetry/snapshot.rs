@@ -1,0 +1,101 @@
+//! Pre-allocated buffer for periodic windowed snapshots.
+//!
+//! Long runs emit one snapshot row per window (e.g. every 1000 flit
+//! cycles).  To keep the armed hot path allocation-free the buffer is
+//! sized once at construction; when full, further pushes are *counted*
+//! rather than silently discarded, so a report can always say how much of
+//! the run its windows cover.
+
+/// A bounded, pre-allocated snapshot buffer.
+#[derive(Debug, Clone)]
+pub struct SnapshotRing<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T: Copy> SnapshotRing<T> {
+    /// A buffer retaining up to `capacity` snapshots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SnapshotRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a snapshot.  Returns `false` (and counts the drop) once
+    /// the buffer is full; never allocates.
+    #[inline]
+    pub fn push(&mut self, item: T) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Retained snapshots in push order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// Snapshots rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained snapshots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Forget all snapshots (capacity is preserved).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_counts_drops() {
+        let mut r = SnapshotRing::with_capacity(3);
+        assert!(r.push(1u64));
+        assert!(r.push(2));
+        assert!(r.push(3));
+        assert!(!r.push(4), "push past capacity must be rejected");
+        assert!(!r.push(5));
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn clear_preserves_capacity() {
+        let mut r = SnapshotRing::with_capacity(2);
+        r.push(7u32);
+        r.push(8);
+        r.push(9);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.push(1));
+    }
+}

@@ -17,11 +17,20 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
-echo "== bench_report smoke =="
-SMOKE_OUT="$(mktemp /tmp/bench_smoke_XXXXXX.json)"
-trap 'rm -f "$SMOKE_OUT"' EXIT
-cargo run --release -q -p mmr-bench --bin bench_report -- --quick --out "$SMOKE_OUT"
-test -s "$SMOKE_OUT"
+echo "== bench_report smoke + telemetry-overhead gate =="
+# Write the next auto-numbered results/BENCH_<n>.json so every CI run
+# extends the benchmark trajectory, and gate the instrumented-but-
+# disabled router step against the newest committed baseline: telemetry
+# must stay free when disarmed (threshold MMR_TELEMETRY_GATE_PCT, 2%).
+BASELINE="$(ls results/BENCH_*.json | sort -V | tail -1)"
+cargo run --release -q -p mmr-bench --bin bench_report -- --quick --gate "$BASELINE"
+
+echo "== trace_report smoke =="
+cargo run --release -q -p mmr-bench --bin trace_report
+test -s results/telemetry_fig5_cbr.json
+test -s results/trace_fig5_cbr.jsonl
+test -s results/telemetry_chaos.json
+test -s results/trace_chaos.jsonl
 
 echo "== chaos smoke =="
 cargo test --release -q -p mmr-core --test chaos

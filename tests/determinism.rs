@@ -2,9 +2,11 @@
 //! whole stack, including parallel sweeps; different seeds differ.
 
 use mmr_core::arbiter::scheduler::ArbiterKind;
-use mmr_core::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
-use mmr_core::experiment::{build_workload, run_experiment};
+use mmr_core::config::{InjectionKind, RunLength, SimConfig, TelemetrySpec, WorkloadSpec};
+use mmr_core::experiment::{build_router, build_workload, run_experiment};
 use mmr_core::scenarios::{chaos, vbr_cycle_budget, Fidelity};
+use mmr_core::sim::engine::CycleModel;
+use mmr_core::sim::time::FlitCycle;
 use mmr_core::sweep::{run_all, sweep, SweepSpec};
 
 fn quick(load: f64, seed: u64) -> SimConfig {
@@ -108,6 +110,66 @@ fn chaos_sweep_is_identical_across_worker_counts() {
     let fanned = run_all(&configs, Some(4));
     assert_eq!(serial, fanned, "worker count changed chaos sweep results");
     assert!(serial.iter().any(|r| r.summary.faults.events_fired > 0));
+}
+
+#[test]
+fn telemetry_arming_does_not_perturb_the_simulation() {
+    // Telemetry is pure observation: arming it must leave every
+    // simulated quantity bit-identical — summary, achieved load, the
+    // lot.  Counter adds are branch-free masked writes and the probes
+    // never touch the RNG, so the grant sequence cannot shift.
+    let base = quick(0.7, 42);
+    let armed_cfg = base.with_telemetry(TelemetrySpec::default());
+    let plain = run_experiment(&base);
+    let armed = run_experiment(&armed_cfg);
+    assert!(plain.telemetry.is_none());
+    let report = armed
+        .telemetry
+        .as_ref()
+        .expect("armed run carries a report");
+    assert!(report.counters.iter().any(|c| c.value > 0));
+    assert_eq!(plain.summary, armed.summary);
+    assert_eq!(plain.achieved_load, armed.achieved_load);
+    assert_eq!(plain.connections, armed.connections);
+    assert_eq!(plain.executed_cycles, armed.executed_cycles);
+}
+
+#[test]
+fn telemetry_leaves_the_rng_stream_untouched() {
+    // Stronger than output equality: after identical runs with telemetry
+    // off and on, the router's RNG must sit at the same stream position —
+    // proof that no probe consumed a draw.
+    let cfg = quick(0.6, 9);
+    let run = |cfg: &SimConfig| {
+        let workload = build_workload(cfg);
+        let mut router = build_router(cfg, workload);
+        if let Some(t) = &cfg.telemetry {
+            router.set_telemetry(t.to_config());
+        }
+        for t in 0..4_000 {
+            router.step(FlitCycle(t), true);
+        }
+        router.rng_fingerprint()
+    };
+    let plain = run(&cfg);
+    let armed = run(&cfg.with_telemetry(TelemetrySpec::default()));
+    assert_eq!(plain, armed, "telemetry consumed an RNG draw");
+}
+
+#[test]
+fn armed_telemetry_reports_are_bit_identical() {
+    // With the deterministic null clock (wall_clock off, the default),
+    // the telemetry report itself — counters, stage profile, kernel
+    // stats, windows — replays byte-for-byte.
+    let cfg = quick(0.5, 11).with_telemetry(TelemetrySpec::default());
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a.telemetry).unwrap(),
+        serde_json::to_string(&b.telemetry).unwrap(),
+        "telemetry report must replay byte-identically"
+    );
 }
 
 #[test]

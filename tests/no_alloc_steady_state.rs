@@ -22,8 +22,10 @@ use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::router::config::RouterConfig;
 use mmr_core::router::fault::FaultProfile;
 use mmr_core::router::router::MmrRouter;
+use mmr_core::router::telemetry::TelemetryConfig;
 use mmr_core::sim::engine::CycleModel;
 use mmr_core::sim::fault::{FaultEvent, FaultKind, FaultPlan};
+use mmr_core::sim::log::EventLog;
 use mmr_core::sim::rng::SimRng;
 use mmr_core::sim::time::FlitCycle;
 use mmr_core::traffic::admission::RoundConfig;
@@ -240,5 +242,81 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
             allocs, 0,
             "armed fault machinery allocated {allocs} times in steady state"
         );
+    }
+
+    // --- Router step with telemetry armed -------------------------------
+    // Arming telemetry allocates once (counter registry, profiler table,
+    // flight-recorder ring, snapshot ring); after that, every hook in the
+    // hot path — counter adds, stage profiling, trace recording, window
+    // rolls — must be allocation-free.  The recorder ring wraps and the
+    // snapshot window rolls several times inside the measured region, so
+    // both reuse paths are exercised.
+    {
+        let cfg = RouterConfig::default();
+        let mut rng = SimRng::seed_from_u64(5);
+        let workload = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
+            .target_load(0.4)
+            .build(&mut rng);
+        let arbiter_ports = cfg.ports;
+        let mut router = MmrRouter::new(
+            cfg,
+            workload,
+            ArbiterKind::Coa.instantiate(arbiter_ports),
+            Box::new(Siabp),
+            5,
+        );
+        router.set_telemetry(TelemetryConfig {
+            trace_capacity: 512,
+            snapshot_interval: 250,
+            ..TelemetryConfig::default()
+        });
+        let mut t = 0u64;
+        for _ in 0..5_000 {
+            router.step(FlitCycle(t), false);
+            t += 1;
+        }
+        let allocs = allocations_in(|| {
+            for _ in 0..2_000 {
+                router.step(FlitCycle(t), false);
+                t += 1;
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "armed telemetry allocated {allocs} times in steady state"
+        );
+        let recorder = router.telemetry().recorder();
+        assert!(
+            recorder.recorded() > recorder.capacity() as u64,
+            "measured region must wrap the trace ring"
+        );
+        assert!(
+            router.telemetry_report().windows.len() >= 8,
+            "measured region must roll snapshot windows"
+        );
+    }
+
+    // --- EventLog recording ---------------------------------------------
+    // The debug event log formats into a reusable byte arena: recording
+    // (including wrap-around eviction of old entries) makes no allocator
+    // calls once constructed.
+    {
+        let mut log = EventLog::new(64);
+        for tick in 0..64 {
+            log.record(tick, format_args!("warm {tick}"));
+        }
+        let allocs = allocations_in(|| {
+            for tick in 0..1_000u64 {
+                log.record(
+                    tick,
+                    format_args!("grant in={} out={}", tick % 16, tick % 7),
+                );
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "EventLog::record allocated {allocs} times in steady state"
+        );
+        assert_eq!(log.len(), 64, "ring retains the newest entries");
     }
 }
