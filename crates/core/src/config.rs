@@ -190,6 +190,22 @@ impl TelemetrySpec {
     }
 }
 
+/// Which engine loop drives the simulation.
+///
+/// Both produce bit-identical results (`ExperimentResult`, RNG stream
+/// position, armed telemetry reports) — the horizon loop just covers
+/// quiescent stretches in O(1) instead of stepping them.  See DESIGN.md
+/// §12 for the contract; cycle-by-cycle exists as the reference loop and
+/// as a differential-testing oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Event-horizon loop: fast-forward across quiescent cycles (the
+    /// default).
+    EventHorizon,
+    /// Naive reference loop: execute every flit cycle.
+    CycleByCycle,
+}
+
 /// A complete, reproducible description of one simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -215,6 +231,11 @@ pub struct SimConfig {
     /// fully disarmed).  Missing in older serialized configs — tolerated
     /// as `None`.
     pub telemetry: Option<TelemetrySpec>,
+    /// Engine loop override.  `None` (also what older serialized configs
+    /// deserialize to) means [`EngineMode::EventHorizon`]; set
+    /// `Some(EngineMode::CycleByCycle)` to force the naive reference
+    /// loop.
+    pub engine: Option<EngineMode>,
 }
 
 impl Default for SimConfig {
@@ -230,6 +251,7 @@ impl Default for SimConfig {
             run: RunLength::Cycles(50_000),
             fault: None,
             telemetry: None,
+            engine: None,
         }
     }
 }
@@ -273,6 +295,19 @@ impl SimConfig {
             telemetry: Some(telemetry),
             ..self.clone()
         }
+    }
+
+    /// A copy forcing a particular engine loop.
+    pub fn with_engine(&self, engine: EngineMode) -> Self {
+        SimConfig {
+            engine: Some(engine),
+            ..self.clone()
+        }
+    }
+
+    /// The effective engine mode (`None` defaults to the horizon loop).
+    pub fn engine_mode(&self) -> EngineMode {
+        self.engine.unwrap_or(EngineMode::EventHorizon)
     }
 }
 
@@ -329,6 +364,30 @@ mod tests {
             FaultPlanConfig::default().corrupt_per_kcycle * 3.0
         );
         assert_eq!(fs.profile, FaultProfile::default());
+    }
+
+    #[test]
+    fn engine_mode_defaults_to_horizon_and_roundtrips() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.engine, None);
+        assert_eq!(cfg.engine_mode(), EngineMode::EventHorizon);
+        let forced = cfg.with_engine(EngineMode::CycleByCycle);
+        assert_eq!(forced.engine_mode(), EngineMode::CycleByCycle);
+        let json = serde_json::to_string(&forced).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, forced);
+    }
+
+    #[test]
+    fn legacy_configs_without_engine_field_deserialize() {
+        // Serialized configs from before the engine field existed must
+        // still load, defaulting to the horizon loop.
+        let json = serde_json::to_string(&SimConfig::default()).unwrap();
+        let legacy = json.replace(",\"engine\":null", "");
+        assert_ne!(legacy, json, "fixture must actually drop the field");
+        let back: SimConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.engine, None);
+        assert_eq!(back.engine_mode(), EngineMode::EventHorizon);
     }
 
     #[test]

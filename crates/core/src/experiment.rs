@@ -1,6 +1,6 @@
 //! Build-and-run for one simulation point.
 
-use crate::config::{InjectionKind, RunLength, SimConfig, WorkloadSpec};
+use crate::config::{EngineMode, InjectionKind, RunLength, SimConfig, WorkloadSpec};
 use mmr_router::router::{MmrRouter, RouterSummary};
 use mmr_router::telemetry::TelemetryReport;
 use mmr_sim::engine::{Runner, StopCondition};
@@ -99,7 +99,14 @@ pub fn run_experiment(cfg: &SimConfig) -> ExperimentResult {
         RunLength::Cycles(n) => StopCondition::Cycles(n),
         RunLength::UntilDrained { max_cycles } => StopCondition::ModelDoneOrCycles(max_cycles),
     };
-    let outcome = Runner::new(cfg.warmup_cycles, stop).run(&mut router);
+    let runner = Runner::new(cfg.warmup_cycles, stop);
+    // Both loops are bit-identical by contract (proven differentially in
+    // tests/determinism.rs); the horizon loop just fast-forwards across
+    // quiescent stretches.
+    let outcome = match cfg.engine_mode() {
+        EngineMode::EventHorizon => runner.run_horizon(&mut router),
+        EngineMode::CycleByCycle => runner.run(&mut router),
+    };
     ExperimentResult {
         config: cfg.clone(),
         achieved_load,

@@ -9,7 +9,6 @@ use crate::config::SimConfig;
 use crate::experiment::{run_experiment, ExperimentResult};
 use mmr_arbiter::scheduler::ArbiterKind;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A sweep definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -170,25 +169,29 @@ where
             *slot = Some(f(item));
         }
     } else {
-        let next = AtomicUsize::new(0);
-        let slot_ptrs: Vec<_> = slots
-            .iter_mut()
-            .map(|s| SendPtr(s as *mut Option<R>))
-            .collect();
-        let (next, f, slot_ptrs) = (&next, &f, &slot_ptrs);
+        // Deterministic chunked dispatch: the input is split into `workers`
+        // contiguous chunks (the first `len % workers` chunks take one
+        // extra item), and each thread gets exclusive `&mut` access to its
+        // own output chunk.  `split_at_mut` proves the disjointness the
+        // old shared-index/raw-pointer scheme asserted by hand, so there
+        // is no unsafe and no cross-thread index traffic at all — which
+        // worker computes which point is a pure function of (len, workers).
+        let f = &f;
+        let base = items.len() / workers;
+        let rem = items.len() % workers;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+            let mut slots_rest = slots.as_mut_slice();
+            let mut items_rest = items;
+            for w in 0..workers {
+                let take = base + usize::from(w < rem);
+                let (slot_chunk, s_rest) = std::mem::take(&mut slots_rest).split_at_mut(take);
+                let (item_chunk, i_rest) = items_rest.split_at(take);
+                slots_rest = s_rest;
+                items_rest = i_rest;
+                scope.spawn(move || {
+                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                        *slot = Some(f(item));
                     }
-                    let result = f(&items[i]);
-                    let SendPtr(p) = slot_ptrs[i];
-                    // Safety: each index is claimed by exactly one worker via
-                    // the atomic counter, so no slot is written twice, and
-                    // the scope joins all workers before `slots` is read.
-                    unsafe { *p = Some(result) };
                 });
             }
         });
@@ -198,11 +201,6 @@ where
         .map(|s| s.expect("worker filled slot"))
         .collect()
 }
-
-#[derive(Clone, Copy)]
-struct SendPtr<R>(*mut Option<R>);
-unsafe impl<R: Send> Send for SendPtr<R> {}
-unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 #[cfg(test)]
 mod tests {
@@ -255,10 +253,31 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_results() {
-        let spec = SweepSpec::coa_vs_wfa(quick_base(), vec![0.3, 0.5]);
+        // Chunked dispatch must be invisible in the output: 1, 2 and 8
+        // workers (uneven chunks, single-point chunks) produce the same
+        // points, down to the serialized bytes of the whole sweep.
+        let spec = SweepSpec {
+            base: quick_base(),
+            loads: vec![0.3, 0.5],
+            arbiters: vec![ArbiterKind::Coa, ArbiterKind::Wfa],
+            seeds: vec![7, 8],
+        };
         let one = sweep_with_workers(&spec, Some(1));
-        let four = sweep_with_workers(&spec, Some(4));
-        assert_eq!(one, four);
+        let two = sweep_with_workers(&spec, Some(2));
+        let eight = sweep_with_workers(&spec, Some(8));
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        let json_one = serde_json::to_string(&one).expect("points serialize");
+        let json_two = serde_json::to_string(&two).expect("points serialize");
+        let json_eight = serde_json::to_string(&eight).expect("points serialize");
+        assert_eq!(
+            json_one, json_two,
+            "sweep JSON differs between 1 and 2 workers"
+        );
+        assert_eq!(
+            json_one, json_eight,
+            "sweep JSON differs between 1 and 8 workers"
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@
 pub struct CreditBank {
     credits: Vec<u32>,
     pending: Vec<u32>,
+    /// Connections with `pending > 0`, in first-return order, so
+    /// applying returns touches only the connections that moved this
+    /// cycle instead of scanning the whole bank.  Capacity is reserved
+    /// up front (at most one entry per connection), so the per-cycle
+    /// path never allocates.
+    dirty: Vec<usize>,
     capacity: u32,
 }
 
@@ -22,6 +28,7 @@ impl CreditBank {
         CreditBank {
             credits: vec![capacity; connections],
             pending: vec![0; connections],
+            dirty: Vec::with_capacity(connections),
             capacity,
         }
     }
@@ -51,19 +58,24 @@ impl CreditBank {
     /// Queue one credit return (flit left the router).  Takes effect at
     /// the next [`CreditBank::apply_returns`].
     pub fn queue_return(&mut self, conn: usize) {
+        if self.pending[conn] == 0 {
+            self.dirty.push(conn);
+        }
         self.pending[conn] += 1;
     }
 
     /// Apply all queued returns (end of cycle).
     pub fn apply_returns(&mut self) {
-        for (c, p) in self.credits.iter_mut().zip(self.pending.iter_mut()) {
-            *c += *p;
+        for i in 0..self.dirty.len() {
+            let conn = self.dirty[i];
+            self.credits[conn] += self.pending[conn];
             assert!(
-                *c <= self.capacity,
+                self.credits[conn] <= self.capacity,
                 "credit overflow: more returns than buffer slots"
             );
-            *p = 0;
+            self.pending[conn] = 0;
         }
+        self.dirty.clear();
     }
 
     /// Apply all queued returns, clamping each counter at capacity instead
@@ -76,14 +88,17 @@ impl CreditBank {
     /// [`CreditBank::apply_returns`].
     pub fn apply_returns_clamped(&mut self) -> u32 {
         let mut excess = 0;
-        for (c, p) in self.credits.iter_mut().zip(self.pending.iter_mut()) {
-            *c += *p;
+        for i in 0..self.dirty.len() {
+            let conn = self.dirty[i];
+            let c = &mut self.credits[conn];
+            *c += self.pending[conn];
             if *c > self.capacity {
                 excess += *c - self.capacity;
                 *c = self.capacity;
             }
-            *p = 0;
+            self.pending[conn] = 0;
         }
+        self.dirty.clear();
         excess
     }
 
@@ -108,6 +123,15 @@ impl CreditBank {
         let drift = expected as i64 - self.credits[conn] as i64;
         self.credits[conn] = expected;
         drift
+    }
+
+    /// True if every connection's available counter sits at full capacity
+    /// (nothing spent, nothing pending).  With all buffers empty this is
+    /// the state the credit watchdog would find consistent, so a credit
+    /// audit can be skipped — the quiescence predicate the event-horizon
+    /// engine uses to decide whether a future watchdog cycle matters.
+    pub fn all_at_capacity(&self) -> bool {
+        self.dirty.is_empty() && self.credits.iter().all(|&c| c == self.capacity)
     }
 
     /// Sum of available credits (diagnostic).
@@ -168,6 +192,18 @@ mod tests {
         assert_eq!(excess, 2);
         assert_eq!(b.available(0), 2);
         assert_eq!(b.available(1), 2);
+    }
+
+    #[test]
+    fn all_at_capacity_tracks_spends_and_returns() {
+        let mut b = CreditBank::new(2, 2);
+        assert!(b.all_at_capacity());
+        b.spend(1);
+        assert!(!b.all_at_capacity());
+        b.queue_return(1);
+        assert!(!b.all_at_capacity(), "pending returns are not yet usable");
+        b.apply_returns();
+        assert!(b.all_at_capacity());
     }
 
     #[test]

@@ -8,7 +8,6 @@
 
 use crate::vcmem::{BufferedFlit, VcMemory};
 use mmr_arbiter::matching::Matching;
-use mmr_sim::stats::Running;
 
 /// A flit in flight to an output port.
 #[derive(Debug, Clone, Copy)]
@@ -24,10 +23,14 @@ pub struct CrossedFlit {
 }
 
 /// Crossbar model with utilization accounting.
+///
+/// Statistics are pure integers (grants / port-cycles) so that a span of
+/// idle cycles can be accounted in bulk ([`Crossbar::record_idle_cycles`])
+/// with a result bit-identical to recording them one at a time — a
+/// requirement of the event-horizon engine's skip contract.
 #[derive(Debug)]
 pub struct Crossbar {
     ports: usize,
-    utilization: Running,
     grants_total: u64,
     cycles: u64,
     /// Count of cycles in which the crossbar moved at least one flit.
@@ -43,7 +46,6 @@ impl Crossbar {
     pub fn new(ports: usize) -> Self {
         Crossbar {
             ports,
-            utilization: Running::new(),
             grants_total: 0,
             cycles: 0,
             busy_cycles: 0,
@@ -80,16 +82,28 @@ impl Crossbar {
         if measuring {
             self.cycles += 1;
             self.grants_total += matching.size() as u64;
-            self.utilization.push(matching.utilization());
             if matching.size() > 0 {
                 self.busy_cycles += 1;
             }
         }
     }
 
+    /// Account `n` measured cycles in which no flit crossed (no grants,
+    /// not busy).  Bit-identical to `n` empty-matching [`transfer`]
+    /// calls with `measuring = true`.
+    ///
+    /// [`transfer`]: Crossbar::transfer
+    pub fn record_idle_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Mean utilization (granted ports / total ports) over measured cycles.
     pub fn mean_utilization(&self) -> f64 {
-        self.utilization.mean()
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.grants_total as f64 / (self.ports as f64 * self.cycles as f64)
+        }
     }
 
     /// Total grants during measurement.
@@ -119,7 +133,6 @@ impl Crossbar {
 
     /// Reset statistics (start of measurement).
     pub fn reset_stats(&mut self) {
-        self.utilization = Running::new();
         self.grants_total = 0;
         self.cycles = 0;
         self.busy_cycles = 0;
@@ -255,6 +268,44 @@ mod tests {
         });
         let mut out = Vec::new();
         xbar.transfer(&m, &mut mem, true, &mut out);
+    }
+
+    #[test]
+    fn bulk_idle_accounting_equals_per_cycle() {
+        // n empty measured transfers and one record_idle_cycles(n) must
+        // land on bit-identical statistics — the skip contract.
+        let grant = {
+            let mut m = Matching::new(4);
+            m.add(Grant {
+                input: 0,
+                output: 2,
+                vc: 0,
+                level: 0,
+            });
+            m
+        };
+        let empty = Matching::new(4);
+        let mut out = Vec::new();
+
+        let mut a = Crossbar::new(4);
+        let mut mem_a = mem_with(4);
+        a.transfer(&grant, &mut mem_a, true, &mut out);
+        for _ in 0..7 {
+            a.transfer(&empty, &mut mem_a, true, &mut out);
+        }
+
+        let mut b = Crossbar::new(4);
+        let mut mem_b = mem_with(4);
+        b.transfer(&grant, &mut mem_b, true, &mut out);
+        b.record_idle_cycles(7);
+
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.grants(), b.grants());
+        assert_eq!(
+            a.mean_utilization().to_bits(),
+            b.mean_utilization().to_bits()
+        );
+        assert_eq!(a.busy_fraction().to_bits(), b.busy_fraction().to_bits());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use mmr_arbiter::scheduler::SwitchScheduler;
 use mmr_sim::engine::CycleModel;
 use mmr_sim::rng::SimRng;
 use mmr_sim::time::{FlitCycle, RouterCycle};
+use mmr_traffic::calendar::{self, InjectionCalendar};
 use mmr_traffic::connection::ConnectionSpec;
 use mmr_traffic::flit::Flit;
 use mmr_traffic::workload::Workload;
@@ -85,6 +86,14 @@ pub struct MmrRouter {
     cfg: RouterConfig,
     specs: Vec<ConnectionSpec>,
     sources: Vec<Box<dyn mmr_traffic::source::TrafficSource + Send>>,
+    /// Per-connection next-injection cache, built once at admission time
+    /// and refreshed after each drain; backs both the per-cycle drain
+    /// fast path and the event-horizon quiescence predicate.
+    calendar: InjectionCalendar,
+    /// When false, stage 1 polls every source every cycle (the
+    /// pre-calendar behaviour).  Bench-only baseline emulation: results
+    /// are bit-identical either way, only the cost differs.
+    calendar_fast_path: bool,
     /// Per connection: (input port, local index within that NIC).
     nic_slot: Vec<(usize, usize)>,
     nics: Vec<Nic>,
@@ -192,9 +201,12 @@ impl MmrRouter {
             .collect();
 
         let rc_per_flit = cfg.router_cycles_per_flit();
+        let calendar = InjectionCalendar::from_sources(&sources);
         MmrRouter {
             specs,
             sources,
+            calendar,
+            calendar_fast_path: true,
             nic_slot,
             nics,
             credits: CreditBank::new(n_conns, cfg.vc_buffer_flits as u32),
@@ -246,6 +258,16 @@ impl MmrRouter {
     /// kernel's work counters.
     pub fn telemetry_report(&self) -> TelemetryReport {
         self.telemetry.report(self.arbiter.kernel_stats())
+    }
+
+    /// Toggle the calendar-backed stage-1 drain fast path (on by
+    /// default).  Turning it off restores the pre-calendar behaviour —
+    /// every source polled every cycle — and is bit-identical to the
+    /// fast path by construction (an empty drain is a no-op); the bench
+    /// harness uses it to measure the naive-loop baseline the
+    /// event-horizon engine is compared against.
+    pub fn set_calendar_fast_path(&mut self, enabled: bool) {
+        self.calendar_fast_path = enabled;
     }
 
     /// Fingerprint of the arbiter RNG's stream position: equal
@@ -365,7 +387,7 @@ impl MmrRouter {
     /// True when all finite sources are exhausted and every buffer is
     /// empty.
     pub fn drained(&self) -> bool {
-        self.sources.iter().all(|s| s.peek_next().is_none()) && self.backlog() == 0
+        self.calendar.all_exhausted() && self.backlog() == 0
     }
 }
 
@@ -383,26 +405,44 @@ impl CycleModel for MmrRouter {
             }
         }
 
-        // 1. Source generation into NIC queues.
+        // 1. Source generation into NIC queues.  The calendar's O(1)
+        // lower bound proves most cycles have nothing due, so the whole
+        // per-source scan is skipped; when a scan does run it refreshes
+        // the bound to the exact minimum in the same pass.
         let t_gen = self.telemetry.stage_begin();
         let mut gen_count = 0u64;
-        for i in 0..self.sources.len() {
-            self.drain_buf.clear();
-            self.sources[i].drain_until(now_rc, &mut self.drain_buf);
-            let (port, local) = self.nic_slot[i];
-            let class = self.specs[i].class;
-            for &flit in self.drain_buf.iter() {
-                self.nics[port].enqueue(local, flit);
-                self.generated_total += 1;
-                gen_count += 1;
-                self.telemetry.on_generated(class);
-                if measuring {
-                    self.metrics.record_generated(class);
+        if !self.calendar_fast_path || self.calendar.min_lower_bound() <= now_rc.0 {
+            let mut new_min = calendar::NEVER;
+            for i in 0..self.sources.len() {
+                let mut next = self.calendar.next_rc(i);
+                let due = next <= now_rc.0;
+                if due || !self.calendar_fast_path {
+                    self.drain_buf.clear();
+                    self.sources[i].drain_until(now_rc, &mut self.drain_buf);
+                    if due || !self.drain_buf.is_empty() {
+                        // An empty legacy-path drain cannot have moved
+                        // the source, so the cached entry stays fresh.
+                        self.calendar.update(i, self.sources[i].peek_next());
+                        next = self.calendar.next_rc(i);
+                    }
+                    let (port, local) = self.nic_slot[i];
+                    let class = self.specs[i].class;
+                    for &flit in self.drain_buf.iter() {
+                        self.nics[port].enqueue(local, flit);
+                        self.generated_total += 1;
+                        gen_count += 1;
+                        self.telemetry.on_generated(class);
+                        if measuring {
+                            self.metrics.record_generated(class);
+                        }
+                        if faults_active {
+                            self.faults.note_generated(i);
+                        }
+                    }
                 }
-                if faults_active {
-                    self.faults.note_generated(i);
-                }
+                new_min = new_min.min(next);
             }
+            self.calendar.set_min_lb(new_min);
         }
         // 1b. Rogue sources inject beyond their admitted contract; the
         // rate meter sees the excess and may quarantine the connection.
@@ -446,7 +486,17 @@ impl CycleModel for MmrRouter {
         let qos = &self.qos;
         let priority_fn = self.priority_fn.as_ref();
         let mut cand_count = 0u64;
-        if faults_active && self.faults.any_stall(now.0) {
+        if mem.total_occupancy() == 0 {
+            // No buffered flit anywhere: no scheduler can offer a
+            // candidate, so skip the per-VC scans.  Only the TDM table
+            // cursors carry per-call state — advance them exactly as an
+            // empty `select` would have.
+            for ls in &mut self.link_scheds {
+                if let AnyLinkScheduler::Tdm(ts) = ls {
+                    ts.advance_cursor(1);
+                }
+            }
+        } else if faults_active && self.faults.any_stall(now.0) {
             let faults = &self.faults;
             for ls in &mut self.link_scheds {
                 cand_count +=
@@ -465,8 +515,17 @@ impl CycleModel for MmrRouter {
         // arbiters' `schedule_into` and their struct scratch keep the
         // whole step allocation-free in steady state.
         let t_arb = self.telemetry.stage_begin();
-        self.arbiter
-            .schedule_into(&self.candidates, &mut self.rng, &mut self.matching);
+        if self.candidates.is_empty() {
+            // Nothing to arbitrate.  Skipping the kernel call (rather
+            // than handing it an empty set) guarantees an idle cycle
+            // leaves the RNG stream and kernel probes untouched — the
+            // property that makes executing a quiescent cycle identical
+            // to skipping it (DESIGN.md §12).
+            self.matching.clear();
+        } else {
+            self.arbiter
+                .schedule_into(&self.candidates, &mut self.rng, &mut self.matching);
+        }
         self.telemetry
             .end_arbitration(t_arb, self.matching.size() as u64);
         if self.telemetry.is_enabled() {
@@ -525,6 +584,9 @@ impl CycleModel for MmrRouter {
         let mut forwarded = 0u64;
         let arrival = RouterCycle(now_rc.0 + self.rc_per_flit);
         for (input, nic) in self.nics.iter_mut().enumerate() {
+            if nic.is_empty() {
+                continue; // nothing queued: skip the round-robin scan
+            }
             let credits = &self.credits;
             let Some((conn, mut flit)) = nic.forward_one(|c| credits.has_credit(c)) else {
                 continue;
@@ -587,8 +649,10 @@ impl CycleModel for MmrRouter {
         self.telemetry.end_credit_return(t_cr, returns_queued);
 
         // Track the end of the generation window (finite workloads only).
-        if self.generation_ended_at.is_none()
-            && self.sources.iter().all(|s| s.peek_next().is_none())
+        // The O(1) bound reaches NEVER on exactly the cycle the last
+        // source drains (that drain's scan refreshes it), so this is
+        // equivalent to the O(n) `all_exhausted` scan.
+        if self.generation_ended_at.is_none() && self.calendar.min_lower_bound() == calendar::NEVER
         {
             self.generation_ended_at = Some(now.0 + 1);
         }
@@ -614,6 +678,52 @@ impl CycleModel for MmrRouter {
 
     fn is_done(&self, _now: FlitCycle) -> bool {
         self.drained()
+    }
+
+    fn next_event(&self, now: FlitCycle) -> FlitCycle {
+        // Any buffered flit means credits, queues and metrics can move
+        // next cycle: no skipping.
+        if self.backlog() > 0 {
+            return FlitCycle(now.0 + 1);
+        }
+        // Quiescent.  The next state change is the earliest of: the next
+        // injection (calendar), the next armed fault activity, and — if
+        // credit counters drifted under faults — the next watchdog audit
+        // (its resync must execute on the same cycle as in the naive
+        // loop).
+        // The calendar bound may be stale-early; waking up on it is safe
+        // (the stepped cycle scans, finds nothing due, and refreshes the
+        // bound, so the next skip is exact).
+        let mut horizon = match self.calendar.min_lower_bound() {
+            calendar::NEVER => u64::MAX,
+            rc => rc.div_ceil(self.rc_per_flit),
+        };
+        if self.faults.is_active() {
+            horizon = horizon.min(self.faults.horizon(now.0));
+            let period = self.faults.profile().watchdog_period;
+            if period > 0 && !self.credits.all_at_capacity() {
+                horizon = horizon.min((now.0 / period + 1) * period);
+            }
+        }
+        FlitCycle(horizon.max(now.0 + 1))
+    }
+
+    fn skip_quiescent(&mut self, from: FlitCycle, n: u64, measuring: bool) {
+        // Reproduce exactly what `n` executed quiescent steps would have
+        // left behind: measured-cycle counts, TDM table phase, and
+        // telemetry epochs.  Everything else (queues, credits, RNG,
+        // metrics) provably cannot move while quiescent.
+        if measuring {
+            self.crossbar.record_idle_cycles(n);
+        }
+        for ls in &mut self.link_scheds {
+            if let AnyLinkScheduler::Tdm(ts) = ls {
+                ts.advance_cursor(n);
+            }
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.skip_quiescent(from.0, n);
+        }
     }
 }
 

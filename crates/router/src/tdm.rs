@@ -107,6 +107,16 @@ impl TdmLinkScheduler {
         &self.table
     }
 
+    /// Advance the table cursor by `n` slots without offering anything —
+    /// the bulk form of `n` [`select`](TdmLinkScheduler::select) calls on
+    /// an empty VC memory.  The event-horizon engine uses this to keep
+    /// the table phase identical to a cycle-by-cycle run across skipped
+    /// quiescent cycles (the cursor moves once per cycle, owner idle or
+    /// not).
+    pub fn advance_cursor(&mut self, n: u64) {
+        self.cursor = (self.cursor + (n % self.table.len() as u64) as usize) % self.table.len();
+    }
+
     /// Offer candidates for this cycle and advance the table cursor.
     pub fn select(
         &mut self,
@@ -316,6 +326,22 @@ mod tests {
         assert_eq!(cs.get(0, 0).unwrap().vc, 0);
         assert_eq!(cs.get(0, 1).unwrap().vc, 2);
         assert!(cs.get(0, 0).unwrap().priority > cs.get(0, 1).unwrap().priority);
+    }
+
+    #[test]
+    fn bulk_cursor_advance_matches_idle_selects() {
+        let (mem, qos) = setup(); // all VCs empty: selects offer nothing
+        let mk = || TdmLinkScheduler::new(0, vec![(0, 500), (1, 500)], 1000, 3, true);
+        let mut stepped = mk();
+        let mut bulk = mk();
+        for n in [1u64, 2, 3, 5, 700] {
+            for _ in 0..n {
+                let mut cs = CandidateSet::new(4, 1);
+                stepped.select(&mem, &qos, &Siabp, RouterCycle(0), &mut cs);
+            }
+            bulk.advance_cursor(n);
+            assert_eq!(stepped.cursor, bulk.cursor, "after advancing {n}");
+        }
     }
 
     #[test]

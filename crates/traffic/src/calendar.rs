@@ -1,0 +1,153 @@
+//! Injection calendars: the traffic side of the event-horizon contract.
+//!
+//! An [`InjectionCalendar`] caches, per connection, the router-cycle
+//! timestamp of the source's next flit (CBR period ticks, MPEG-2 frame
+//! boundaries, best-effort arrivals — whatever [`TrafficSource::peek_next`]
+//! reports).  The router consults the cached value instead of making a
+//! virtual `peek_next` call per source per cycle, and — when every queue
+//! is empty — asks the calendar for the earliest upcoming injection to
+//! bound how far the engine may fast-forward.
+//!
+//! The calendar is built once at admission time and updated in place after
+//! each drain; no per-cycle or per-skip allocation.
+
+use crate::source::TrafficSource;
+use mmr_sim::time::RouterCycle;
+
+/// Sentinel for "this source will never inject again".
+pub const NEVER: u64 = u64::MAX;
+
+/// Per-connection cache of the next injection time (router cycles).
+#[derive(Debug, Clone)]
+pub struct InjectionCalendar {
+    next_rc: Vec<u64>,
+    /// Lower bound on `min(next_rc)`, refreshed by [`Self::set_min_lb`]
+    /// whenever the owner scans the full calendar.  Sound because source
+    /// timestamps are monotone: [`Self::update`] can only move an entry
+    /// later, so a previously exact minimum stays a valid lower bound.
+    min_lb: u64,
+}
+
+impl InjectionCalendar {
+    /// Build from one `peek_next` value per source, in connection order.
+    pub fn from_peeks<I>(peeks: I) -> Self
+    where
+        I: IntoIterator<Item = Option<RouterCycle>>,
+    {
+        let next_rc: Vec<u64> = peeks
+            .into_iter()
+            .map(|p| p.map_or(NEVER, |t| t.0))
+            .collect();
+        let min_lb = next_rc.iter().copied().min().unwrap_or(NEVER);
+        InjectionCalendar { next_rc, min_lb }
+    }
+
+    /// Build directly from a slice of boxed sources.
+    pub fn from_sources(sources: &[Box<dyn TrafficSource + Send>]) -> Self {
+        Self::from_peeks(sources.iter().map(|s| s.peek_next()))
+    }
+
+    /// Number of connections tracked.
+    pub fn len(&self) -> usize {
+        self.next_rc.len()
+    }
+
+    /// True when no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.next_rc.is_empty()
+    }
+
+    /// Cached next-injection router cycle for connection `i` ([`NEVER`]
+    /// when exhausted).
+    #[inline]
+    pub fn next_rc(&self, i: usize) -> u64 {
+        self.next_rc[i]
+    }
+
+    /// Refresh connection `i` after its source was drained.
+    #[inline]
+    pub fn update(&mut self, i: usize, peek: Option<RouterCycle>) {
+        let rc = peek.map_or(NEVER, |t| t.0);
+        debug_assert!(
+            rc >= self.next_rc[i],
+            "source {i} moved its next injection earlier ({rc} < {})",
+            self.next_rc[i]
+        );
+        self.next_rc[i] = rc;
+    }
+
+    /// Earliest upcoming injection across all connections ([`NEVER`] when
+    /// every source is exhausted).  O(connections) — meant for tests and
+    /// cold paths; the hot paths use [`Self::min_lower_bound`].
+    pub fn min_next_rc(&self) -> u64 {
+        self.next_rc.iter().copied().min().unwrap_or(NEVER)
+    }
+
+    /// O(1) lower bound on [`Self::min_next_rc`].  `min_lb > now` proves
+    /// no injection is due, so a per-cycle scan can be skipped outright;
+    /// as a fast-forward horizon it may only be *too early* — exactly
+    /// what the event-horizon contract permits (DESIGN.md §12).
+    #[inline]
+    pub fn min_lower_bound(&self) -> u64 {
+        self.min_lb
+    }
+
+    /// Install the exact minimum recomputed during a full scan.
+    #[inline]
+    pub fn set_min_lb(&mut self, min: u64) {
+        debug_assert!(min >= self.min_lb, "minimum moved backwards");
+        self.min_lb = min;
+    }
+
+    /// True once every source is exhausted.
+    pub fn all_exhausted(&self) -> bool {
+        self.next_rc.iter().all(|&t| t == NEVER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peeks_and_updates() {
+        let mut cal = InjectionCalendar::from_peeks(vec![
+            Some(RouterCycle(640)),
+            None,
+            Some(RouterCycle(128)),
+        ]);
+        assert_eq!(cal.len(), 3);
+        assert_eq!(cal.next_rc(0), 640);
+        assert_eq!(cal.next_rc(1), NEVER);
+        assert_eq!(cal.min_next_rc(), 128);
+        assert!(!cal.all_exhausted());
+
+        cal.update(2, Some(RouterCycle(700)));
+        assert_eq!(cal.min_next_rc(), 640);
+        // The O(1) bound lags behind until the owner refreshes it, but
+        // never overshoots the true minimum.
+        assert_eq!(cal.min_lower_bound(), 128);
+        cal.set_min_lb(cal.min_next_rc());
+        assert_eq!(cal.min_lower_bound(), 640);
+        cal.update(0, None);
+        cal.update(2, None);
+        assert!(cal.all_exhausted());
+        assert_eq!(cal.min_next_rc(), NEVER);
+    }
+
+    #[test]
+    fn lower_bound_starts_exact() {
+        let cal = InjectionCalendar::from_peeks(vec![Some(RouterCycle(9)), None]);
+        assert_eq!(cal.min_lower_bound(), 9);
+        let empty = InjectionCalendar::from_peeks(Vec::new());
+        assert_eq!(empty.min_lower_bound(), NEVER);
+    }
+
+    #[test]
+    fn empty_calendar_is_exhausted() {
+        let cal = InjectionCalendar::from_peeks(Vec::new());
+        assert!(cal.is_empty());
+        assert!(cal.all_exhausted());
+        assert_eq!(cal.min_next_rc(), NEVER);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`admission`] — connection admission control: slot accounting per
 //!   round for CBR, average + peak×concurrency-factor tests for VBR (§2
 //!   "Connection Set up").
+//! * [`calendar`] — per-connection next-injection caches backing the
+//!   event-horizon engine's skip decisions (DESIGN.md §12).
 //! * [`workload`] — builders that assemble admitted connection mixes hitting
 //!   a target offered load, as used by every experiment in §5.
 
@@ -25,6 +27,7 @@
 
 pub mod admission;
 pub mod besteffort;
+pub mod calendar;
 pub mod cbr;
 pub mod connection;
 pub mod flit;
@@ -36,6 +39,7 @@ pub mod workload;
 
 pub use admission::{AdmissionControl, AdmissionError, RoundConfig};
 pub use besteffort::BestEffortSource;
+pub use calendar::InjectionCalendar;
 pub use cbr::CbrSource;
 pub use connection::{ConnectionId, ConnectionKind, ConnectionSpec, QosSpec, TrafficClass};
 pub use flit::{Flit, FrameRef};

@@ -17,11 +17,15 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
-echo "== bench_report smoke + telemetry-overhead gate =="
+echo "== bench_report smoke + perf gates =="
 # Write the next auto-numbered results/BENCH_<n>.json so every CI run
-# extends the benchmark trajectory, and gate the instrumented-but-
-# disabled router step against the newest committed baseline: telemetry
-# must stay free when disarmed (threshold MMR_TELEMETRY_GATE_PCT, 2%).
+# extends the benchmark trajectory, and gate against the newest
+# committed baseline: (1) the instrumented-but-disabled router step —
+# telemetry must stay free when disarmed (MMR_TELEMETRY_GATE_PCT, 10%);
+# (2) the whole-experiment sweep wall clock — the horizon engine must
+# hold >= 3x over the legacy loop at 0.2 load, stay within 2% of
+# cycle-by-cycle at 0.9, and not regress more than MMR_SWEEP_GATE_PCT
+# (25%) per-cycle against the baseline's sweep section.
 BASELINE="$(ls results/BENCH_*.json | sort -V | tail -1)"
 cargo run --release -q -p mmr-bench --bin bench_report -- --quick --gate "$BASELINE"
 

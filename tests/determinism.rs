@@ -2,12 +2,16 @@
 //! whole stack, including parallel sweeps; different seeds differ.
 
 use mmr_core::arbiter::scheduler::ArbiterKind;
-use mmr_core::config::{InjectionKind, RunLength, SimConfig, TelemetrySpec, WorkloadSpec};
-use mmr_core::experiment::{build_router, build_workload, run_experiment};
+use mmr_core::config::{
+    BestEffortSpec, EngineMode, FaultSpec, InjectionKind, RunLength, SimConfig, TelemetrySpec,
+    WorkloadSpec,
+};
+use mmr_core::experiment::{build_router, build_workload, run_experiment, ExperimentResult};
 use mmr_core::scenarios::{chaos, vbr_cycle_budget, Fidelity};
-use mmr_core::sim::engine::CycleModel;
+use mmr_core::sim::engine::{CycleModel, Runner, StopCondition};
 use mmr_core::sim::time::FlitCycle;
 use mmr_core::sweep::{run_all, sweep, SweepSpec};
+use proptest::prelude::*;
 
 fn quick(load: f64, seed: u64) -> SimConfig {
     SimConfig {
@@ -170,6 +174,197 @@ fn armed_telemetry_reports_are_bit_identical() {
         serde_json::to_string(&b.telemetry).unwrap(),
         "telemetry report must replay byte-identically"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Event-horizon differential: the fast-forwarding loop and the reference
+// cycle-by-cycle loop must be observationally indistinguishable — the
+// full ExperimentResult (summary, metrics, fault report, armed telemetry
+// report) and the router's RNG stream position replay bit-for-bit.  This
+// is the non-negotiable half of the horizon contract (DESIGN.md §12):
+// a skip may only cover cycles that would have been complete no-ops.
+
+/// Run `cfg` under `mode`, then blank the engine field so results from
+/// the two loops compare structurally (it is the one config field that
+/// legitimately differs).
+fn run_with_engine(cfg: &SimConfig, mode: EngineMode) -> ExperimentResult {
+    let mut r = run_experiment(&cfg.with_engine(mode));
+    r.config.engine = None;
+    r
+}
+
+fn assert_engines_agree(cfg: &SimConfig) {
+    let horizon = run_with_engine(cfg, EngineMode::EventHorizon);
+    let naive = run_with_engine(cfg, EngineMode::CycleByCycle);
+    assert_eq!(
+        horizon, naive,
+        "engines diverged for workload {:?} seed {} fault {:?}",
+        cfg.workload, cfg.seed, cfg.fault
+    );
+    assert_eq!(
+        serde_json::to_string(&horizon).unwrap(),
+        serde_json::to_string(&naive).unwrap(),
+        "engine divergence visible only in serialized bytes (seed {})",
+        cfg.seed
+    );
+}
+
+#[test]
+fn horizon_engine_leaves_the_rng_stream_identical() {
+    // Stronger than result equality: after both loops the arbitration RNG
+    // must sit at the same stream position, proving skipped cycles would
+    // not have consumed a draw.
+    for &load in &[0.05, 0.3, 0.7] {
+        let cfg = quick(load, 13);
+        let fingerprint = |horizon: bool| {
+            let workload = build_workload(&cfg);
+            let mut router = build_router(&cfg, workload);
+            let runner = Runner::new(cfg.warmup_cycles, StopCondition::Cycles(6_000));
+            let outcome = if horizon {
+                runner.run_horizon(&mut router)
+            } else {
+                runner.run(&mut router)
+            };
+            (router.rng_fingerprint(), outcome.executed)
+        };
+        assert_eq!(
+            fingerprint(true),
+            fingerprint(false),
+            "RNG stream diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn horizon_engine_matches_cycle_by_cycle_across_config_corpus() {
+    // A fixed corpus of 50+ seeded configs spanning every regime the
+    // engine must fast-forward through: CBR at idle-heavy and saturated
+    // loads, both arbiters, VBR drain runs, best-effort scavengers, armed
+    // telemetry (so skips cross snapshot-window boundaries mid-window),
+    // and chaos runs where the fault horizon gates the skip.
+    let corpus_cbr = |load: f64, seed: u64| SimConfig {
+        workload: WorkloadSpec::cbr(load),
+        warmup_cycles: 300,
+        run: RunLength::Cycles(4_000),
+        seed,
+        ..Default::default()
+    };
+    let mut corpus: Vec<SimConfig> = Vec::new();
+    // CBR grid: 4 loads x 4 seeds.
+    for &load in &[0.15, 0.4, 0.7, 0.9] {
+        for seed in 0..4 {
+            corpus.push(corpus_cbr(load, 100 + seed));
+        }
+    }
+    // Near-zero load: the deepest quiescent stretches.
+    for seed in 0..6 {
+        corpus.push(corpus_cbr(0.05, 40 + seed));
+    }
+    // WFA at a skip-heavy load.
+    for seed in 0..4 {
+        corpus.push(corpus_cbr(0.2, seed).with_arbiter(ArbiterKind::Wfa));
+    }
+    // Armed telemetry with an interval that forces mid-window skips.
+    for &load in &[0.1, 0.3] {
+        for seed in 0..3 {
+            corpus.push(corpus_cbr(load, 200 + seed).with_telemetry(TelemetrySpec {
+                snapshot_interval: 700,
+                ..TelemetrySpec::default()
+            }));
+        }
+    }
+    // VBR runs that drain completely (the horizon must stop exactly where
+    // the model reports done).
+    for seed in 0..3 {
+        corpus.push(SimConfig {
+            workload: WorkloadSpec::Vbr {
+                target_load: 0.3,
+                gops: 1,
+                injection: InjectionKind::BackToBack,
+                enforce_peak: false,
+            },
+            warmup_cycles: 0,
+            run: RunLength::UntilDrained {
+                max_cycles: vbr_cycle_budget(1),
+            },
+            seed: 70 + seed,
+            ..Default::default()
+        });
+    }
+    // Best-effort traffic on top of a reserved CBR mix.
+    for seed in 0..4 {
+        corpus.push(SimConfig {
+            best_effort: Some(BestEffortSpec {
+                per_link_load: 0.15,
+                mean_flits: 6.0,
+            }),
+            ..corpus_cbr(0.3, 300 + seed)
+        });
+    }
+    // Chaos: default and hotter fault rates, one batch with telemetry,
+    // one at a load low enough that faults dominate the horizon.
+    for seed in 0..6 {
+        corpus.push(corpus_cbr(0.5, 400 + seed).with_fault(FaultSpec::default()));
+    }
+    for seed in 0..3 {
+        corpus.push(
+            corpus_cbr(0.5, 500 + seed)
+                .with_fault(FaultSpec::default().scaled(2.0))
+                .with_telemetry(TelemetrySpec::default()),
+        );
+    }
+    for seed in 0..4 {
+        corpus.push(corpus_cbr(0.1, 600 + seed).with_fault(FaultSpec::default()));
+    }
+
+    assert!(
+        corpus.len() >= 50,
+        "corpus must span at least 50 configs, has {}",
+        corpus.len()
+    );
+    for cfg in &corpus {
+        assert_engines_agree(cfg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn horizon_engine_matches_cycle_by_cycle_on_random_triples(
+        load in 0.05f64..0.95,
+        seed in 0u64..100_000,
+        fault_scale in 0.0f64..3.0,
+        snapshot_interval in 150u64..2_000,
+        arm in 0u8..4,
+    ) {
+        // A random (config, seed, fault-plan) triple.  `arm` picks the
+        // optional machinery: bit 0 arms a randomized fault plan, bit 1
+        // arms telemetry with a random window length (so fast-forwards
+        // land mid-window and must bulk-roll snapshots correctly).
+        let mut cfg = SimConfig {
+            workload: WorkloadSpec::cbr(load),
+            warmup_cycles: 300,
+            run: RunLength::Cycles(4_000),
+            seed,
+            ..Default::default()
+        };
+        if arm & 1 != 0 {
+            cfg.fault = Some(FaultSpec::default().scaled(0.5 + fault_scale));
+        }
+        if arm & 2 != 0 {
+            cfg.telemetry = Some(TelemetrySpec {
+                snapshot_interval,
+                ..TelemetrySpec::default()
+            });
+        }
+        let horizon = run_with_engine(&cfg, EngineMode::EventHorizon);
+        let naive = run_with_engine(&cfg, EngineMode::CycleByCycle);
+        prop_assert_eq!(&horizon, &naive);
+        prop_assert_eq!(
+            serde_json::to_string(&horizon).unwrap(),
+            serde_json::to_string(&naive).unwrap()
+        );
+    }
 }
 
 #[test]

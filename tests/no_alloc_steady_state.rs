@@ -296,6 +296,67 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
         );
     }
 
+    // --- Horizon loop: skips allocate nothing ---------------------------
+    // At a very low load the event-horizon loop alternates short active
+    // bursts with multi-cycle fast-forwards.  The injection calendar is
+    // built once at admission and updated in place, so `next_event` and
+    // `skip_quiescent` are pure bookkeeping over preallocated state: the
+    // measured region — dominated by skips, with telemetry armed so the
+    // bulk window-roll path runs too — must make zero allocator calls.
+    // (A calendar rebuilt per skip would show up here as a Vec
+    // allocation on every fast-forward.)
+    {
+        fn advance(router: &mut MmrRouter, from: u64, cycles: u64, skipped: &mut u64) -> u64 {
+            // The same loop shape as Runner::run_horizon, inlined so the
+            // measured window can start mid-run.
+            let mut t = from;
+            let end = from + cycles;
+            while t < end {
+                router.step(FlitCycle(t), false);
+                let target = router.next_event(FlitCycle(t)).0.max(t + 1).min(end);
+                let gap = target - (t + 1);
+                if gap > 0 {
+                    router.skip_quiescent(FlitCycle(t + 1), gap, false);
+                    *skipped += gap;
+                }
+                t = target;
+            }
+            t
+        }
+        let cfg = RouterConfig::default();
+        let mut rng = SimRng::seed_from_u64(5);
+        let workload = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
+            .target_load(0.05)
+            .build(&mut rng);
+        let arbiter_ports = cfg.ports;
+        let mut router = MmrRouter::new(
+            cfg,
+            workload,
+            ArbiterKind::Coa.instantiate(arbiter_ports),
+            Box::new(Siabp),
+            5,
+        );
+        router.set_telemetry(TelemetryConfig {
+            trace_capacity: 512,
+            snapshot_interval: 250,
+            ..TelemetryConfig::default()
+        });
+        let mut skipped = 0u64;
+        let t = advance(&mut router, 0, 5_000, &mut skipped);
+        skipped = 0;
+        let allocs = allocations_in(|| {
+            advance(&mut router, t, 20_000, &mut skipped);
+        });
+        assert!(
+            skipped > 5_000,
+            "low-load region must be skip-dominated, skipped only {skipped} of 20000"
+        );
+        assert_eq!(
+            allocs, 0,
+            "horizon loop allocated {allocs} times across {skipped} skipped cycles"
+        );
+    }
+
     // --- EventLog recording ---------------------------------------------
     // The debug event log formats into a reusable byte arena: recording
     // (including wrap-around eviction of old entries) makes no allocator

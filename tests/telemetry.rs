@@ -62,9 +62,12 @@ fn armed_cbr_run_reports_counters_stages_and_windows() {
         .unwrap();
     assert!(arb.work > 0, "arbitration stage records grants as work");
 
-    // Kernel probe: one matching per cycle, consistent with the grants
-    // counter.
-    assert_eq!(report.kernel.matchings, 8_000);
+    // Kernel probe: one matching per cycle that offers candidates,
+    // consistent with the grants counter.  Candidate-free cycles never
+    // reach the kernel — the engine treats them as quiescent and either
+    // gates or skips arbitration entirely — and at load 0.7 the only
+    // such cycle is cycle 0, before the first flit has arrived.
+    assert_eq!(report.kernel.matchings, 7_999);
     assert_eq!(report.kernel.grants, counter("grants_issued"));
     assert!(report.kernel.candidates_examined >= report.kernel.grants);
 
