@@ -1,0 +1,64 @@
+//! Paper-conformance gate: evaluate the committed claim manifest over a
+//! multi-seed ensemble and write `results/conformance.json`.
+//!
+//! Exit status is the gate: 0 when every claim passes at the ensemble
+//! median, 1 when any claim regresses — `scripts/ci.sh` runs this in
+//! quick fidelity.  `--list-claims` prints the manifest (id, figure,
+//! threshold, description) without running any simulation, so a failing
+//! CI line can be matched to its exact claim.
+
+use mmr_bench::{banner, emit, fidelity_from_args, results_dir};
+use mmr_core::conformance::{paper_claims, run_conformance, EnsembleOptions};
+use mmr_core::saturation::ExperimentCache;
+
+fn main() {
+    if std::env::args().any(|a| a == "--list-claims") {
+        println!("{:<28} {:<8} claim", "id", "figure");
+        println!("{}", "-".repeat(96));
+        for c in paper_claims() {
+            println!("{:<28} {:<8} {}", c.id, c.figure.label(), c.description);
+        }
+        return;
+    }
+
+    let fidelity = fidelity_from_args();
+    let options = EnsembleOptions::new(fidelity);
+    eprintln!(
+        "running conformance ensemble: {} CBR seeds, {} VBR seeds…",
+        options.cbr_seeds, options.vbr_seeds
+    );
+    let mut cache = ExperimentCache::new();
+    let report = run_conformance(options, &mut cache);
+
+    let mut out = banner(
+        "Conformance",
+        "machine-checked paper claims, ensemble median across seeds",
+        fidelity,
+    );
+    out.push_str(&report.render_text());
+    let failed = report.failed();
+    out.push_str(&format!(
+        "\n{}/{} claims pass ({} simulations, {} cache hits)\n",
+        report.claims.len() - failed.len(),
+        report.claims.len(),
+        cache.misses(),
+        cache.hits(),
+    ));
+    emit("conformance.txt", &out);
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let path = results_dir().join("conformance.json");
+    std::fs::write(&path, &json).expect("write conformance.json");
+    eprintln!("[written {}]", path.display());
+
+    if !failed.is_empty() {
+        eprintln!("conformance FAILED:");
+        for c in &failed {
+            eprintln!(
+                "  {} [{}]: median {:.4} vs threshold {:.4} (margin {:+.4} {})",
+                c.id, c.figure, c.median, c.threshold, c.margin, c.unit
+            );
+        }
+        std::process::exit(1);
+    }
+}

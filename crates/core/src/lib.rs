@@ -11,6 +11,8 @@
 //! * [`sweep`](mod@sweep) — load sweeps across arbiters and seeds, parallelized
 //!   with scoped threads (each point is an independent deterministic simulation).
 //! * [`saturation`] — saturation-point detection over sweep results.
+//! * [`conformance`] — typed, machine-checkable paper claims evaluated
+//!   over multi-seed ensembles (the reproduction's regression gate).
 //! * [`scenarios`] — the canned configurations reproducing each figure of
 //!   the paper (Fig. 5 CBR delay, Fig. 8 VBR utilization, Fig. 9 VBR frame
 //!   delay, §5.2 jitter).
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod conformance;
 pub mod experiment;
 pub mod report;
 pub mod saturation;

@@ -122,6 +122,48 @@ impl ExperimentCache {
         result
     }
 
+    /// True if this exact config is already measured.
+    pub fn contains(&self, cfg: &SimConfig) -> bool {
+        self.map.contains_key(&Self::key(cfg))
+    }
+
+    /// Store an externally computed result (keyed on its own config).
+    pub fn insert(&mut self, result: ExperimentResult) {
+        self.map.insert(Self::key(&result.config), result);
+    }
+
+    /// Run a batch of configs, reusing cached results and fanning the
+    /// misses out across `workers` threads (via [`crate::sweep::run_all`];
+    /// `None` = one per core).  Results come back in input order, and
+    /// duplicate configs within the batch simulate only once.
+    pub fn run_many(
+        &mut self,
+        configs: &[SimConfig],
+        workers: Option<usize>,
+    ) -> Vec<ExperimentResult> {
+        let keys: Vec<String> = configs.iter().map(Self::key).collect();
+        let mut miss_configs: Vec<SimConfig> = Vec::new();
+        let mut miss_keys: Vec<&String> = Vec::new();
+        for (cfg, key) in configs.iter().zip(&keys) {
+            if self.map.contains_key(key) {
+                self.hits += 1;
+            } else if miss_keys.contains(&key) {
+                self.hits += 1; // duplicate within the batch: one run serves both
+            } else {
+                self.misses += 1;
+                miss_configs.push(cfg.clone());
+                miss_keys.push(key);
+            }
+        }
+        let fresh = crate::sweep::run_all(&miss_configs, workers);
+        for (key, result) in miss_keys.into_iter().zip(fresh) {
+            self.map.insert(key.clone(), result);
+        }
+        keys.iter()
+            .map(|key| self.map.get(key).expect("batch filled every key").clone())
+            .collect()
+    }
+
     /// Number of lookups served from the cache.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -122,7 +122,18 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
 pub fn sweep_with_workers(spec: &SweepSpec, workers: Option<usize>) -> Vec<SweepPoint> {
     let configs = spec.configs();
     let results = parallel_map(&configs, run_experiment, workers);
-    // Regroup: configs() nests seeds innermost.
+    group_points(spec, results)
+}
+
+/// Aggregate a flat result list (in [`SweepSpec::configs`] order — seeds
+/// innermost) back into (arbiter, load) points.  Shared by the sweep
+/// runner and the conformance engine's cached runner.
+pub fn group_points(spec: &SweepSpec, results: Vec<ExperimentResult>) -> Vec<SweepPoint> {
+    assert_eq!(
+        results.len(),
+        spec.point_count(),
+        "result list does not match the sweep grid"
+    );
     let s = spec.seeds.len();
     let mut points = Vec::with_capacity(spec.loads.len() * spec.arbiters.len());
     let mut it = results.into_iter();

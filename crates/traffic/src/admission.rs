@@ -297,6 +297,93 @@ mod tests {
     }
 
     #[test]
+    fn vbr_peak_boundary_exactly_at_capacity_admits_one_slot_over_rejects() {
+        // The peak ledger's capacity is round × concurrency factor =
+        // 1000 × 2.0 = 2000 slots.  Slot-multiple bandwidths make the
+        // arithmetic exact: landing *on* the cap admits, one slot past
+        // it rejects.
+        let round = RoundConfig {
+            cycles_per_round: 1000,
+            concurrency_factor: 2.0,
+        };
+        let tb = TimeBase::default();
+        let slot = round.slot_bandwidth(&tb).as_bps();
+        let avg = Bandwidth::bps(10.0 * slot);
+
+        // Exactly at capacity: 1999 + 1 = 2000 == cap.
+        let mut c = AdmissionControl::new(2, round, tb);
+        c.admit(0, 0, avg, Bandwidth::bps(1999.0 * slot)).unwrap();
+        assert!(
+            c.admit(0, 0, avg, Bandwidth::bps(1.0 * slot)).is_ok(),
+            "peak exactly at round x concurrency must admit"
+        );
+
+        // One slot over: 1999 + 2 = 2001 > cap.
+        let mut c = AdmissionControl::new(2, round, tb);
+        c.admit(0, 0, avg, Bandwidth::bps(1999.0 * slot)).unwrap();
+        assert_eq!(
+            c.admit(0, 0, avg, Bandwidth::bps(2.0 * slot)).unwrap_err(),
+            AdmissionError::InputPeakExceeded,
+            "one slot past the peak cap must reject"
+        );
+        // The failed admit must not have dirtied any ledger: the
+        // one-slot connection still fits afterwards.
+        assert!(c.admit(0, 0, avg, Bandwidth::bps(1.0 * slot)).is_ok());
+
+        // A fractional concurrency factor truncates: 1000 × 1.5 = 1500.
+        let round = RoundConfig {
+            cycles_per_round: 1000,
+            concurrency_factor: 1.5,
+        };
+        let mut c = AdmissionControl::new(2, round, tb);
+        assert!(c.admit(0, 0, avg, Bandwidth::bps(1500.0 * slot)).is_ok());
+        let mut c = AdmissionControl::new(2, round, tb);
+        assert_eq!(
+            c.admit(0, 0, avg, Bandwidth::bps(1501.0 * slot))
+                .unwrap_err(),
+            AdmissionError::InputPeakExceeded
+        );
+    }
+
+    #[test]
+    fn mixed_class_slot_exhaustion_fills_the_round_exactly() {
+        // The paper's CBR mix on one link pair: 22 × 55 Mbps (727 slots
+        // each = 15,994), 18 × 1.54 Mbps (21 each = 378), and the
+        // remaining 12 slots taken by 64 Kbps connections one slot at a
+        // time — landing on precisely 16,384 reserved slots.
+        let mut c = cac();
+        for _ in 0..22 {
+            c.admit(0, 0, Bandwidth::mbps(55.0), Bandwidth::mbps(55.0))
+                .unwrap();
+        }
+        for _ in 0..18 {
+            c.admit(0, 0, Bandwidth::mbps(1.54), Bandwidth::mbps(1.54))
+                .unwrap();
+        }
+        let voice = Bandwidth::kbps(64.0);
+        for _ in 0..12 {
+            c.admit(0, 0, voice, voice).unwrap();
+        }
+        assert_eq!(c.input_load(0), 1.0, "round must be exactly full");
+        assert_eq!(c.output_load(0), 1.0);
+        // Every class is now refused, smallest first — and the medium
+        // class reports the same exhaustion, not a peak error.
+        assert_eq!(
+            c.admit(0, 0, voice, voice).unwrap_err(),
+            AdmissionError::InputAverageExceeded
+        );
+        assert_eq!(
+            c.admit(0, 0, Bandwidth::mbps(1.54), Bandwidth::mbps(1.54))
+                .unwrap_err(),
+            AdmissionError::InputAverageExceeded
+        );
+        assert!(!c.can_admit(0, 0, voice, voice));
+        // Other links are untouched by the full one.
+        assert_eq!(c.input_load(1), 0.0);
+        assert!(c.can_admit(1, 1, voice, voice));
+    }
+
+    #[test]
     fn can_admit_does_not_reserve() {
         let mut c = cac();
         let bw = Bandwidth::mbps(500.0);

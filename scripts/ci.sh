@@ -42,4 +42,24 @@ cargo run --release -q -p mmr-bench --bin chaos_report
 test -s results/chaos_report.txt
 test -s results/chaos_report.json
 
+echo "== conformance gate =="
+# Evaluate the committed paper-claim manifest (crates/core/src/
+# conformance.rs) over the quick-fidelity multi-seed ensemble; the
+# binary exits non-zero on any claim regression, naming the claim and
+# its margin.  `--list-claims` prints the manifest without simulating.
+cargo run --release -q -p mmr-bench --bin conformance_report -- --list-claims
+cargo run --release -q -p mmr-bench --bin conformance_report
+test -s results/conformance.json
+test -s results/conformance.txt
+
+if [[ "${MMR_CI_NIGHTLY:-0}" == "1" ]]; then
+    echo "== nightly: property suites at 4x cases =="
+    # MMR_PROPTEST_CASES multiplies every proptest!-suite's configured
+    # case count (see tests/README.md); generation is deterministic per
+    # test name, so this replays the 1x prefix and extends it.
+    MMR_PROPTEST_CASES=4 cargo test --release -q -p mmr-core \
+        --test arbiter_properties --test qos_properties \
+        --test flow_control --test differential
+fi
+
 echo "== CI green =="

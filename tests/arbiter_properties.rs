@@ -6,6 +6,29 @@ use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::sim::rng::SimRng;
 use proptest::prelude::*;
 
+/// Explicit replay of the regression corpus
+/// (`tests/arbiter_properties.proptest-regressions`).
+///
+/// The vendored proptest shim does NOT auto-read `.proptest-regressions`
+/// files (see `tests/README.md`), so every case recorded there must also
+/// be transcribed here as a plain test.  This one is the corpus's single
+/// entry — the shrunk counterexample that once broke SIABP monotonicity
+/// (`slots_a = 256, slots_b = 5, d1 = 281474976710656, d2 = 0`): an
+/// enormous accumulated delay overwhelming the reservation term.
+#[test]
+fn regression_corpus_siabp_monotone_replay() {
+    let (slots_a, slots_b) = (256u64, 5u64);
+    let (d1, d2) = (281_474_976_710_656u64, 0u64);
+    let (lo_d, hi_d) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+    assert!(Siabp.priority(slots_a, 1.0, lo_d) <= Siabp.priority(slots_a, 1.0, hi_d));
+    let (lo_s, hi_s) = if slots_a <= slots_b {
+        (slots_a, slots_b)
+    } else {
+        (slots_b, slots_a)
+    };
+    assert!(Siabp.priority(lo_s, 1.0, d1) <= Siabp.priority(hi_s, 1.0, d1));
+}
+
 /// Strategy: a random candidate set for a `ports`-port router.
 fn candidate_set_strategy(ports: usize, levels: usize) -> impl Strategy<Value = CandidateSet> {
     // Per input: up to `levels` (output, priority) pairs.

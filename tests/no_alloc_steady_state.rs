@@ -140,6 +140,75 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
         );
     }
 
+    // --- TDM link scheduler --------------------------------------------
+    // Both variants: pure TDM (owner-only) and backfill (priority sort
+    // into the scratch vector).  After a warm-up that grows the scratch
+    // to its high-water mark, selects — including the eligibility-masked
+    // path and cursor wraps — must be allocation-free.  The VC memory
+    // churn inside the measured region exercises push/pop reuse too.
+    for backfill in [false, true] {
+        use mmr_core::router::link_scheduler::VcQosInfo;
+        use mmr_core::router::tdm::TdmLinkScheduler;
+        use mmr_core::router::vcmem::VcMemory;
+        use mmr_core::sim::time::RouterCycle;
+        use mmr_core::traffic::connection::ConnectionId;
+        use mmr_core::traffic::flit::Flit;
+        let vcs = 8;
+        let reservations: Vec<(usize, u64)> = (0..vcs)
+            .map(|vc| (vc, [727u64, 181, 21, 1][vc % 4]))
+            .collect();
+        let qos: Vec<VcQosInfo> = (0..vcs)
+            .map(|vc| VcQosInfo {
+                output: vc % 4,
+                reserved_slots: reservations[vc].1,
+                iat_rc: 16_384.0 / reservations[vc].1 as f64,
+            })
+            .collect();
+        let mut tdm = TdmLinkScheduler::new(0, reservations, 16_384, 64, backfill);
+        let mut mem = VcMemory::new(vcs, 8, 1);
+        let mut tdm_cs = CandidateSet::new(vcs, 4);
+        let mut rng = SimRng::seed_from_u64(11);
+        let drive = |tdm: &mut TdmLinkScheduler,
+                     mem: &mut VcMemory,
+                     cs: &mut CandidateSet,
+                     rng: &mut SimRng,
+                     cycles: u64|
+         -> usize {
+            let mut offered = 0;
+            for t in 0..cycles {
+                for _ in 0..rng.index(3) {
+                    let vc = rng.index(vcs);
+                    if mem.free_space(vc) > 0 {
+                        mem.push(
+                            vc,
+                            Flit::cbr(ConnectionId(vc as u32), t, RouterCycle(t)),
+                            RouterCycle(t),
+                        );
+                    }
+                }
+                for _ in 0..rng.index(2) {
+                    mem.pop(rng.index(vcs));
+                }
+                let mask = rng.next_u64_raw() | 1;
+                cs.clear();
+                offered += tdm.select_where(mem, &qos, &Siabp, RouterCycle(t), cs, |vc| {
+                    mask & (1 << vc) != 0
+                });
+            }
+            offered
+        };
+        drive(&mut tdm, &mut mem, &mut tdm_cs, &mut rng, 200);
+        let mut offered = 0;
+        let allocs = allocations_in(|| {
+            offered = drive(&mut tdm, &mut mem, &mut tdm_cs, &mut rng, 500);
+        });
+        assert!(offered > 0, "TDM(backfill={backfill}) offered nothing");
+        assert_eq!(
+            allocs, 0,
+            "TDM(backfill={backfill}) select allocated {allocs} times in steady state"
+        );
+    }
+
     // --- Full router step ----------------------------------------------
     // CBR traffic below saturation: after a warm-up every queue, VC
     // buffer and scratch vector has seen its steady-state high-water

@@ -208,6 +208,24 @@ pub mod test_runner {
         }
     }
 
+    /// Parse an `MMR_PROPTEST_CASES` value: a case-count **multiplier**
+    /// applied on top of each test's configured `cases` (so a suite with
+    /// mixed per-test configs scales uniformly).  Missing, empty, zero,
+    /// or unparsable values mean 1× (the configured counts as written).
+    pub fn parse_case_multiplier(raw: Option<&str>) -> u32 {
+        raw.and_then(|s| s.trim().parse::<u32>().ok())
+            .filter(|&m| m >= 1)
+            .unwrap_or(1)
+    }
+
+    /// The case multiplier currently requested via the
+    /// `MMR_PROPTEST_CASES` environment variable (1 when unset).  CI's
+    /// nightly mode sets `MMR_PROPTEST_CASES=4` to re-run every property
+    /// suite at 4× its committed case counts.
+    pub fn case_multiplier() -> u32 {
+        parse_case_multiplier(std::env::var("MMR_PROPTEST_CASES").ok().as_deref())
+    }
+
     /// Why a single generated case did not pass.
     #[derive(Debug, Clone)]
     pub enum TestCaseError {
@@ -310,15 +328,20 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::Config = $cfg;
+                // MMR_PROPTEST_CASES scales every suite uniformly (CI
+                // nightly runs at 4x the committed counts).
+                let __cases = __config
+                    .cases
+                    .saturating_mul($crate::test_runner::case_multiplier());
                 let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
                 let mut __accepted: u32 = 0;
                 let mut __attempts: u32 = 0;
-                while __accepted < __config.cases {
+                while __accepted < __cases {
                     __attempts += 1;
-                    if __attempts > __config.cases.saturating_mul(20).saturating_add(1000) {
+                    if __attempts > __cases.saturating_mul(20).saturating_add(1000) {
                         panic!(
                             "proptest {}: too many rejects ({} accepted of {} wanted)",
-                            stringify!($name), __accepted, __config.cases,
+                            stringify!($name), __accepted, __cases,
                         );
                     }
                     $(let $arg =
@@ -450,5 +473,18 @@ mod tests {
         let mut a = crate::test_runner::TestRng::from_name("t");
         let mut b = crate::test_runner::TestRng::from_name("t");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn case_multiplier_parsing() {
+        use crate::test_runner::parse_case_multiplier;
+        assert_eq!(parse_case_multiplier(None), 1, "unset means 1x");
+        assert_eq!(parse_case_multiplier(Some("")), 1);
+        assert_eq!(parse_case_multiplier(Some("0")), 1, "0 is clamped to 1x");
+        assert_eq!(parse_case_multiplier(Some("1")), 1);
+        assert_eq!(parse_case_multiplier(Some("4")), 4, "nightly mode");
+        assert_eq!(parse_case_multiplier(Some(" 16 ")), 16, "whitespace ok");
+        assert_eq!(parse_case_multiplier(Some("x")), 1, "garbage means 1x");
+        assert_eq!(parse_case_multiplier(Some("-2")), 1);
     }
 }
