@@ -5,15 +5,18 @@
 //! vector**: level 1 is the highest-priority candidate, level 2 the next,
 //! and so on (paper §4).  The switch scheduler sees only these vectors.
 
+use crate::portset::{words_for_ports, MAX_WORDS};
 use serde::{Deserialize, Serialize};
 
 /// Hard upper bound on router ports.
 ///
 /// The arbitration kernels keep per-output requester sets and free-port
-/// maps as single `u64` bitmasks (one bit per port), so a router cannot
-/// have more ports than bits.  The paper's MMR is 4×4; 64 leaves ample
-/// headroom while keeping every kernel branch-free on port sets.
-pub const MAX_PORTS: usize = 64;
+/// maps as multi-word bitmasks ([`crate::portset::PortSet`]), selecting a
+/// width of 1, 2 or 4 `u64` words from the port count.  Four words — 256
+/// ports — covers the Tiny Tera-class configurations of interest while
+/// keeping every kernel branch-free on port sets; larger routers are
+/// rejected with a clear error.
+pub const MAX_PORTS: usize = 256;
 
 /// A scheduling priority.
 ///
@@ -33,6 +36,21 @@ impl Priority {
     pub fn new(v: f64) -> Self {
         debug_assert!(v.is_finite(), "priority must be finite, got {v}");
         Priority(v)
+    }
+
+    /// The priority as an order-preserving `u64` key: `a.sort_key() <
+    /// b.sort_key()` iff `a < b` (and equal keys iff `total_cmp` equality).
+    /// Flipping the sign bit of a non-negative float, or all bits of a
+    /// negative one, is the standard IEEE-754 totalOrder transform; it
+    /// lets kernels compare and sort priorities as plain integers.
+    #[inline]
+    pub fn sort_key(self) -> u64 {
+        let b = self.0.to_bits();
+        if b >> 63 == 1 {
+            !b
+        } else {
+            b | (1u64 << 63)
+        }
     }
 }
 
@@ -73,16 +91,20 @@ pub struct Candidate {
 pub struct CandidateSet {
     ports: usize,
     levels: usize,
+    /// Port-set width in `u64` words (1, 2 or 4), fixed by `ports`.
+    /// Every mask below is stored as `words` consecutive `u64`s.
+    words: usize,
     slots: Vec<Option<Candidate>>,
-    /// Request index: `[level * ports + output]` → bitmask of inputs whose
-    /// candidate at `level` requests `output`.  Maintained incrementally by
-    /// `set_input`/`push`/`clear` so arbiters scan requesters in O(1) per
-    /// (level, output) instead of sweeping every input.
+    /// Request index: row `level * ports + output` (of `words` words each)
+    /// → bitmask of inputs whose candidate at `level` requests `output`.
+    /// Maintained incrementally by `set_input`/`push`/`clear` so arbiters
+    /// scan requesters in O(words) per (level, output) instead of sweeping
+    /// every input.
     req_level_out: Vec<u64>,
-    /// `[output]` → bitmask of inputs with a candidate for `output` at any
-    /// level (the union of `req_level_out` over levels).
+    /// Row `output` → bitmask of inputs with a candidate for `output` at
+    /// any level (the union of `req_level_out` over levels).
     req_out: Vec<u64>,
-    /// `[input]` → bitmask of outputs requested by any of the input's
+    /// Row `input` → bitmask of outputs requested by any of the input's
     /// candidates.
     out_by_in: Vec<u64>,
 }
@@ -93,16 +115,19 @@ impl CandidateSet {
         assert!(ports > 0 && levels > 0);
         assert!(
             ports <= MAX_PORTS,
-            "router has {ports} ports but the scheduling kernels index port \
-             sets with u64 bitmasks, limiting a router to {MAX_PORTS} ports"
+            "router has {ports} ports but the scheduling kernels track port \
+             sets as at most {MAX_WORDS} 64-bit words, limiting a router to \
+             {MAX_PORTS} ports"
         );
+        let words = words_for_ports(ports);
         CandidateSet {
             ports,
             levels,
+            words,
             slots: vec![None; ports * levels],
-            req_level_out: vec![0; ports * levels],
-            req_out: vec![0; ports],
-            out_by_in: vec![0; ports],
+            req_level_out: vec![0; ports * levels * words],
+            req_out: vec![0; ports * words],
+            out_by_in: vec![0; ports * words],
         }
     }
 
@@ -116,6 +141,13 @@ impl CandidateSet {
     #[inline]
     pub fn levels(&self) -> usize {
         self.levels
+    }
+
+    /// Port-set width in `u64` words (1, 2 or 4).  Every mask slice this
+    /// set returns has exactly this length.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
     }
 
     /// Remove all candidates (reuse between cycles without reallocating).
@@ -132,34 +164,40 @@ impl CandidateSet {
     pub fn set_input(&mut self, input: usize, candidates: &[Candidate]) {
         assert!(candidates.len() <= self.levels, "too many candidates");
         let base = input * self.levels;
-        let bit = 1u64 << input;
+        let words = self.words;
+        let iw = input >> 6;
+        let ibit = 1u64 << (input & 63);
         // Unindex the input's previous vector before overwriting.
-        let mut touched = self.out_by_in[input];
+        let mut touched = [0u64; MAX_WORDS];
+        touched[..words].copy_from_slice(&self.out_by_in[input * words..(input + 1) * words]);
         for l in 0..self.levels {
             if let Some(old) = self.slots[base + l] {
-                self.req_level_out[l * self.ports + old.output] &= !bit;
+                self.req_level_out[(l * self.ports + old.output) * words + iw] &= !ibit;
             }
         }
-        self.out_by_in[input] = 0;
+        self.out_by_in[input * words..(input + 1) * words].fill(0);
         for l in 0..self.levels {
             self.slots[base + l] = candidates.get(l).copied();
             if let Some(c) = candidates.get(l) {
-                self.req_level_out[l * self.ports + c.output] |= bit;
-                self.req_out[c.output] |= bit;
-                self.out_by_in[input] |= 1u64 << c.output;
-                touched |= 1u64 << c.output;
+                self.req_level_out[(l * self.ports + c.output) * words + iw] |= ibit;
+                self.req_out[c.output * words + iw] |= ibit;
+                self.out_by_in[input * words + (c.output >> 6)] |= 1u64 << (c.output & 63);
+                touched[c.output >> 6] |= 1u64 << (c.output & 63);
             }
         }
         // Rebuild the any-level union for every output the input touched.
-        while touched != 0 {
-            let output = touched.trailing_zeros() as usize;
-            touched &= touched - 1;
-            let any =
-                (0..self.levels).any(|l| self.req_level_out[l * self.ports + output] & bit != 0);
-            if any {
-                self.req_out[output] |= bit;
-            } else {
-                self.req_out[output] &= !bit;
+        for (w, mut t) in touched.into_iter().enumerate().take(words) {
+            while t != 0 {
+                let output = w * 64 + t.trailing_zeros() as usize;
+                t &= t - 1;
+                let any = (0..self.levels).any(|l| {
+                    self.req_level_out[(l * self.ports + output) * words + iw] & ibit != 0
+                });
+                if any {
+                    self.req_out[output * words + iw] |= ibit;
+                } else {
+                    self.req_out[output * words + iw] &= !ibit;
+                }
             }
         }
         debug_assert!(
@@ -185,10 +223,11 @@ impl CandidateSet {
                     "push order must be descending priority"
                 );
                 self.slots[base + l] = Some(c);
-                let bit = 1u64 << c.input;
-                self.req_level_out[l * self.ports + c.output] |= bit;
-                self.req_out[c.output] |= bit;
-                self.out_by_in[c.input] |= 1u64 << c.output;
+                let words = self.words;
+                let ibit = 1u64 << (c.input & 63);
+                self.req_level_out[(l * self.ports + c.output) * words + (c.input >> 6)] |= ibit;
+                self.req_out[c.output * words + (c.input >> 6)] |= ibit;
+                self.out_by_in[c.input * words + (c.output >> 6)] |= 1u64 << (c.output & 63);
                 return true;
             }
         }
@@ -200,6 +239,13 @@ impl CandidateSet {
     #[inline]
     pub fn get(&self, input: usize, level: usize) -> Option<Candidate> {
         self.slots[input * self.levels + level]
+    }
+
+    /// Borrowing variant of [`CandidateSet::get`] for kernel inner loops:
+    /// no 40-byte `Option<Candidate>` copy per probe.
+    #[inline]
+    pub fn candidate_at(&self, input: usize, level: usize) -> Option<&Candidate> {
+        self.slots[input * self.levels + level].as_ref()
     }
 
     /// Iterate over all present candidates.
@@ -225,9 +271,10 @@ impl CandidateSet {
     /// candidate.  O(levels) via the request index.
     #[inline]
     pub fn best_level_for(&self, input: usize, output: usize) -> Option<(usize, Candidate)> {
-        let bit = 1u64 << input;
+        let iw = input >> 6;
+        let ibit = 1u64 << (input & 63);
         (0..self.levels)
-            .find(|&l| self.req_level_out[l * self.ports + output] & bit != 0)
+            .find(|&l| self.req_level_out[(l * self.ports + output) * self.words + iw] & ibit != 0)
             .map(|l| {
                 (
                     l,
@@ -240,25 +287,38 @@ impl CandidateSet {
     /// request index.
     #[inline]
     pub fn requests(&self, input: usize, output: usize) -> bool {
-        self.req_out[output] & (1u64 << input) != 0
+        self.req_out[output * self.words + (input >> 6)] & (1u64 << (input & 63)) != 0
     }
 
-    /// Bitmask of inputs whose candidate at `level` requests `output`.
+    /// The whole request bit-matrix as one flat slice: row
+    /// `level * ports + output` (each `words()` words long) is the
+    /// requester mask of that (level, output) pair.  Lets kernels stream
+    /// the matrix linearly instead of recomputing row offsets per cell.
     #[inline]
-    pub fn requesters_at(&self, level: usize, output: usize) -> u64 {
-        self.req_level_out[level * self.ports + output]
+    pub fn request_rows(&self) -> &[u64] {
+        &self.req_level_out
     }
 
-    /// Bitmask of inputs requesting `output` at any level.
+    /// Bitmask of inputs whose candidate at `level` requests `output`, as
+    /// a `words()`-long word slice.
     #[inline]
-    pub fn requesters(&self, output: usize) -> u64 {
-        self.req_out[output]
+    pub fn requesters_at(&self, level: usize, output: usize) -> &[u64] {
+        let base = (level * self.ports + output) * self.words;
+        &self.req_level_out[base..base + self.words]
     }
 
-    /// Bitmask of outputs requested by any of `input`'s candidates.
+    /// Bitmask of inputs requesting `output` at any level, as a
+    /// `words()`-long word slice.
     #[inline]
-    pub fn output_mask(&self, input: usize) -> u64 {
-        self.out_by_in[input]
+    pub fn requesters(&self, output: usize) -> &[u64] {
+        &self.req_out[output * self.words..(output + 1) * self.words]
+    }
+
+    /// Bitmask of outputs requested by any of `input`'s candidates, as a
+    /// `words()`-long word slice.
+    #[inline]
+    pub fn output_mask(&self, input: usize) -> &[u64] {
+        &self.out_by_in[input * self.words..(input + 1) * self.words]
     }
 
     /// Total number of candidates present.
@@ -282,6 +342,22 @@ mod tests {
             vc,
             output,
             priority: Priority::new(prio),
+        }
+    }
+
+    #[test]
+    fn sort_key_preserves_total_order() {
+        let vals = [-1e9, -1.5, -0.0, 0.0, 1e-300, 2.0, 1e18];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    Priority::new(a)
+                        .sort_key()
+                        .cmp(&Priority::new(b).sort_key()),
+                    a.total_cmp(&b),
+                    "sort_key order mismatch for {a} vs {b}"
+                );
+            }
         }
     }
 
@@ -348,22 +424,23 @@ mod tests {
         let mut cs = CandidateSet::new(4, 2);
         cs.set_input(0, &[cand(0, 0, 2, 9.0), cand(0, 1, 1, 5.0)]);
         cs.push(cand(3, 0, 2, 7.0));
-        assert_eq!(cs.requesters_at(0, 2), 0b1001);
-        assert_eq!(cs.requesters_at(1, 1), 0b0001);
-        assert_eq!(cs.requesters(2), 0b1001);
-        assert_eq!(cs.output_mask(0), 0b0110);
+        assert_eq!(cs.words(), 1);
+        assert_eq!(cs.requesters_at(0, 2), &[0b1001]);
+        assert_eq!(cs.requesters_at(1, 1), &[0b0001]);
+        assert_eq!(cs.requesters(2), &[0b1001]);
+        assert_eq!(cs.output_mask(0), &[0b0110]);
         assert_eq!(cs.best_level_for(0, 1), Some((1, cand(0, 1, 1, 5.0))));
         // Overwriting an input unindexes its previous candidates.
         cs.set_input(0, &[cand(0, 2, 3, 1.0)]);
-        assert_eq!(cs.requesters_at(0, 2), 0b1000);
-        assert_eq!(cs.requesters(2), 0b1000);
-        assert_eq!(cs.requesters(1), 0);
-        assert_eq!(cs.output_mask(0), 0b1000);
+        assert_eq!(cs.requesters_at(0, 2), &[0b1000]);
+        assert_eq!(cs.requesters(2), &[0b1000]);
+        assert_eq!(cs.requesters(1), &[0]);
+        assert_eq!(cs.output_mask(0), &[0b1000]);
         assert!(!cs.requests(0, 1));
         assert!(cs.requests(0, 3));
         cs.clear();
         for o in 0..4 {
-            assert_eq!(cs.requesters(o), 0);
+            assert_eq!(cs.requesters(o), &[0]);
         }
     }
 
@@ -376,19 +453,55 @@ mod tests {
         cs.set_input(0, &[cand(0, 0, 2, 9.0), cand(0, 1, 2, 5.0)]);
         cs.set_input(0, &[cand(0, 0, 0, 9.0), cand(0, 1, 2, 5.0)]);
         assert!(cs.requests(0, 2));
-        assert_eq!(cs.requesters(2), 0b01);
-        assert_eq!(cs.requesters_at(0, 2), 0);
-        assert_eq!(cs.requesters_at(1, 2), 0b01);
+        assert_eq!(cs.requesters(2), &[0b01]);
+        assert_eq!(cs.requesters_at(0, 2), &[0]);
+        assert_eq!(cs.requesters_at(1, 2), &[0b01]);
+    }
+
+    #[test]
+    fn multi_word_index_crosses_word_boundaries() {
+        // 130 ports → four words.  Inputs in different words request the
+        // same top-word output; all three indexes must place the bits in
+        // the right words.
+        let mut cs = CandidateSet::new(130, 2);
+        assert_eq!(cs.words(), 4);
+        cs.set_input(1, &[cand(1, 0, 129, 5.0)]);
+        cs.set_input(70, &[cand(70, 0, 129, 9.0), cand(70, 1, 2, 1.0)]);
+        cs.push(cand(129, 0, 64, 3.0));
+        let r = cs.requesters_at(0, 129);
+        assert_eq!(r, &[1u64 << 1, 1u64 << 6, 0, 0]);
+        assert_eq!(cs.requesters(129), &[1u64 << 1, 1u64 << 6, 0, 0]);
+        assert_eq!(cs.requesters_at(0, 64), &[0, 0, 1u64 << 1, 0]);
+        // Output 129 sits in word 2 of the per-input output mask.
+        assert_eq!(cs.output_mask(70), &[1u64 << 2, 0, 1u64 << 1, 0]);
+        assert!(cs.requests(70, 129));
+        assert!(cs.requests(129, 64));
+        assert!(!cs.requests(70, 64));
+        assert_eq!(cs.best_level_for(70, 2), Some((1, cand(70, 1, 2, 1.0))));
+        // Overwriting input 70 must clear its word-1 requester bits.
+        cs.set_input(70, &[cand(70, 0, 0, 1.0)]);
+        assert_eq!(cs.requesters(129), &[1u64 << 1, 0, 0, 0]);
+        assert!(!cs.requests(70, 129));
+    }
+
+    #[test]
+    fn word_boundary_port_counts_get_exact_widths() {
+        assert_eq!(CandidateSet::new(63, 1).words(), 1);
+        assert_eq!(CandidateSet::new(64, 1).words(), 1);
+        assert_eq!(CandidateSet::new(65, 1).words(), 2);
+        assert_eq!(CandidateSet::new(128, 1).words(), 2);
+        assert_eq!(CandidateSet::new(129, 1).words(), 4);
     }
 
     #[test]
     fn max_ports_accepted() {
         let cs = CandidateSet::new(MAX_PORTS, 2);
         assert_eq!(cs.ports(), MAX_PORTS);
+        assert_eq!(cs.words(), 4);
     }
 
     #[test]
-    #[should_panic(expected = "u64 bitmasks")]
+    #[should_panic(expected = "limiting a router to 256 ports")]
     fn too_many_ports_rejected_with_clear_error() {
         let _ = CandidateSet::new(MAX_PORTS + 1, 2);
     }

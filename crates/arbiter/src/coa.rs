@@ -20,20 +20,51 @@
 //!
 //! ## Kernel
 //!
-//! This implementation maintains the conflict vector *incrementally*
-//! instead of rescanning the selection matrix after every grant.  The
-//! vector is built once per cycle in O(ports · levels) from the candidate
-//! set's per-(level, output) requester bitmasks; each grant then updates
-//! it in O(levels): subtract the matched input's still-live candidates,
-//! then zero the matched output's column using the stored counts.  A
-//! per-level live-request counter keeps "lowest level with requests" an
-//! O(levels) scan.  The whole cycle costs O(ports · levels + ports²)
-//! instead of the naive O(ports² · levels); the golden reference
-//! ([`crate::reference::ReferenceCoa`]) keeps the naive recomputation and
-//! the differential property tests pin the two together grant for grant.
+//! The selection matrix is exactly the candidate set's per-(level, output)
+//! requester bit-rows (a `levels·ports × ports` bit-matrix Q), and the
+//! conflict vector is the vector of row popcounts — so the kernel works in
+//! dense bit-matrix form end to end:
+//!
+//! The key structural fact the kernel exploits: **levels drain strictly
+//! in order, and within a level the conflict structure is frozen.**
+//! "Lowest level first" means level `l` is only reached once levels
+//! `< l` hold no live request, and counts never increase, so processing
+//! is a single monotone sweep over levels.  While level `l` drains, a
+//! grant removes one input and one output — but the granted input's
+//! level-`l` candidate *is* the granted output, so no other output's
+//! level-`l` requester set changes.  Every live output at the current
+//! level therefore keeps its conflict count until the moment it is
+//! itself matched.  Cross-level bookkeeping (the reference's per-grant
+//! conflict-vector recomputation over the whole matrix) is unnecessary:
+//!
+//! * **Per-level build**: when the sweep reaches a level, one masked
+//!   popcount pass over that level's requester bit-rows
+//!   ([`CandidateSet::request_rows`] ∧ `free_in`, free outputs only)
+//!   scatters each live output into a *conflict bucket*: `buckets[k]` is
+//!   the port set of outputs with exactly `k + 1` live conflicts.  An
+//!   occupancy bitmask (bit `k` set iff bucket `k` is non-empty) rides
+//!   along in registers.  The scatter is branch-free: a dead output
+//!   masks its OR operands to zero.
+//! * **Port ordering**: "ascending conflict count" is a trailing-zeros
+//!   pick on the occupancy mask, and the tie set *is* the lowest
+//!   occupied bucket — a random tie becomes a k-th-set-bit select on it.
+//!   No row scan happens per grant: the ordering step is O(words).
+//! * **Grant retire**: drop the granted output from its bucket (one
+//!   masked word store) and clear the occupancy bit if the bucket
+//!   drained.  That is the whole retire step.
+//!
+//! Port sets are [`crate::portset::PortSet`] words, so the same kernel
+//! body serves 64-, 128- and 256-port routers; the width is dispatched
+//! once per call and monomorphized.  The whole cycle costs
+//! O(ports · levels / 64) word operations for the builds plus O(words)
+//! per grant, instead of the naive O(ports² · levels); the golden
+//! reference ([`crate::reference::ReferenceCoa`]) keeps the naive
+//! recomputation and the differential property tests pin the two
+//! together grant for grant *and* RNG draw for RNG draw.
 
-use crate::candidate::{Candidate, CandidateSet};
+use crate::candidate::{CandidateSet, MAX_PORTS};
 use crate::matching::{Grant, Matching};
+use crate::portset::{words_for_ports, PortSet};
 use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
@@ -58,175 +89,185 @@ use mmr_sim::rng::SimRng;
 #[derive(Debug, Clone)]
 pub struct CandidateOrderArbiter {
     ports: usize,
-    // Scratch reused across cycles to stay allocation-free.
-    conflicts: Vec<u32>, // levels x ports, level-major; live requests only
-    live: Vec<u32>,      // per-level sum of `conflicts` row
-    tie_buf: Vec<usize>,
+    words: usize,
+    /// Conflict buckets for the level currently being drained: row `k`
+    /// (of `words` words) is the port set of free outputs with exactly
+    /// `k + 1` live conflicts.  Scratch reused across cycles to stay
+    /// allocation-free; every level drains its buckets back to all-zero
+    /// (each bucketed output is eventually granted and removed), so no
+    /// per-call clearing is needed, only a (normally no-op) resize.
+    buckets: Vec<u64>,
     probe: KernelProbe,
 }
 
 impl CandidateOrderArbiter {
     /// COA for a router with `ports` ports.
     pub fn new(ports: usize) -> Self {
-        assert!(ports > 0);
+        assert!(ports > 0 && ports <= MAX_PORTS);
         CandidateOrderArbiter {
             ports,
-            conflicts: Vec::new(),
-            live: Vec::new(),
-            tie_buf: Vec::with_capacity(ports),
+            words: words_for_ports(ports),
+            buckets: Vec::new(),
             probe: KernelProbe::default(),
         }
     }
 
-    /// Build the conflict vector from scratch (all ports free): one
-    /// popcount per (level, output) pair.
-    #[inline]
-    fn build_conflicts(&mut self, cs: &CandidateSet) {
+    fn run<const W: usize>(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        let ports = self.ports;
         let levels = cs.levels();
-        self.conflicts.clear();
-        self.conflicts.resize(levels * self.ports, 0);
-        self.live.clear();
-        self.live.resize(levels, 0);
-        for level in 0..levels {
-            let mut row_total = 0u32;
-            for output in 0..self.ports {
-                let c = cs.requesters_at(level, output).count_ones();
-                self.conflicts[level * self.ports + output] = c;
-                row_total += c;
-            }
-            self.live[level] = row_total;
-        }
-    }
-
-    /// Remove a freshly matched (input, output) pair from the conflict
-    /// vector in O(levels): first drop the input's live candidates, then
-    /// zero the output's column using the stored counts.  Returns the
-    /// number of conflict-vector entries retired (for the work probe).
-    #[inline]
-    fn retire_pair(
-        &mut self,
-        cs: &CandidateSet,
-        input: usize,
-        output: usize,
-        free_out: u64,
-    ) -> u64 {
-        let mut retired = 0u64;
-        for (level, c) in cs.input_candidates(input).enumerate() {
-            if free_out & (1u64 << c.output) != 0 {
-                self.conflicts[level * self.ports + c.output] -= 1;
-                self.live[level] -= 1;
-                retired += 1;
-            }
-        }
-        for level in 0..self.live.len() {
-            let e = &mut self.conflicts[level * self.ports + output];
-            self.live[level] -= *e;
-            retired += u64::from(*e);
-            *e = 0;
-        }
-        retired
-    }
-}
-
-impl SwitchScheduler for CandidateOrderArbiter {
-    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
-    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
-        assert_eq!(cs.ports(), self.ports);
         out.clear();
-        self.build_conflicts(cs);
-        let mut free_in: u64 = if self.ports == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.ports) - 1
-        };
-        let mut free_out: u64 = free_in;
+
+        self.buckets.resize(ports * W, 0);
+        debug_assert!(self.buckets.iter().all(|&b| b == 0));
+        let buckets = &mut self.buckets[..ports * W];
+        let rows = cs.request_rows();
+
+        let mut free_in = PortSet::<W>::full(ports);
+        let mut free_out = PortSet::<W>::full(ports);
         // Work counts batched into locals; one masked probe update at the
         // end keeps the loop body unchanged whether the probe is armed.
         let mut iters = 0u64;
         let mut examined = 0u64;
         let mut retired = 0u64;
 
-        // Each iteration matches exactly one (input, output) pair, so the
-        // loop runs at most `ports` times.
-        while let Some(level) = (0..self.live.len()).find(|&l| self.live[l] > 0) {
-            iters += 1;
-            // Port ordering: ascending conflict count within the lowest
-            // level that still has requests; ties at random.
-            let row = &self.conflicts[level * self.ports..(level + 1) * self.ports];
-            let min_conflict = row
-                .iter()
-                .copied()
-                .filter(|&c| c > 0)
-                .min()
-                .expect("level has live requests");
-            self.tie_buf.clear();
-            self.tie_buf.extend(
-                row.iter()
-                    .enumerate()
-                    .filter(|&(_, &c)| c == min_conflict)
-                    .map(|(o, _)| o),
-            );
-            let output = if self.tie_buf.len() == 1 {
-                self.tie_buf[0]
-            } else {
-                self.tie_buf[rng.index(self.tie_buf.len())]
-            };
+        // One monotone sweep over levels (see the module doc: a level
+        // only becomes current once every lower level is drained, and
+        // drained levels never revive).
+        for level in 0..levels {
+            if free_in.is_empty() || free_out.is_empty() {
+                break;
+            }
+            // Per-level build: popcount each free output's requester row
+            // against the current free inputs and scatter it into its
+            // conflict bucket.  `occ` (bit `k` set iff bucket `k` is
+            // non-empty) lives in registers.  The scatter is branch-free:
+            // an output with no live requesters masks its OR operands to
+            // zero (aimed at bucket `ports - 1` so the index stays in
+            // range).
+            let rrow = &rows[level * ports * W..][..ports * W];
+            let mut occ = [0u64; W];
+            let mut scan = free_out;
+            while let Some(output) = scan.take_lowest() {
+                let mut c = 0u32;
+                for w in 0..W {
+                    c += (rrow[output * W + w] & free_in.word(w)).count_ones();
+                }
+                let live = u64::from(c != 0);
+                let k = (c as usize).wrapping_sub(1).min(ports - 1);
+                buckets[k * W + (output >> 6)] |= live << (output & 63);
+                occ[k >> 6] |= live << (k & 63);
+            }
 
-            // Arbitration: highest-priority request for `output` at
-            // `level`, among free inputs; ties at random.  The requester
-            // bitmask enumerates exactly the free inputs whose level-
-            // `level` candidate targets `output`, in ascending input
-            // order — the same visit order (and thus the same RNG draw
-            // sequence) as the reference's full port sweep.
-            let mut requesters = cs.requesters_at(level, output) & free_in;
-            debug_assert!(
-                requesters != 0,
-                "conflict vector said this pair has a request"
-            );
-            examined += u64::from(requesters.count_ones());
-            let mut best: Option<(usize, Candidate)> = None;
-            let mut ties = 0u32;
-            while requesters != 0 {
-                let input = requesters.trailing_zeros() as usize;
-                requesters &= requesters - 1;
-                let c = cs.get(input, level).expect("indexed candidate");
-                debug_assert_eq!(c.output, output);
-                match &best {
-                    None => {
-                        best = Some((input, c));
-                        ties = 1;
+            // Drain the level.  Within it the conflict structure is
+            // frozen: a grant's input only requested the granted output
+            // at this level, so no other output's count changes and each
+            // remaining bucket entry stays valid until granted.
+            let mut occ_any = 0u64;
+            for &w in &occ {
+                occ_any |= w;
+            }
+            while occ_any != 0 {
+                iters += 1;
+                // Port ordering: ascending conflict count; ties at
+                // random.  The minimum count is the lowest occupied
+                // bucket, and that bucket is exactly the tie set.
+                let mut k = 0usize;
+                for (w, &bits) in occ.iter().enumerate() {
+                    if bits != 0 {
+                        k = w * 64 + bits.trailing_zeros() as usize;
+                        break;
                     }
-                    Some((_, b)) if c.priority > b.priority => {
-                        best = Some((input, c));
+                }
+                let bbase = k * W;
+                let tie_mask = PortSet::<W>::from_words(&buckets[bbase..bbase + W]);
+                let ntie = tie_mask.count_ones() as usize;
+                debug_assert!(ntie > 0, "occupancy said this bucket is non-empty");
+                let output = if ntie == 1 {
+                    tie_mask.lowest().expect("tie mask is non-empty")
+                } else {
+                    tie_mask.kth_set_bit(rng.index(ntie))
+                };
+
+                // Arbitration: highest-priority request for `output` at
+                // `level`, among free inputs; ties at random.  The
+                // requester bitmask enumerates exactly the free inputs
+                // whose level-`level` candidate targets `output`, in
+                // ascending input order — the same visit order (and thus
+                // the same RNG draw sequence) as the reference's full
+                // port sweep.  Priorities compare as order-preserving
+                // integer keys; key equality is `total_cmp` equality, so
+                // the reservoir draws line up too.
+                let mut requesters =
+                    PortSet::<W>::from_words(cs.requesters_at(level, output)).and(&free_in);
+                debug_assert!(
+                    !requesters.is_empty(),
+                    "the conflict bucket said this output has a request"
+                );
+                examined += u64::from(requesters.count_ones());
+                let mut best_input = usize::MAX;
+                let mut best_key = 0u64;
+                let mut best_vc = 0usize;
+                let mut ties = 0u32;
+                while let Some(input) = requesters.take_lowest() {
+                    let c = cs.candidate_at(input, level).expect("indexed candidate");
+                    debug_assert_eq!(c.output, output);
+                    let key = c.priority.sort_key();
+                    if best_input == usize::MAX || key > best_key {
+                        best_input = input;
+                        best_key = key;
+                        best_vc = c.vc;
                         ties = 1;
-                    }
-                    Some((_, b)) if c.priority == b.priority => {
-                        // Reservoir-sample among equal-priority requests so
-                        // the tie-break is uniform.
+                    } else if key == best_key {
+                        // Reservoir-sample among equal-priority requests
+                        // so the tie-break is uniform.
                         ties += 1;
                         if rng.below(ties as u64) == 0 {
-                            best = Some((input, c));
+                            best_input = input;
+                            best_vc = c.vc;
                         }
                     }
-                    _ => {}
+                }
+                debug_assert_ne!(best_input, usize::MAX, "requester mask was non-empty");
+                out.add(Grant {
+                    input: best_input,
+                    output,
+                    vc: best_vc,
+                    level,
+                });
+                free_in.remove(best_input);
+                free_out.remove(output);
+                // Retire: drop the granted output (k + 1 live conflict
+                // entries) from its bucket; the occupancy bit falls with
+                // the bucket.
+                retired += (k + 1) as u64;
+                buckets[bbase + (output >> 6)] &= !(1u64 << (output & 63));
+                let mut any = 0u64;
+                for w in 0..W {
+                    any |= buckets[bbase + w];
+                }
+                occ[k >> 6] &= !(u64::from(any == 0) << (k & 63));
+                occ_any = 0;
+                for &w in &occ {
+                    occ_any |= w;
                 }
             }
-            let (input, cand) = best.expect("requester mask was non-empty");
-            out.add(Grant {
-                input,
-                output,
-                vc: cand.vc,
-                level,
-            });
-            free_in &= !(1u64 << input);
-            retired += self.retire_pair(cs, input, output, free_out);
-            free_out &= !(1u64 << output);
         }
         self.probe.iterations(iters);
         self.probe.examined(examined);
         self.probe.retired(retired);
         self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
+    }
+}
+
+impl SwitchScheduler for CandidateOrderArbiter {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        match self.words {
+            1 => self.run::<1>(cs, rng, out),
+            2 => self.run::<2>(cs, rng, out),
+            _ => self.run::<4>(cs, rng, out),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -245,7 +286,7 @@ impl SwitchScheduler for CandidateOrderArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::candidate::Priority;
+    use crate::candidate::{Candidate, Priority};
 
     fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
         Candidate {
@@ -411,5 +452,26 @@ mod tests {
         let fast = CandidateOrderArbiter::new(64).schedule(&cs, &mut fast_rng);
         let golden = crate::reference::ReferenceCoa::new(64).schedule(&cs, &mut ref_rng);
         assert_eq!(fast, golden);
+    }
+
+    #[test]
+    fn bit_matrix_conflicts_match_reference_at_256_ports() {
+        // Multi-word edge case: requester rows and free masks span four
+        // words, and conflict counts can exceed u8 range in principle.
+        let mut cs = CandidateSet::new(256, 2);
+        let mut gen = SimRng::seed_from_u64(11);
+        for input in 0..256 {
+            let mut cands: Vec<Candidate> = (0..2)
+                .map(|vc| cand(input, vc, gen.index(256), gen.uniform() * 100.0))
+                .collect();
+            cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+            cs.set_input(input, &cands);
+        }
+        let mut fast_rng = SimRng::seed_from_u64(3);
+        let mut ref_rng = SimRng::seed_from_u64(3);
+        let fast = CandidateOrderArbiter::new(256).schedule(&cs, &mut fast_rng);
+        let golden = crate::reference::ReferenceCoa::new(256).schedule(&cs, &mut ref_rng);
+        assert_eq!(fast, golden);
+        assert_eq!(fast_rng.next_u64_raw(), ref_rng.next_u64_raw());
     }
 }

@@ -5,11 +5,31 @@
 //! candidates by priority and takes them greedily — no conflict vector, no
 //! most-conflicted-last ordering, no level precedence.
 //!
-//! All per-cycle buffers (candidate list, sort keys, free-port bitmasks)
-//! are struct scratch, so steady-state scheduling allocates nothing.
+//! ## Kernel
+//!
+//! The sort key is a single `u128`: the high 64 bits are the candidate's
+//! priority mapped through the order-preserving integer transform
+//! [`crate::candidate::Priority::sort_key`] (bitwise-inverted so ascending
+//! key order is descending priority), the low 64 bits one RNG draw that breaks
+//! equal-priority ties fairly.  One integer compare replaces the old
+//! indirect `total_cmp`-then-jitter comparator, and the grant pass walks
+//! multi-word free-port sets ([`crate::portset::PortSet`]) with an early
+//! exit once either side is exhausted.  The sort payload packs the
+//! candidate's `(input, level)` coordinates rather than a copy of the
+//! candidate itself, so the sorted elements stay 32 bytes and the grant
+//! pass reads candidates in place via
+//! [`crate::candidate::CandidateSet::candidate_at`].  The RNG draws (one
+//! per candidate, in enumeration order) and the resulting matching are
+//! bit-identical to the golden reference
+//! ([`crate::reference::ReferenceGreedy`]); the differential tests pin
+//! both.
+//!
+//! All per-cycle buffers (sort keys, free-port bitmasks) are struct
+//! scratch, so steady-state scheduling allocates nothing.
 
-use crate::candidate::{Candidate, CandidateSet};
+use crate::candidate::{CandidateSet, MAX_PORTS};
 use crate::matching::{Grant, Matching};
+use crate::portset::{words_for_ports, PortSet};
 use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
@@ -17,75 +37,89 @@ use mmr_sim::rng::SimRng;
 #[derive(Debug, Clone)]
 pub struct GreedyPriorityArbiter {
     ports: usize,
-    scratch: Vec<(Candidate, usize)>,
-    keyed: Vec<(u64, usize)>,
+    words: usize,
+    keyed: Vec<(u128, u32)>,
     probe: KernelProbe,
 }
 
 impl GreedyPriorityArbiter {
     /// Greedy arbiter for `ports` ports.
     pub fn new(ports: usize) -> Self {
-        assert!(ports > 0);
+        assert!(ports > 0 && ports <= MAX_PORTS);
         GreedyPriorityArbiter {
             ports,
-            scratch: Vec::new(),
+            words: words_for_ports(ports),
             keyed: Vec::new(),
             probe: KernelProbe::default(),
         }
+    }
+
+    fn run<const W: usize>(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        out.clear();
+        let levels = cs.levels();
+        debug_assert!(levels < 1 << 16, "level index must fit the packed key");
+        // Pack (descending priority, random jitter) into one integer key:
+        // the jitter draw order — one `next_u64_raw` per candidate, in
+        // enumeration order — is part of the reference contract.  The
+        // payload packs (input, level) instead of copying the 40-byte
+        // candidate; it is strictly increasing in enumeration order, so
+        // full-key ties resolve exactly like the reference's stable sort.
+        let keyed = &mut self.keyed;
+        keyed.clear();
+        for input in 0..self.ports {
+            for level in 0..levels {
+                // Candidate vectors are level-prefixes: the first gap ends
+                // this input's list.
+                let Some(c) = cs.candidate_at(input, level) else {
+                    break;
+                };
+                let key =
+                    (u128::from(!c.priority.sort_key()) << 64) | u128::from(rng.next_u64_raw());
+                keyed.push((key, ((input << 16) | level) as u32));
+            }
+        }
+        keyed.sort_unstable();
+
+        let mut free_in = PortSet::<W>::full(self.ports);
+        let mut free_out = PortSet::<W>::full(self.ports);
+        for &(_, packed) in self.keyed.iter() {
+            if free_in.is_empty() || free_out.is_empty() {
+                break;
+            }
+            let input = (packed >> 16) as usize;
+            if !free_in.contains(input) {
+                continue;
+            }
+            let level = (packed & 0xFFFF) as usize;
+            let c = cs.candidate_at(input, level).expect("packed candidate");
+            if free_out.contains(c.output) {
+                out.add(Grant {
+                    input,
+                    output: c.output,
+                    vc: c.vc,
+                    level,
+                });
+                free_in.remove(input);
+                free_out.remove(c.output);
+            }
+        }
+        // One sorted pass over every candidate: examined = list length,
+        // and a single "iteration" per call.
+        self.probe.iterations(1);
+        self.probe.examined(self.keyed.len() as u64);
+        self.probe.matched(out.size() as u64);
+        debug_assert!(out.is_consistent_with(cs));
     }
 }
 
 impl SwitchScheduler for GreedyPriorityArbiter {
     fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         assert_eq!(cs.ports(), self.ports);
-        out.clear();
-        self.scratch.clear();
-        for input in 0..self.ports {
-            for (level, c) in cs.input_candidates(input).enumerate() {
-                self.scratch.push((c, level));
-            }
+        match self.words {
+            1 => self.run::<1>(cs, rng, out),
+            2 => self.run::<2>(cs, rng, out),
+            _ => self.run::<4>(cs, rng, out),
         }
-        // Random jitter for equal-priority candidates keeps the tie-break
-        // fair, then a stable sort by descending priority.
-        let GreedyPriorityArbiter { scratch, keyed, .. } = self;
-        keyed.clear();
-        keyed.extend(
-            scratch
-                .iter()
-                .enumerate()
-                .map(|(i, _)| (rng.next_u64_raw(), i)),
-        );
-        keyed.sort_unstable_by(|a, b| {
-            let pa = scratch[a.1].0.priority;
-            let pb = scratch[b.1].0.priority;
-            pb.cmp(&pa).then(a.0.cmp(&b.0))
-        });
-
-        let mut free_in: u64 = if self.ports == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.ports) - 1
-        };
-        let mut free_out = free_in;
-        for &(_, idx) in self.keyed.iter() {
-            let (c, level) = self.scratch[idx];
-            if free_in & (1u64 << c.input) != 0 && free_out & (1u64 << c.output) != 0 {
-                out.add(Grant {
-                    input: c.input,
-                    output: c.output,
-                    vc: c.vc,
-                    level,
-                });
-                free_in &= !(1u64 << c.input);
-                free_out &= !(1u64 << c.output);
-            }
-        }
-        // One sorted pass over every candidate: examined = list length,
-        // and a single "iteration" per call.
-        self.probe.iterations(1);
-        self.probe.examined(self.scratch.len() as u64);
-        self.probe.matched(out.size() as u64);
-        debug_assert!(out.is_consistent_with(cs));
     }
 
     fn name(&self) -> &'static str {
@@ -104,7 +138,7 @@ impl SwitchScheduler for GreedyPriorityArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::candidate::Priority;
+    use crate::candidate::{Candidate, Priority};
 
     fn cand(input: usize, vc: usize, output: usize, prio: f64) -> Candidate {
         Candidate {

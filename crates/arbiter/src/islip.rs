@@ -16,40 +16,28 @@
 //!
 //! ## Kernel
 //!
-//! Requesters, free ports and received grants are `u64` bitmasks; the
-//! round-robin scans are two-instruction first-set-bit searches
-//! ([`rr_first`]) instead of O(ports) wrap-around loops.  The golden
-//! reference ([`crate::reference::ReferenceIslip`]) keeps the linear
-//! scans; both are deterministic and produce identical matchings.
+//! Requesters, free ports and received grants are
+//! [`crate::portset::PortSet`] bitmasks; the round-robin scans are
+//! first-set-bit searches ([`PortSet::first_at_or_after`]) instead of
+//! O(ports) wrap-around loops.  The golden reference
+//! ([`crate::reference::ReferenceIslip`]) keeps the linear scans; both are
+//! deterministic and produce identical matchings.
 
-use crate::candidate::CandidateSet;
+use crate::candidate::{CandidateSet, MAX_PORTS};
 use crate::matching::{Grant, Matching};
+use crate::portset::{words_for_ports, PortSet};
 use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
-
-/// First set bit of `mask` at-or-after `start` (< 64), wrapping around —
-/// the round-robin pointer scan as two trailing-zeros searches.
-///
-/// Returns garbage for an empty mask; callers check `mask != 0` first.
-#[inline]
-pub(crate) fn rr_first(mask: u64, start: usize) -> usize {
-    debug_assert!(mask != 0 && start < 64);
-    let at_or_after = mask & (u64::MAX << start);
-    if at_or_after != 0 {
-        at_or_after.trailing_zeros() as usize
-    } else {
-        mask.trailing_zeros() as usize
-    }
-}
 
 /// iSLIP with a configurable iteration count.
 #[derive(Debug, Clone)]
 pub struct IslipArbiter {
     ports: usize,
+    words: usize,
     iterations: usize,
     grant_ptr: Vec<usize>,
     accept_ptr: Vec<usize>,
-    /// Scratch: per input, bitmask of outputs that granted it this
+    /// Scratch: per input, `words` words of outputs that granted it this
     /// iteration.
     grants_in: Vec<u64>,
     probe: KernelProbe,
@@ -58,13 +46,15 @@ pub struct IslipArbiter {
 impl IslipArbiter {
     /// iSLIP for `ports` ports running `iterations` passes per cycle.
     pub fn new(ports: usize, iterations: usize) -> Self {
-        assert!(ports > 0 && iterations > 0);
+        assert!(ports > 0 && ports <= MAX_PORTS && iterations > 0);
+        let words = words_for_ports(ports);
         IslipArbiter {
             ports,
+            words,
             iterations,
             grant_ptr: vec![0; ports],
             accept_ptr: vec![0; ports],
-            grants_in: vec![0; ports],
+            grants_in: vec![0; ports * words],
             probe: KernelProbe::default(),
         }
     }
@@ -73,16 +63,12 @@ impl IslipArbiter {
     pub fn grant_pointers(&self) -> &[usize] {
         &self.grant_ptr
     }
-}
 
-impl SwitchScheduler for IslipArbiter {
-    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+    fn run<const W: usize>(&mut self, cs: &CandidateSet, out: &mut Matching) {
         let n = self.ports;
-        assert_eq!(cs.ports(), n);
         out.clear();
-        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        let mut free_in = full;
-        let mut free_out = full;
+        let mut free_in = PortSet::<W>::full(n);
+        let mut free_out = PortSet::<W>::full(n);
         let mut iters = 0u64;
         let mut examined = 0u64;
 
@@ -92,28 +78,24 @@ impl SwitchScheduler for IslipArbiter {
             // input by round-robin from its pointer.
             self.grants_in.fill(0);
             let mut of = free_out;
-            while of != 0 {
-                let output = of.trailing_zeros() as usize;
-                of &= of - 1;
-                let requesters = cs.requesters(output) & free_in;
+            while let Some(output) = of.take_lowest() {
+                let requesters = PortSet::<W>::from_words(cs.requesters(output)).and(&free_in);
                 examined += u64::from(requesters.count_ones());
-                if requesters != 0 {
-                    let input = rr_first(requesters, self.grant_ptr[output]);
-                    self.grants_in[input] |= 1u64 << output;
+                if !requesters.is_empty() {
+                    let input = requesters.first_at_or_after(self.grant_ptr[output]);
+                    self.grants_in[input * W + (output >> 6)] |= 1u64 << (output & 63);
                 }
             }
             // Accept phase: each input with grants accepts one output by
             // round-robin from its pointer.
             let mut any_accept = false;
             let mut inf = free_in;
-            while inf != 0 {
-                let input = inf.trailing_zeros() as usize;
-                inf &= inf - 1;
-                let granted = self.grants_in[input];
-                if granted == 0 {
+            while let Some(input) = inf.take_lowest() {
+                let granted = PortSet::<W>::from_words(&self.grants_in[input * W..(input + 1) * W]);
+                if granted.is_empty() {
                     continue;
                 }
-                let output = rr_first(granted, self.accept_ptr[input]);
+                let output = granted.first_at_or_after(self.accept_ptr[input]);
                 let (level, c) = cs
                     .best_level_for(input, output)
                     .expect("granted request exists");
@@ -123,8 +105,8 @@ impl SwitchScheduler for IslipArbiter {
                     vc: c.vc,
                     level,
                 });
-                free_in &= !(1u64 << input);
-                free_out &= !(1u64 << output);
+                free_in.remove(input);
+                free_out.remove(output);
                 any_accept = true;
                 if iter == 0 {
                     self.grant_ptr[output] = (input + 1) % n;
@@ -139,6 +121,17 @@ impl SwitchScheduler for IslipArbiter {
         self.probe.examined(examined);
         self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
+    }
+}
+
+impl SwitchScheduler for IslipArbiter {
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        match self.words {
+            1 => self.run::<1>(cs, out),
+            2 => self.run::<2>(cs, out),
+            _ => self.run::<4>(cs, out),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -178,15 +171,6 @@ mod tests {
     }
 
     #[test]
-    fn rr_first_wraps() {
-        assert_eq!(rr_first(0b0101, 0), 0);
-        assert_eq!(rr_first(0b0101, 1), 2);
-        assert_eq!(rr_first(0b0101, 3), 0, "wraps past the top bit");
-        assert_eq!(rr_first(1u64 << 63, 63), 63);
-        assert_eq!(rr_first(1, 63), 0);
-    }
-
-    #[test]
     fn permutation_fully_matched() {
         let mut cs = CandidateSet::new(4, 1);
         for i in 0..4 {
@@ -194,6 +178,18 @@ mod tests {
         }
         let m = IslipArbiter::new(4, 1).schedule(&cs, &mut rng());
         assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn permutation_fully_matched_at_multi_word_widths() {
+        for ports in [100usize, 256] {
+            let mut cs = CandidateSet::new(ports, 1);
+            for i in 0..ports {
+                cs.push(cand(i, 0, (i + 3) % ports));
+            }
+            let m = IslipArbiter::new(ports, 1).schedule(&cs, &mut rng());
+            assert_eq!(m.size(), ports, "ports = {ports}");
+        }
     }
 
     #[test]

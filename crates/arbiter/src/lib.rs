@@ -10,6 +10,9 @@
 //!   baselines.
 //! * [`candidate`] — the candidate vectors each input link produces: up to
 //!   *k* (output port, priority) pairs ordered by priority.
+//! * [`portset`] — multi-word port bitsets (`PortSet<W>`, W ∈ {1, 2, 4})
+//!   backing every kernel's requester/free-port masks; routers up to 256
+//!   ports run the same branch-free kernels as the paper's 4×4 MMR.
 //! * [`coa`] — the **Candidate-Order Arbiter**, the paper's contribution
 //!   (§4): selection matrix → conflict vector → port ordering (level first,
 //!   then ascending conflict, random ties) → highest-priority arbitration,
@@ -41,6 +44,7 @@ pub mod hw;
 pub mod islip;
 pub mod matching;
 pub mod pim;
+pub mod portset;
 pub mod priority;
 pub mod random;
 pub mod reference;
@@ -53,6 +57,7 @@ pub use greedy::GreedyPriorityArbiter;
 pub use islip::IslipArbiter;
 pub use matching::{Grant, Matching};
 pub use pim::PimArbiter;
+pub use portset::{words_for_ports, PortSet, PortSet128, PortSet256, PortSet64};
 pub use priority::{Fifo, Iabp, LinkPriority, PriorityKind, Siabp, StaticPriority};
 pub use random::RandomArbiter;
 pub use scheduler::{ArbiterKind, KernelProbe, KernelStats, SwitchScheduler};

@@ -6,6 +6,7 @@
 //! conflicting grant into the crossbar.
 
 use crate::candidate::CandidateSet;
+use crate::portset::words_for_ports;
 use serde::{Deserialize, Serialize};
 
 /// One granted input→output connection for the coming flit cycle.
@@ -25,7 +26,9 @@ pub struct Grant {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matching {
     by_input: Vec<Option<Grant>>,
-    output_used: Vec<bool>,
+    /// Used-output bitmask, one bit per port (1, 2 or 4 words — the same
+    /// width selection as the kernels' port sets).
+    output_used: Vec<u64>,
     size: usize,
 }
 
@@ -34,7 +37,7 @@ impl Matching {
     pub fn new(ports: usize) -> Self {
         Matching {
             by_input: vec![None; ports],
-            output_used: vec![false; ports],
+            output_used: vec![0; words_for_ports(ports.max(1))],
             size: 0,
         }
     }
@@ -47,19 +50,20 @@ impl Matching {
     /// Remove all grants, keeping the allocation for reuse across cycles.
     pub fn clear(&mut self) {
         self.by_input.fill(None);
-        self.output_used.fill(false);
+        self.output_used.fill(0);
         self.size = 0;
     }
 
     /// Try to add a grant; returns false (and changes nothing) if its
     /// input or output is already matched.
     pub fn add(&mut self, grant: Grant) -> bool {
-        if self.by_input[grant.input].is_some() || self.output_used[grant.output] {
+        let bit = 1u64 << (grant.output & 63);
+        if self.by_input[grant.input].is_some() || self.output_used[grant.output >> 6] & bit != 0 {
             debug_assert!(false, "scheduler produced a conflicting grant: {grant:?}");
             return false;
         }
         self.by_input[grant.input] = Some(grant);
-        self.output_used[grant.output] = true;
+        self.output_used[grant.output >> 6] |= bit;
         self.size += 1;
         true
     }
@@ -79,7 +83,7 @@ impl Matching {
     /// True if `output` is matched.
     #[inline]
     pub fn output_matched(&self, output: usize) -> bool {
-        self.output_used[output]
+        self.output_used[output >> 6] & (1u64 << (output & 63)) != 0
     }
 
     /// Number of grants (matching cardinality).
@@ -154,6 +158,21 @@ mod tests {
         let accepted = m.add(grant(1, 2));
         assert!(!accepted);
         assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn multi_word_output_tracking() {
+        let mut m = Matching::new(200);
+        assert!(m.add(grant(0, 190)));
+        assert!(m.add(grant(150, 63)));
+        assert!(m.output_matched(190));
+        assert!(m.output_matched(63));
+        assert!(!m.output_matched(64));
+        assert!(m.input_matched(150));
+        assert_eq!(m.size(), 2);
+        m.clear();
+        assert!(!m.output_matched(190));
+        assert_eq!(m.size(), 0);
     }
 
     #[test]

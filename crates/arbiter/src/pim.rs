@@ -7,36 +7,27 @@
 //!
 //! ## Kernel
 //!
-//! Requester and grant sets are `u64` bitmasks; "pick a uniform random
-//! requester" is one RNG draw over the popcount followed by a k-th-set-bit
-//! select, with no materialized index list.  Bits enumerate in ascending
-//! port order — the same order the golden reference
-//! ([`crate::reference::ReferencePim`]) builds its lists in — so both
-//! consume the RNG stream identically and match grant for grant.
+//! Requester and grant sets are [`crate::portset::PortSet`] bitmasks;
+//! "pick a uniform random requester" is one RNG draw over the popcount
+//! followed by a k-th-set-bit select ([`PortSet::kth_set_bit`]), with no
+//! materialized index list.  Bits enumerate in ascending port order — the
+//! same order the golden reference ([`crate::reference::ReferencePim`])
+//! builds its lists in — so both consume the RNG stream identically and
+//! match grant for grant.
 
-use crate::candidate::CandidateSet;
+use crate::candidate::{CandidateSet, MAX_PORTS};
 use crate::matching::{Grant, Matching};
+use crate::portset::{words_for_ports, PortSet};
 use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
-
-/// Index of the `k`-th set bit of `mask` (0-based, from the bottom).
-/// `k` must be less than `mask.count_ones()`.
-#[inline]
-pub(crate) fn kth_set_bit(mask: u64, k: usize) -> usize {
-    debug_assert!((k as u32) < mask.count_ones());
-    let mut m = mask;
-    for _ in 0..k {
-        m &= m - 1;
-    }
-    m.trailing_zeros() as usize
-}
 
 /// PIM with a configurable iteration count.
 #[derive(Debug, Clone)]
 pub struct PimArbiter {
     ports: usize,
+    words: usize,
     iterations: usize,
-    /// Scratch: per input, bitmask of outputs that granted it this
+    /// Scratch: per input, `words` words of outputs that granted it this
     /// iteration.
     grants_in: Vec<u64>,
     probe: KernelProbe,
@@ -45,24 +36,22 @@ pub struct PimArbiter {
 impl PimArbiter {
     /// PIM for `ports` ports running `iterations` passes per cycle.
     pub fn new(ports: usize, iterations: usize) -> Self {
-        assert!(ports > 0 && iterations > 0);
+        assert!(ports > 0 && ports <= MAX_PORTS && iterations > 0);
+        let words = words_for_ports(ports);
         PimArbiter {
             ports,
+            words,
             iterations,
-            grants_in: vec![0; ports],
+            grants_in: vec![0; ports * words],
             probe: KernelProbe::default(),
         }
     }
-}
 
-impl SwitchScheduler for PimArbiter {
-    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+    fn run<const W: usize>(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         let n = self.ports;
-        assert_eq!(cs.ports(), n);
         out.clear();
-        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        let mut free_in = full;
-        let mut free_out = full;
+        let mut free_in = PortSet::<W>::full(n);
+        let mut free_out = PortSet::<W>::full(n);
         let mut iters = 0u64;
         let mut examined = 0u64;
 
@@ -71,28 +60,24 @@ impl SwitchScheduler for PimArbiter {
             // Grant: each free output picks a random requesting free input.
             self.grants_in.fill(0);
             let mut of = free_out;
-            while of != 0 {
-                let output = of.trailing_zeros() as usize;
-                of &= of - 1;
-                let requesters = cs.requesters(output) & free_in;
-                examined += u64::from(requesters.count_ones());
-                if requesters != 0 {
-                    let input =
-                        kth_set_bit(requesters, rng.index(requesters.count_ones() as usize));
-                    self.grants_in[input] |= 1u64 << output;
+            while let Some(output) = of.take_lowest() {
+                let requesters = PortSet::<W>::from_words(cs.requesters(output)).and(&free_in);
+                let count = requesters.count_ones();
+                examined += u64::from(count);
+                if count != 0 {
+                    let input = requesters.kth_set_bit(rng.index(count as usize));
+                    self.grants_in[input * W + (output >> 6)] |= 1u64 << (output & 63);
                 }
             }
             // Accept: each input picks a random output among its grants.
             let mut any_accept = false;
             let mut inf = free_in;
-            while inf != 0 {
-                let input = inf.trailing_zeros() as usize;
-                inf &= inf - 1;
-                let granted = self.grants_in[input];
-                if granted == 0 {
+            while let Some(input) = inf.take_lowest() {
+                let granted = PortSet::<W>::from_words(&self.grants_in[input * W..(input + 1) * W]);
+                if granted.is_empty() {
                     continue;
                 }
-                let output = kth_set_bit(granted, rng.index(granted.count_ones() as usize));
+                let output = granted.kth_set_bit(rng.index(granted.count_ones() as usize));
                 let (level, c) = cs
                     .best_level_for(input, output)
                     .expect("granted request exists");
@@ -102,8 +87,8 @@ impl SwitchScheduler for PimArbiter {
                     vc: c.vc,
                     level,
                 });
-                free_in &= !(1u64 << input);
-                free_out &= !(1u64 << output);
+                free_in.remove(input);
+                free_out.remove(output);
                 any_accept = true;
             }
             if !any_accept {
@@ -114,6 +99,17 @@ impl SwitchScheduler for PimArbiter {
         self.probe.examined(examined);
         self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
+    }
+}
+
+impl SwitchScheduler for PimArbiter {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        match self.words {
+            1 => self.run::<1>(cs, rng, out),
+            2 => self.run::<2>(cs, rng, out),
+            _ => self.run::<4>(cs, rng, out),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -144,14 +140,6 @@ mod tests {
     }
 
     #[test]
-    fn kth_set_bit_selects() {
-        assert_eq!(kth_set_bit(0b1011, 0), 0);
-        assert_eq!(kth_set_bit(0b1011, 1), 1);
-        assert_eq!(kth_set_bit(0b1011, 2), 3);
-        assert_eq!(kth_set_bit(u64::MAX, 63), 63);
-    }
-
-    #[test]
     fn permutation_fully_matched() {
         let mut cs = CandidateSet::new(4, 1);
         for i in 0..4 {
@@ -160,6 +148,19 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let m = PimArbiter::new(4, 1).schedule(&cs, &mut rng);
         assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn permutation_fully_matched_at_multi_word_widths() {
+        for ports in [70usize, 192] {
+            let mut cs = CandidateSet::new(ports, 1);
+            for i in 0..ports {
+                cs.push(cand(i, 0, (i + 1) % ports));
+            }
+            let mut rng = SimRng::seed_from_u64(1);
+            let m = PimArbiter::new(ports, 1).schedule(&cs, &mut rng);
+            assert_eq!(m.size(), ports, "ports = {ports}");
+        }
     }
 
     #[test]

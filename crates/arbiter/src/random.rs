@@ -6,11 +6,13 @@
 //!
 //! The pair list is built by iterating each input's requested-output
 //! bitmask (ascending output order, identical to the reference's nested
-//! loop) and all scratch lives on the struct, so steady-state scheduling
-//! allocates nothing.
+//! loop); free ports are multi-word [`crate::portset::PortSet`]s and all
+//! scratch lives on the struct, so steady-state scheduling allocates
+//! nothing.
 
-use crate::candidate::CandidateSet;
+use crate::candidate::{CandidateSet, MAX_PORTS};
 use crate::matching::{Grant, Matching};
+use crate::portset::{words_for_ports, PortSet};
 use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
@@ -18,6 +20,7 @@ use mmr_sim::rng::SimRng;
 #[derive(Debug, Clone)]
 pub struct RandomArbiter {
     ports: usize,
+    words: usize,
     pairs: Vec<(usize, usize)>,
     probe: KernelProbe,
 }
@@ -25,37 +28,29 @@ pub struct RandomArbiter {
 impl RandomArbiter {
     /// Random arbiter for `ports` ports.
     pub fn new(ports: usize) -> Self {
-        assert!(ports > 0);
+        assert!(ports > 0 && ports <= MAX_PORTS);
         RandomArbiter {
             ports,
+            words: words_for_ports(ports),
             pairs: Vec::new(),
             probe: KernelProbe::default(),
         }
     }
-}
 
-impl SwitchScheduler for RandomArbiter {
-    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
-        assert_eq!(cs.ports(), self.ports);
+    fn run<const W: usize>(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
         out.clear();
         self.pairs.clear();
         for input in 0..self.ports {
-            let mut outputs = cs.output_mask(input);
-            while outputs != 0 {
-                let output = outputs.trailing_zeros() as usize;
-                outputs &= outputs - 1;
+            let mut outputs = PortSet::<W>::from_words(cs.output_mask(input));
+            while let Some(output) = outputs.take_lowest() {
                 self.pairs.push((input, output));
             }
         }
         rng.shuffle(&mut self.pairs);
-        let mut free_in: u64 = if self.ports == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.ports) - 1
-        };
-        let mut free_out = free_in;
+        let mut free_in = PortSet::<W>::full(self.ports);
+        let mut free_out = PortSet::<W>::full(self.ports);
         for &(input, output) in &self.pairs {
-            if free_in & (1u64 << input) != 0 && free_out & (1u64 << output) != 0 {
+            if free_in.contains(input) && free_out.contains(output) {
                 let (level, c) = cs
                     .best_level_for(input, output)
                     .expect("pair built from candidates");
@@ -65,8 +60,8 @@ impl SwitchScheduler for RandomArbiter {
                     vc: c.vc,
                     level,
                 });
-                free_in &= !(1u64 << input);
-                free_out &= !(1u64 << output);
+                free_in.remove(input);
+                free_out.remove(output);
             }
         }
         // One shuffled pass over every distinct request pair.
@@ -74,6 +69,17 @@ impl SwitchScheduler for RandomArbiter {
         self.probe.examined(self.pairs.len() as u64);
         self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
+    }
+}
+
+impl SwitchScheduler for RandomArbiter {
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        match self.words {
+            1 => self.run::<1>(cs, rng, out),
+            2 => self.run::<2>(cs, rng, out),
+            _ => self.run::<4>(cs, rng, out),
+        }
     }
 
     fn name(&self) -> &'static str {

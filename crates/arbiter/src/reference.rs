@@ -13,6 +13,14 @@
 //! Every RNG draw here is ordered exactly as in the optimized kernels
 //! (ascending port iteration, a draw only when more than one tie, and so
 //! on); any change to either side must preserve that pairing.
+//!
+//! The references are deliberately *width-independent*: free maps are
+//! `Vec<bool>` and every candidate query goes through the scalar
+//! [`CandidateSet`] accessors, so the same code is the golden model at 4,
+//! 64, 128 and 256 ports.  That blindness to the port-set word width is
+//! the point — when the optimized kernels' multi-word
+//! ([`crate::portset::PortSet`]) paths disagree with these loops at any
+//! width, the bug is in the bit algebra, never in the model.
 
 use crate::candidate::{Candidate, CandidateSet};
 use crate::matching::{Grant, Matching};

@@ -13,16 +13,17 @@
 //!
 //! ## Kernel
 //!
-//! The request matrix is a `u64` bitmask per row (one bit per output),
-//! filled straight from the candidate set's per-input output masks; the
-//! free rows and columns are single `u64`s.  The wave visits only
-//! still-free rows (bit iteration), and each cell test is one AND.  The
-//! golden reference ([`crate::reference::ReferenceWfa`]) keeps the dense
-//! boolean matrix; both produce identical matchings (the wave order is
-//! deterministic).
+//! The request matrix is a [`crate::portset::PortSet`]-width row of words
+//! per input (one bit per output), filled straight from the candidate
+//! set's per-input output masks; the free rows and columns are port sets
+//! of the same width.  The wave visits only still-free rows (bit
+//! iteration), and each cell test is one AND.  The golden reference
+//! ([`crate::reference::ReferenceWfa`]) keeps the dense boolean matrix;
+//! both produce identical matchings (the wave order is deterministic).
 
-use crate::candidate::CandidateSet;
+use crate::candidate::{CandidateSet, MAX_PORTS};
 use crate::matching::{Grant, Matching};
+use crate::portset::{words_for_ports, PortSet};
 use crate::scheduler::{KernelProbe, KernelStats, SwitchScheduler};
 use mmr_sim::rng::SimRng;
 
@@ -30,6 +31,7 @@ use mmr_sim::rng::SimRng;
 #[derive(Debug, Clone)]
 pub struct WaveFrontArbiter {
     ports: usize,
+    words: usize,
     /// Anti-diagonal that gets top priority this cycle.
     start_diag: usize,
     /// Rotate the priority diagonal every cycle (the wrapped variant).
@@ -37,7 +39,8 @@ pub struct WaveFrontArbiter {
     /// Build the request matrix from level-1 candidates only, making the
     /// wave see exactly what the link scheduler ranked best.
     top_level_only: bool,
-    /// Request matrix scratch: per input, a bitmask of requested outputs.
+    /// Request matrix scratch: per input, `words` words of requested
+    /// outputs.
     rows: Vec<u64>,
     probe: KernelProbe,
 }
@@ -45,13 +48,15 @@ pub struct WaveFrontArbiter {
 impl WaveFrontArbiter {
     /// The paper's WFA: wrapped, requests from all candidate levels.
     pub fn new(ports: usize) -> Self {
-        assert!(ports > 0);
+        assert!(ports > 0 && ports <= MAX_PORTS);
+        let words = words_for_ports(ports);
         WaveFrontArbiter {
             ports,
+            words,
             start_diag: 0,
             wrapped: true,
             top_level_only: false,
-            rows: vec![0; ports],
+            rows: vec![0; ports * words],
             probe: KernelProbe::default(),
         }
     }
@@ -80,32 +85,29 @@ impl WaveFrontArbiter {
     pub fn current_diagonal(&self) -> usize {
         self.start_diag
     }
-}
 
-impl SwitchScheduler for WaveFrontArbiter {
-    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+    fn run<const W: usize>(&mut self, cs: &CandidateSet, out: &mut Matching) {
         let n = self.ports;
-        assert_eq!(cs.ports(), n);
         out.clear();
         // Build the request matrix: input i requests output o if *any* of
         // its candidates targets o (the arbiter is priority-blind).  The
         // first-level variant only admits level-1 candidates.
         if self.top_level_only {
-            for (input, row) in self.rows.iter_mut().enumerate() {
-                *row = match cs.get(input, 0) {
-                    Some(c) => 1u64 << c.output,
-                    None => 0,
-                };
+            for input in 0..n {
+                let row = &mut self.rows[input * W..(input + 1) * W];
+                row.fill(0);
+                if let Some(c) = cs.get(input, 0) {
+                    row[c.output >> 6] |= 1u64 << (c.output & 63);
+                }
             }
         } else {
-            for (input, row) in self.rows.iter_mut().enumerate() {
-                *row = cs.output_mask(input);
+            for input in 0..n {
+                self.rows[input * W..(input + 1) * W].copy_from_slice(cs.output_mask(input));
             }
         }
 
-        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        let mut row_free = full;
-        let mut col_free = full;
+        let mut row_free = PortSet::<W>::full(n);
+        let mut col_free = PortSet::<W>::full(n);
         let mut cells = 0u64;
         // Sweep the N anti-diagonals starting from the rotating one.  The
         // N cells of an anti-diagonal touch N distinct rows and columns,
@@ -115,11 +117,12 @@ impl SwitchScheduler for WaveFrontArbiter {
             let diag = (self.start_diag + d) % n;
             let mut rf = row_free;
             cells += u64::from(rf.count_ones());
-            while rf != 0 {
-                let input = rf.trailing_zeros() as usize;
-                rf &= rf - 1;
+            while let Some(input) = rf.take_lowest() {
                 let output = (diag + n - input) % n;
-                if self.rows[input] & col_free & (1u64 << output) != 0 {
+                let cell = self.rows[input * W + (output >> 6)]
+                    & col_free.word(output >> 6)
+                    & (1u64 << (output & 63));
+                if cell != 0 {
                     let (level, c) = cs
                         .best_level_for(input, output)
                         .expect("request matrix was built from candidates");
@@ -129,8 +132,8 @@ impl SwitchScheduler for WaveFrontArbiter {
                         vc: c.vc,
                         level,
                     });
-                    row_free &= !(1u64 << input);
-                    col_free &= !(1u64 << output);
+                    row_free.remove(input);
+                    col_free.remove(output);
                 }
             }
         }
@@ -141,6 +144,17 @@ impl SwitchScheduler for WaveFrontArbiter {
         self.probe.examined(cells);
         self.probe.matched(out.size() as u64);
         debug_assert!(out.is_consistent_with(cs));
+    }
+}
+
+impl SwitchScheduler for WaveFrontArbiter {
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        match self.words {
+            1 => self.run::<1>(cs, out),
+            2 => self.run::<2>(cs, out),
+            _ => self.run::<4>(cs, out),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -197,6 +211,18 @@ mod tests {
         }
         let m = WaveFrontArbiter::new(4).schedule(&cs, &mut rng());
         assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn full_permutation_fully_granted_at_multi_word_widths() {
+        for ports in [96usize, 200] {
+            let mut cs = CandidateSet::new(ports, 1);
+            for i in 0..ports {
+                cs.push(cand(i, 0, (i + 7) % ports, 1.0));
+            }
+            let m = WaveFrontArbiter::new(ports).schedule(&cs, &mut rng());
+            assert_eq!(m.size(), ports, "ports = {ports}");
+        }
     }
 
     #[test]

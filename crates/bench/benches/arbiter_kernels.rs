@@ -43,7 +43,9 @@ fn sampling() -> (usize, u128) {
 
 fn bench_arbiters(samples: usize, target: u128) {
     println!("== arbiter_schedule ==");
-    for ports in [4usize, 8, 16] {
+    // 64 ports is the single-word port-set limit; 128 and 256 run the
+    // two- and four-word monomorphizations.
+    for ports in [4usize, 8, 16, 64, 128, 256] {
         let cs = candidate_set(ports, 4, 42);
         for kind in ArbiterKind::all() {
             let mut sched = kind.instantiate(ports);

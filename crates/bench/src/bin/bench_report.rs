@@ -3,8 +3,10 @@
 //! Aggregates the hot-path kernel numbers into one machine-readable
 //! snapshot so successive revisions can be compared file-to-file:
 //!
-//! * `schedule_into` ns/op for every arbiter at 4/8/16 ports × 4 levels,
-//!   with the matching throughput (grants per second) each implies;
+//! * `schedule_into` ns/op for every arbiter at 4/8/16/64/128/256 ports ×
+//!   4 levels (64 = the single-word port-set limit, 128/256 = the two- and
+//!   four-word widths), with the matching throughput (grants per second)
+//!   each implies;
 //! * the optimized COA against its `reference` transcription at
 //!   16 ports × 4 levels, with the speedup measured in the same run;
 //! * whole-router simulated cycles per second for COA and WFA.
@@ -22,6 +24,11 @@
 //! with the engines' bit-identity asserted on every rep.
 //!
 //! Pass `--gate <baseline.json>` to fail (exit 1) if:
+//! * the COA kernel at 16 ports regresses more than
+//!   `MMR_KERNEL_GATE_PCT` percent (default 25) against the baseline's
+//!   kernel row, or climbs above 0.6x the pre-bit-matrix cost recorded in
+//!   the committed `results/BENCH_3.json` (scaled by the naive reference
+//!   kernel's same-run cost ratio, which cancels host drift);
 //! * the instrumented-but-disabled router step regresses more than
 //!   `MMR_TELEMETRY_GATE_PCT` percent (default 10) against the COA router
 //!   number in the baseline — the "zero-overhead when disarmed" contract;
@@ -248,6 +255,38 @@ fn baseline_sweep_horizon(path: &Path) -> Option<(u64, Vec<(f64, f64)>)> {
     Some((cycles, out))
 }
 
+/// The `ns_per_op` a previous `BENCH_<n>.json` recorded for one kernel
+/// row, if present.
+fn baseline_kernel_ns(path: &Path, label: &str, ports: u64) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let report = serde_json::parse_value(&text).ok()?;
+    let rows = match report.get("kernels") {
+        Some(Value::Array(rows)) => rows,
+        _ => return None,
+    };
+    for row in rows {
+        if let (Some(Value::Str(arbiter)), Some(Value::U64(p)), Some(Value::F64(ns))) =
+            (row.get("arbiter"), row.get("ports"), row.get("ns_per_op"))
+        {
+            if arbiter == label && *p == ports {
+                return Some(*ns);
+            }
+        }
+    }
+    None
+}
+
+/// The naive-reference COA ns/op a previous `BENCH_<n>.json` recorded in
+/// its `coa_vs_reference` section, if present.
+fn baseline_coa_reference_ns(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let report = serde_json::parse_value(&text).ok()?;
+    match report.get("coa_vs_reference")?.get("reference_ns_per_op") {
+        Some(Value::F64(ns)) => Some(*ns),
+        _ => None,
+    }
+}
+
 /// The COA `ns_per_cycle` recorded in a previous `BENCH_<n>.json`.
 fn baseline_router_ns(path: &Path) -> f64 {
     let text = std::fs::read_to_string(path)
@@ -316,8 +355,10 @@ fn main() {
     );
 
     // --- Arbitration kernels, all kinds × port counts --------------------
+    // 4/8/16 are the paper's sizes; 64 is the single-word limit; 128 and
+    // 256 exercise the two- and four-word `PortSet` monomorphizations.
     let mut kernels = Vec::new();
-    for ports in [4usize, 8, 16] {
+    for ports in [4usize, 8, 16, 64, 128, 256] {
         for kind in ArbiterKind::all() {
             let m = measure_kernel(kind, ports, samples, target);
             let grants = grants_per_call(kind, ports);
@@ -455,6 +496,86 @@ fn main() {
         std::process::exit(1);
     }
 
+    // --- COA kernel-speed gate --------------------------------------------
+    // Two clauses guard the dense bit-matrix rewrite:
+    //  * trajectory: COA@16 must not regress more than
+    //    `MMR_KERNEL_GATE_PCT` percent (default 25) against the gate
+    //    baseline's kernel row;
+    //  * floor: COA@16 must stay at or below 0.6x the pre-rewrite cost
+    //    recorded in the committed `results/BENCH_3.json` — the rewrite's
+    //    headline claim, pinned so later baselines can't ratchet it away.
+    // Both clauses re-measure at full fidelity and keep the minimum, like
+    // the telemetry gate: quick batches swing ~20% and the gate should
+    // only trip on real regressions.
+    if let Some(baseline_path) = gate_baseline.as_ref() {
+        let mut kernel_failed = false;
+        let mut coa16_ns = coa.ns_per_iter;
+        for _ in 0..3 {
+            let m = measure_kernel(ArbiterKind::Coa, 16, 5, 20_000_000);
+            coa16_ns = coa16_ns.min(m.ns_per_iter);
+        }
+        let kernel_gate_pct: f64 = std::env::var("MMR_KERNEL_GATE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        match baseline_kernel_ns(baseline_path, ArbiterKind::Coa.label(), 16) {
+            Some(base_ns) => {
+                let delta_pct = (coa16_ns / base_ns - 1.0) * 100.0;
+                println!(
+                    "  gate: COA kernel 16 ports {coa16_ns:.1} ns/op vs baseline {base_ns:.1} \
+                     ({delta_pct:+.1}%, limit +{kernel_gate_pct:.0}%)"
+                );
+                if coa16_ns > base_ns * (1.0 + kernel_gate_pct / 100.0) {
+                    eprintln!(
+                        "error: COA kernel at 16 ports regressed {delta_pct:.1}% over \
+                         baseline {} (limit {kernel_gate_pct:.0}%)",
+                        baseline_path.display(),
+                    );
+                    kernel_failed = true;
+                }
+            }
+            None => println!(
+                "  gate: baseline {} has no COA 16-port kernel row; skipping the \
+                 kernel trajectory check",
+                baseline_path.display()
+            ),
+        }
+        let bench3 = results_dir().join("BENCH_3.json");
+        if let Some(pre_rewrite_ns) = baseline_kernel_ns(&bench3, ArbiterKind::Coa.label(), 16) {
+            // The floor is machine-normalized: the naive reference kernel
+            // is untouched by optimization work, so the ratio of its cost
+            // now vs in BENCH_3 measures pure host drift (shared boxes
+            // swing 20-40% across days).  Scaling the floor by that ratio
+            // keeps the clause equivalent to "COA@16 is at least 1.67x
+            // faster than before the bit-matrix rewrite, on this machine,
+            // today".
+            let mut ref_ns = reference.ns_per_iter;
+            for _ in 0..2 {
+                let m = measure_reference_coa(16, 5, 20_000_000);
+                ref_ns = ref_ns.min(m.ns_per_iter);
+            }
+            let drift = baseline_coa_reference_ns(&bench3)
+                .map(|base_ref| ref_ns / base_ref)
+                .unwrap_or(1.0);
+            let floor = pre_rewrite_ns * 0.6 * drift;
+            println!(
+                "  gate: COA kernel 16 ports {coa16_ns:.1} ns/op vs pre-rewrite floor \
+                 {floor:.1} (0.6x of BENCH_3's {pre_rewrite_ns:.1}, host drift x{drift:.2} \
+                 from the reference kernel)"
+            );
+            if coa16_ns > floor {
+                eprintln!(
+                    "error: COA kernel at 16 ports is {coa16_ns:.1} ns/op, above the \
+                     0.6x-of-BENCH_3 floor of {floor:.1} (bit-matrix speedup lost)"
+                );
+                kernel_failed = true;
+            }
+        }
+        if kernel_failed {
+            std::process::exit(1);
+        }
+    }
+
     // --- Telemetry-overhead gate ------------------------------------------
     if let Some(baseline_path) = gate_baseline {
         let baseline_ns = baseline_router_ns(&baseline_path);
@@ -506,9 +627,12 @@ fn main() {
                     failed = true;
                 }
             }
-            // 2% at full fidelity; quick samples are ~0.4 s and carry a
-            // few percent of scheduler jitter, so allow 5% there.
-            let overhead_limit = if quick { 1.05 } else { 1.02 };
+            // 2% at full fidelity; quick samples are ~0.4 s and carry
+            // scheduler jitter that measures up to ~9% on a busy shared
+            // host, so allow 10% there — the failure this clause catches
+            // (per-cycle horizon bookkeeping leaking into the no-skip
+            // regime) costs tens of percent when real.
+            let overhead_limit = if quick { 1.10 } else { 1.02 };
             if (t.load - 0.9).abs() < 1e-9 && t.horizon_s > t.naive_s * overhead_limit {
                 eprintln!(
                     "error: horizon loop {:.1}% slower than cycle-by-cycle at load 0.9 \
@@ -522,11 +646,14 @@ fn main() {
         // Trajectory half: horizon wall clock against the committed
         // baseline, when it has a sweep section.  Generous default — a
         // multi-second whole-run wall clock swings far more than a
-        // min-of-batches ns/cycle number.
+        // min-of-batches ns/cycle number: back-to-back full runs of
+        // identical code have measured a 29% spread on the 0.9-load
+        // point on a busy shared host, so the default sits just above
+        // that.
         let sweep_gate_pct: f64 = std::env::var("MMR_SWEEP_GATE_PCT")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(25.0);
+            .unwrap_or(35.0);
         match baseline_sweep_horizon(&baseline_path) {
             Some((base_cycles, baseline_rows)) => {
                 for (load, base_s) in baseline_rows {

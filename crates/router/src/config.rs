@@ -66,6 +66,13 @@ impl RouterConfig {
     pub fn validate(&self) {
         assert!(self.ports > 0, "router needs at least one port");
         assert!(
+            self.ports <= mmr_arbiter::candidate::MAX_PORTS,
+            "router has {} ports but the scheduling kernels support at most \
+             {} (four 64-bit port-set words)",
+            self.ports,
+            mmr_arbiter::candidate::MAX_PORTS
+        );
+        assert!(
             self.candidate_levels > 0,
             "need at least one candidate level"
         );
@@ -115,6 +122,27 @@ mod tests {
     fn zero_ports_rejected() {
         RouterConfig {
             ports: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn wide_port_counts_accepted_up_to_the_kernel_limit() {
+        for ports in [64, 65, 128, 256] {
+            RouterConfig {
+                ports,
+                ..Default::default()
+            }
+            .validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256")]
+    fn oversized_router_rejected() {
+        RouterConfig {
+            ports: 257,
             ..Default::default()
         }
         .validate();

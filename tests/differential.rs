@@ -84,13 +84,17 @@ fn assert_matches_reference(kind: ArbiterKind, ports: usize, seeds: u64, cycles:
 }
 
 /// The full matrix for one arbiter kind: 100+ seeds at the small and
-/// medium port counts the paper uses, a smaller sample at the bitmask
-/// width limit (the reference is O(ports² · levels) per grant there).
+/// medium port counts the paper uses, smaller samples at the single-word
+/// width limit and in the multi-word regime (128 ports = two port-set
+/// words, 256 = four; the reference is O(ports² · levels) per grant
+/// there, so a few seeds is all the budget allows).
 fn differential_matrix(kind: ArbiterKind) {
     assert_matches_reference(kind, 4, 128, 6);
     assert_matches_reference(kind, 8, 128, 6);
     assert_matches_reference(kind, 16, 104, 4);
     assert_matches_reference(kind, 64, 12, 3);
+    assert_matches_reference(kind, 128, 4, 2);
+    assert_matches_reference(kind, 256, 2, 2);
 }
 
 #[test]
@@ -184,6 +188,59 @@ proptest! {
             let m_fast = fast.schedule(&cs, &mut rng_fast);
             let m_gold = golden.schedule(&cs, &mut rng_gold);
             prop_assert_eq!(&m_fast, &m_gold, "{} diverged (seed {})", kind.label(), seed);
+            prop_assert_eq!(rng_fast.next_u64_raw(), rng_gold.next_u64_raw());
+        }
+    }
+}
+
+proptest! {
+    // Port counts straddling the 64-bit word boundary: 63 (bit 62 is the
+    // top port), 64 (exactly one full word), 65 (first port in the second
+    // word).  Off-by-one errors in multi-word masking — a stray bit 63,
+    // a missed carry into word 1, a `full()` mask one bit short — show up
+    // exactly here and nowhere in the power-of-two matrix above.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_kind_matches_reference_at_word_boundary_widths(
+        width_index in 0usize..3,
+        inputs in proptest::collection::vec(
+            proptest::collection::vec((0usize..65, 0u64..8), 0..=2),
+            65,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let ports = [63usize, 64, 65][width_index];
+        let mut cs = CandidateSet::new(ports, 2);
+        for (input, cands) in inputs.iter().take(ports).enumerate() {
+            let mut cands: Vec<Candidate> = cands
+                .iter()
+                .enumerate()
+                .map(|(vc, &(output, prio))| Candidate {
+                    input,
+                    vc,
+                    output: output % ports,
+                    priority: Priority::new(prio as f64),
+                })
+                .collect();
+            cands.sort_by_key(|c| core::cmp::Reverse(c.priority));
+            cs.set_input(input, &cands);
+        }
+        for kind in ArbiterKind::all() {
+            let mut fast = kind.instantiate(ports);
+            let mut golden = kind.instantiate_reference(ports);
+            let mut rng_fast = SimRng::seed_from_u64(seed);
+            let mut rng_gold = SimRng::seed_from_u64(seed);
+            let m_fast = fast.schedule(&cs, &mut rng_fast);
+            let m_gold = golden.schedule(&cs, &mut rng_gold);
+            prop_assert_eq!(
+                &m_fast,
+                &m_gold,
+                "{} diverged (ports {}, seed {})",
+                kind.label(),
+                ports,
+                seed
+            );
             prop_assert_eq!(rng_fast.next_u64_raw(), rng_gold.next_u64_raw());
         }
     }

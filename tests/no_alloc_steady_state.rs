@@ -140,6 +140,80 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
         );
     }
 
+    // --- Arbitration kernels, multi-word widths -------------------------
+    // 128 ports = two port-set words, 256 = four.  The wide paths size
+    // their scratch (port-set words, conflict buckets, sort keys) from
+    // `ports`, so a buffer sized for one word that silently regrows in
+    // the W=2/W=4 monomorphizations would only show up here.
+    for ports in [128usize, 256] {
+        let mut cs = CandidateSet::new(ports, 4);
+        let mut out = Matching::new(ports);
+        for kind in ArbiterKind::all() {
+            let mut sched = kind.instantiate(ports);
+            let mut rng = SimRng::seed_from_u64(7);
+            for _ in 0..30 {
+                random_fill(&mut cs, &mut workload_rng);
+                sched.schedule_into(&cs, &mut rng, &mut out);
+            }
+            let mut total_grants = 0usize;
+            let allocs = allocations_in(|| {
+                for _ in 0..100 {
+                    random_fill(&mut cs, &mut workload_rng);
+                    sched.schedule_into(&cs, &mut rng, &mut out);
+                    total_grants += out.size();
+                }
+            });
+            assert!(
+                total_grants > 0,
+                "{} @ {ports} ports: workload produced no grants",
+                kind.label()
+            );
+            assert_eq!(
+                allocs,
+                0,
+                "{} @ {ports} ports: schedule_into allocated {allocs} times in steady state",
+                kind.label()
+            );
+        }
+    }
+
+    // --- Full router step, multi-word widths -----------------------------
+    // The whole router at 128 and 256 ports: candidate selection, the
+    // wide COA kernel, crossbar bookkeeping and per-port queues all sized
+    // for multi-word port sets, still zero allocations per step.
+    for ports in [128usize, 256] {
+        let cfg = RouterConfig {
+            ports,
+            ..RouterConfig::default()
+        };
+        let mut rng = SimRng::seed_from_u64(5);
+        let workload = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
+            .target_load(0.4)
+            .build(&mut rng);
+        let mut router = MmrRouter::new(
+            cfg,
+            workload,
+            ArbiterKind::Coa.instantiate(ports),
+            Box::new(Siabp),
+            5,
+        );
+        let mut t = 0u64;
+        for _ in 0..3_000 {
+            router.step(FlitCycle(t), false);
+            t += 1;
+        }
+        let allocs = allocations_in(|| {
+            for _ in 0..1_500 {
+                router.step(FlitCycle(t), false);
+                t += 1;
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "COA router @ {ports} ports: step allocated {allocs} times in steady state"
+        );
+    }
+
     // --- TDM link scheduler --------------------------------------------
     // Both variants: pure TDM (owner-only) and backfill (priority sort
     // into the scratch vector).  After a warm-up that grows the scratch
