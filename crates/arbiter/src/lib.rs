@@ -23,6 +23,13 @@
 //! * [`islip`], [`pim`], [`greedy`], [`random`] — the related-work
 //!   baselines §4 cites (iSLIP, Parallel Iterative Matching, greedy
 //!   priority matching, random maximal matching).
+//! * [`mwm`] — the **maximum-weight matching oracle** (exact Hungarian at
+//!   small ports, greedy ½-approximation beyond): the optimality frontier
+//!   the paper never measured COA against.
+//! * [`frame`], [`cq`] — beyond-the-paper architectural contrasts: a
+//!   frame-based fair scheduler (NoC fairness literature) and a
+//!   crosspoint-queued switch model (per-crosspoint buffers with
+//!   per-output longest-queue-first selection).
 //! * [`reference`] — golden, unoptimized transcriptions of every arbiter;
 //!   the bitmask kernels above are pinned to them grant-for-grant by
 //!   differential property tests.
@@ -39,10 +46,13 @@
 
 pub mod candidate;
 pub mod coa;
+pub mod cq;
+pub mod frame;
 pub mod greedy;
 pub mod hw;
 pub mod islip;
 pub mod matching;
+pub mod mwm;
 pub mod pim;
 pub mod portset;
 pub mod priority;
@@ -53,9 +63,12 @@ pub mod wfa;
 
 pub use candidate::{Candidate, CandidateSet, Priority};
 pub use coa::CandidateOrderArbiter;
+pub use cq::CrosspointQueuedArbiter;
+pub use frame::FrameFairArbiter;
 pub use greedy::GreedyPriorityArbiter;
 pub use islip::IslipArbiter;
 pub use matching::{Grant, Matching};
+pub use mwm::MwmArbiter;
 pub use pim::PimArbiter;
 pub use portset::{words_for_ports, PortSet, PortSet128, PortSet256, PortSet64};
 pub use priority::{Fifo, Iabp, LinkPriority, PriorityKind, Siabp, StaticPriority};

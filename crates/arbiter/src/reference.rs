@@ -551,6 +551,388 @@ impl SwitchScheduler for ReferenceRandom {
     }
 }
 
+/// Reference MWM oracle: dense weight matrix built with scalar candidate
+/// queries, Jonker–Volgenant augmenting paths with per-call allocation,
+/// comparator-sorted greedy path.  Mirrors [`crate::mwm::MwmArbiter`]
+/// exactly, including the [`crate::mwm::EXACT_PORT_LIMIT`] fallback to
+/// the greedy ½-approximation.
+#[derive(Debug, Clone)]
+pub struct ReferenceMwm {
+    ports: usize,
+    exact: bool,
+}
+
+impl ReferenceMwm {
+    /// Reference exact oracle for `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0);
+        ReferenceMwm { ports, exact: true }
+    }
+
+    /// Reference greedy ½-approximation for `ports` ports.
+    pub fn approx(ports: usize) -> Self {
+        ReferenceMwm {
+            ports,
+            exact: false,
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_exact(&self, cs: &CandidateSet, out: &mut Matching) {
+        let n = self.ports;
+        // Dense shaped weight matrix, exactly as the kernel builds it:
+        // best-candidate priority per pair, then the shared
+        // [`crate::mwm::shaped_weight`] normalization (the weight
+        // function is the *model*, so both sides call it and their f64
+        // streams stay bit-identical); missing edges stay 0.
+        let mut w = vec![0.0f64; n * n];
+        let mut floor = f64::INFINITY;
+        let mut ceil = f64::NEG_INFINITY;
+        let mut edges = 0u64;
+        for input in 0..n {
+            for output in 0..n {
+                if let Some(c) = cs.best_for(input, output) {
+                    w[input * n + output] = c.priority.0;
+                    floor = floor.min(c.priority.0);
+                    ceil = ceil.max(c.priority.0);
+                    edges += 1;
+                }
+            }
+        }
+        if edges == 0 {
+            return;
+        }
+        let mut maxw = 0.0f64;
+        for input in 0..n {
+            for output in 0..n {
+                if cs.requests(input, output) {
+                    let cell = &mut w[input * n + output];
+                    *cell = crate::mwm::shaped_weight(*cell, floor, ceil, n);
+                    maxw = maxw.max(*cell);
+                }
+            }
+        }
+        // Jonker–Volgenant over cost = maxw − w, 1-indexed, column 0 the
+        // virtual root — line-for-line the kernel's solver with fresh
+        // allocations, so the f64 sequences are bit-identical.
+        let mut pot_row = vec![0.0f64; n + 1];
+        let mut pot_col = vec![0.0f64; n + 1];
+        let mut col_to_row = vec![0usize; n + 1];
+        let mut way = vec![0usize; n + 1];
+        for row in 1..=n {
+            col_to_row[0] = row;
+            let mut j0 = 0usize;
+            let mut minv = vec![f64::INFINITY; n + 1];
+            let mut used = vec![false; n + 1];
+            loop {
+                used[j0] = true;
+                let i0 = col_to_row[j0];
+                let mut delta = f64::INFINITY;
+                let mut j1 = 0usize;
+                for j in 1..=n {
+                    if used[j] {
+                        continue;
+                    }
+                    let cost = maxw - w[(i0 - 1) * n + (j - 1)];
+                    let cur = cost - pot_row[i0] - pot_col[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+                for j in 0..=n {
+                    if used[j] {
+                        pot_row[col_to_row[j]] += delta;
+                        pot_col[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if col_to_row[j0] == 0 {
+                    break;
+                }
+            }
+            loop {
+                let j1 = way[j0];
+                col_to_row[j0] = col_to_row[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+        for output in 0..n {
+            let row = col_to_row[output + 1];
+            debug_assert!(row != 0, "perfect matching covers every column");
+            let input = row - 1;
+            if w[input * n + output] > 0.0 {
+                let (level, c) = cs
+                    .best_level_for(input, output)
+                    .expect("matched edge has a candidate");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_greedy(&self, cs: &CandidateSet, out: &mut Matching) {
+        let n = self.ports;
+        // Edges by descending best priority, then ascending (input,
+        // output) — the comparator form of the kernel's packed-key sort.
+        let mut edges: Vec<(Candidate, usize, usize)> = Vec::new();
+        for input in 0..n {
+            for output in 0..n {
+                if let Some(c) = cs.best_for(input, output) {
+                    edges.push((c, input, output));
+                }
+            }
+        }
+        edges.sort_unstable_by(|a, b| {
+            b.0.priority
+                .cmp(&a.0.priority)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut input_free = vec![true; n];
+        let mut output_free = vec![true; n];
+        for &(_, input, output) in &edges {
+            if input_free[input] && output_free[output] {
+                let (level, c) = cs
+                    .best_level_for(input, output)
+                    .expect("edge has a candidate");
+                out.add(Grant {
+                    input,
+                    output,
+                    vc: c.vc,
+                    level,
+                });
+                input_free[input] = false;
+                output_free[output] = false;
+            }
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceMwm {
+    fn schedule_into(&mut self, cs: &CandidateSet, _rng: &mut SimRng, out: &mut Matching) {
+        assert_eq!(cs.ports(), self.ports);
+        out.clear();
+        if self.exact && self.ports <= crate::mwm::EXACT_PORT_LIMIT {
+            self.schedule_exact(cs, out);
+        } else {
+            self.schedule_greedy(cs, out);
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        if self.exact {
+            "MWM (reference)"
+        } else {
+            "MWM-approx (reference)"
+        }
+    }
+}
+
+/// Reference frame-based fair arbiter: dense scalar loops over the same
+/// quota/eligibility rules as [`crate::frame::FrameFairArbiter`], with
+/// the identical reservoir RNG-draw sequence.
+#[derive(Debug, Clone)]
+pub struct ReferenceFrameFair {
+    ports: usize,
+    frame: u32,
+    quota: u32,
+    cycle_in_frame: u32,
+    used: Vec<u32>,
+}
+
+impl ReferenceFrameFair {
+    /// Reference frame-fair arbiter for `ports` ports and a
+    /// `frame`-cycle frame.
+    pub fn new(ports: usize, frame: u32) -> Self {
+        assert!(ports > 0 && frame > 0);
+        ReferenceFrameFair {
+            ports,
+            frame,
+            quota: (frame / ports as u32).max(1),
+            cycle_in_frame: 0,
+            used: vec![0; ports * ports],
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceFrameFair {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        out.clear();
+        let mut input_free = vec![true; n];
+        for output in 0..n {
+            let requesters: Vec<usize> = (0..n)
+                .filter(|&i| input_free[i] && cs.requests(i, output))
+                .collect();
+            if requesters.is_empty() {
+                continue;
+            }
+            let any_eligible = requesters
+                .iter()
+                .any(|&i| self.used[i * n + output] < self.quota);
+            let mut best: Option<(usize, usize, Candidate)> = None;
+            let mut ties = 0u64;
+            for &input in &requesters {
+                if any_eligible && self.used[input * n + output] >= self.quota {
+                    continue;
+                }
+                let (level, c) = cs
+                    .best_level_for(input, output)
+                    .expect("requester has a candidate");
+                match &best {
+                    None => {
+                        best = Some((input, level, c));
+                        ties = 1;
+                    }
+                    Some((_, _, b)) if c.priority > b.priority => {
+                        best = Some((input, level, c));
+                        ties = 1;
+                    }
+                    Some((_, _, b)) if c.priority == b.priority => {
+                        ties += 1;
+                        if rng.below(ties) == 0 {
+                            best = Some((input, level, c));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let (input, level, c) = best.expect("eligible pool is non-empty");
+            out.add(Grant {
+                input,
+                output,
+                vc: c.vc,
+                level,
+            });
+            input_free[input] = false;
+            self.used[input * n + output] += 1;
+        }
+        self.cycle_in_frame += 1;
+        if self.cycle_in_frame == self.frame {
+            self.cycle_in_frame = 0;
+            self.used.fill(0);
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "Frame-fair (reference)"
+    }
+
+    fn reset(&mut self) {
+        self.cycle_in_frame = 0;
+        self.used.fill(0);
+    }
+}
+
+/// Reference crosspoint-queued arbiter: the dense O(ports²) rescan form
+/// of [`crate::cq::CrosspointQueuedArbiter`]'s incremental aging, with
+/// the identical per-output longest-queue-first selection and reservoir
+/// draws.
+#[derive(Debug, Clone)]
+pub struct ReferenceCq {
+    ports: usize,
+    cap: u32,
+    depth: Vec<u32>,
+}
+
+impl ReferenceCq {
+    /// Reference CQ arbiter for `ports` ports and `cap`-deep buffers.
+    pub fn new(ports: usize, cap: u32) -> Self {
+        assert!(ports > 0 && cap > 0);
+        ReferenceCq {
+            ports,
+            cap,
+            depth: vec![0; ports * ports],
+        }
+    }
+}
+
+impl SwitchScheduler for ReferenceCq {
+    #[allow(clippy::needless_range_loop)] // port indices mirror the hardware
+    fn schedule_into(&mut self, cs: &CandidateSet, rng: &mut SimRng, out: &mut Matching) {
+        let n = self.ports;
+        assert_eq!(cs.ports(), n);
+        out.clear();
+        // Phase 1 — dense aging: requested crosspoints gain pressure
+        // (saturating), silent ones drain to zero.
+        for input in 0..n {
+            for output in 0..n {
+                let d = &mut self.depth[input * n + output];
+                if cs.requests(input, output) {
+                    *d = (*d + 1).min(self.cap);
+                } else {
+                    *d = 0;
+                }
+            }
+        }
+        // Phase 2 — per-output longest-queue-first over free inputs.
+        let mut input_free = vec![true; n];
+        for output in 0..n {
+            let mut best_input = usize::MAX;
+            let mut best_depth = 0u32;
+            let mut ties = 0u64;
+            for input in 0..n {
+                if !input_free[input] || !cs.requests(input, output) {
+                    continue;
+                }
+                let d = self.depth[input * n + output];
+                if best_input == usize::MAX || d > best_depth {
+                    best_input = input;
+                    best_depth = d;
+                    ties = 1;
+                } else if d == best_depth {
+                    ties += 1;
+                    if rng.below(ties) == 0 {
+                        best_input = input;
+                    }
+                }
+            }
+            if best_input == usize::MAX {
+                continue;
+            }
+            let (level, c) = cs
+                .best_level_for(best_input, output)
+                .expect("pool member has a candidate");
+            out.add(Grant {
+                input: best_input,
+                output,
+                vc: c.vc,
+                level,
+            });
+            input_free[best_input] = false;
+            self.depth[best_input * n + output] = 0;
+        }
+        debug_assert!(out.is_consistent_with(cs));
+    }
+
+    fn name(&self) -> &'static str {
+        "CQ (reference)"
+    }
+
+    fn reset(&mut self) {
+        self.depth.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -172,6 +172,25 @@ pub enum ArbiterKind {
     GreedyPriority,
     /// Random maximal matching.
     Random,
+    /// Maximum-weight matching oracle: exact (Hungarian) up to
+    /// [`crate::mwm::EXACT_PORT_LIMIT`] ports, greedy ½-approximation
+    /// beyond — the optimality frontier the practical arbiters are
+    /// measured against.
+    MwmExact,
+    /// Greedy ½-approximate maximum-weight matching at every width.
+    MwmApprox,
+    /// Frame-based fair scheduler (NoC fairness): per-crosspoint grant
+    /// quotas over a frame of busy cycles.
+    FrameFair {
+        /// Frame length in arbitration cycles.
+        frame: u32,
+    },
+    /// Crosspoint-queued switch model: virtual per-crosspoint queues,
+    /// per-output longest-queue-first selection.
+    CrosspointQueued {
+        /// Crosspoint buffer depth (pressure saturation cap).
+        cap: u32,
+    },
 }
 
 impl ArbiterKind {
@@ -194,6 +213,14 @@ impl ArbiterKind {
                 Box::new(crate::greedy::GreedyPriorityArbiter::new(ports))
             }
             ArbiterKind::Random => Box::new(crate::random::RandomArbiter::new(ports)),
+            ArbiterKind::MwmExact => Box::new(crate::mwm::MwmArbiter::new(ports)),
+            ArbiterKind::MwmApprox => Box::new(crate::mwm::MwmArbiter::approx(ports)),
+            ArbiterKind::FrameFair { frame } => {
+                Box::new(crate::frame::FrameFairArbiter::new(ports, frame))
+            }
+            ArbiterKind::CrosspointQueued { cap } => {
+                Box::new(crate::cq::CrosspointQueuedArbiter::new(ports, cap))
+            }
         }
     }
 
@@ -213,6 +240,10 @@ impl ArbiterKind {
             ArbiterKind::Pim { iterations } => Box::new(r::ReferencePim::new(ports, iterations)),
             ArbiterKind::GreedyPriority => Box::new(r::ReferenceGreedy::new(ports)),
             ArbiterKind::Random => Box::new(r::ReferenceRandom::new(ports)),
+            ArbiterKind::MwmExact => Box::new(r::ReferenceMwm::new(ports)),
+            ArbiterKind::MwmApprox => Box::new(r::ReferenceMwm::approx(ports)),
+            ArbiterKind::FrameFair { frame } => Box::new(r::ReferenceFrameFair::new(ports, frame)),
+            ArbiterKind::CrosspointQueued { cap } => Box::new(r::ReferenceCq::new(ports, cap)),
         }
     }
 
@@ -227,6 +258,10 @@ impl ArbiterKind {
             ArbiterKind::Pim { .. } => "PIM",
             ArbiterKind::GreedyPriority => "Greedy",
             ArbiterKind::Random => "Random",
+            ArbiterKind::MwmExact => "MWM",
+            ArbiterKind::MwmApprox => "MWM-apx",
+            ArbiterKind::FrameFair { .. } => "FrameFair",
+            ArbiterKind::CrosspointQueued { .. } => "CQ",
         }
     }
 
@@ -242,6 +277,14 @@ impl ArbiterKind {
             ArbiterKind::Pim { iterations: 2 },
             ArbiterKind::GreedyPriority,
             ArbiterKind::Random,
+            ArbiterKind::MwmExact,
+            ArbiterKind::MwmApprox,
+            ArbiterKind::FrameFair {
+                frame: crate::frame::DEFAULT_FRAME,
+            },
+            ArbiterKind::CrosspointQueued {
+                cap: crate::cq::DEFAULT_CAP,
+            },
         ]
     }
 }

@@ -1,0 +1,106 @@
+//! Beyond-COA arbiter frontier: evaluate the Frontier claim subset over
+//! the frontier-ablation ensemble and write `results/frontier.json`.
+//!
+//! The panel sweeps the Fig. 5 CBR workload over seven arbiters — COA,
+//! WFA, iSLIP, the exact MWM oracle, its greedy ½-approximation, the
+//! frame-based fair scheduler and the crosspoint-queued switch — and the
+//! claims pin COA's distance from the optimality frontier
+//! (`frontier.coa-within-factor-of-mwm` et al.).
+//!
+//! With `--gate` the exit status enforces the claims: 0 when every
+//! Frontier claim passes at the ensemble median, 1 on any regression
+//! (`scripts/ci.sh` runs this in quick fidelity).  Without `--gate` the
+//! report is written but failures only warn, so exploratory full-
+//! fidelity runs never abort mid-sweep.  `--list-claims` prints the
+//! Frontier manifest without simulating.
+//!
+//! `MMR_FRONTIER_COA_MWM_MAX` overrides the COA-vs-MWM delay-ratio
+//! tolerance (the `max_ratio` of `frontier.coa-within-factor-of-mwm`),
+//! letting CI tighten the screw without a code change.
+
+use mmr_bench::{banner, emit, fidelity_from_args, results_dir};
+use mmr_core::conformance::{
+    evaluate_all, frontier_claims, frontier_ensemble, Check, ConformanceReport, EnsembleOptions,
+};
+use mmr_core::saturation::ExperimentCache;
+use mmr_core::scenarios::Fidelity;
+
+fn main() {
+    if std::env::args().any(|a| a == "--list-claims") {
+        println!("{:<38} {:<9} claim", "id", "figure");
+        println!("{}", "-".repeat(100));
+        for c in frontier_claims() {
+            println!("{:<38} {:<9} {}", c.id, c.figure.label(), c.description);
+        }
+        return;
+    }
+    let gate = std::env::args().any(|a| a == "--gate");
+    let fidelity = fidelity_from_args();
+
+    let mut claims = frontier_claims();
+    if let Ok(tol) = std::env::var("MMR_FRONTIER_COA_MWM_MAX") {
+        let tol: f64 = tol
+            .parse()
+            .expect("MMR_FRONTIER_COA_MWM_MAX must parse as f64");
+        for c in &mut claims {
+            if c.id == "frontier.coa-within-factor-of-mwm" {
+                if let Check::AtMostRatio { max_ratio, .. } = &mut c.check {
+                    *max_ratio = tol;
+                }
+            }
+        }
+    }
+
+    let options = EnsembleOptions::new(fidelity);
+    eprintln!(
+        "running frontier ablation: 7 arbiters x 3 loads x {} seeds…",
+        options.frontier_seeds
+    );
+    let mut cache = ExperimentCache::new();
+    let ensemble = frontier_ensemble(options, &mut cache);
+    let report = ConformanceReport {
+        fidelity: match fidelity {
+            Fidelity::Quick => "quick",
+            Fidelity::Full => "full",
+        }
+        .to_string(),
+        cbr_seeds: vec![],
+        vbr_seeds: vec![],
+        frontier_seeds: ensemble.frontier_seeds.clone(),
+        claims: evaluate_all(&claims, &ensemble),
+    };
+
+    let mut out = banner(
+        "Frontier",
+        "COA vs the MWM oracle, greedy 1/2-approx, frame-fair and CQ arbiters",
+        fidelity,
+    );
+    out.push_str(&report.render_text());
+    let failed = report.failed();
+    out.push_str(&format!(
+        "\n{}/{} claims pass ({} simulations, {} cache hits)\n",
+        report.claims.len() - failed.len(),
+        report.claims.len(),
+        cache.misses(),
+        cache.hits(),
+    ));
+    emit("frontier.txt", &out);
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let path = results_dir().join("frontier.json");
+    std::fs::write(&path, &json).expect("write frontier.json");
+    eprintln!("[written {}]", path.display());
+
+    if !failed.is_empty() {
+        eprintln!("frontier claims FAILED:");
+        for c in &failed {
+            eprintln!(
+                "  {} [{}]: median {:.4} vs threshold {:.4} (margin {:+.4} {})",
+                c.id, c.figure, c.median, c.threshold, c.margin, c.unit
+            );
+        }
+        if gate {
+            std::process::exit(1);
+        }
+    }
+}

@@ -25,7 +25,7 @@ fn usage() -> ! {
          run flags:\n\
            --config FILE          load a full SimConfig from JSON (other flags override)\n\
            --load F               target offered load fraction (default 0.7)\n\
-           --arbiter NAME         coa|wfa|wfa-fix|wfa-l1|islip|pim|greedy|random (default coa)\n\
+           --arbiter NAME         coa|wfa|wfa-fix|wfa-l1|islip|pim|greedy|random|mwm|mwm-approx|frame-fair|cq (default coa)\n\
            --priority NAME        siabp|iabp|fifo|static (default siabp)\n\
            --vbr sr|bb            use MPEG-2 VBR with the given injection model\n\
            --gops N               GOPs per VBR connection (default 4)\n\
@@ -51,6 +51,14 @@ fn parse_arbiter(s: &str) -> ArbiterKind {
         "pim" => ArbiterKind::Pim { iterations: 2 },
         "greedy" => ArbiterKind::GreedyPriority,
         "random" => ArbiterKind::Random,
+        "mwm" => ArbiterKind::MwmExact,
+        "mwm-approx" => ArbiterKind::MwmApprox,
+        "frame-fair" => ArbiterKind::FrameFair {
+            frame: mmr_arbiter::frame::DEFAULT_FRAME,
+        },
+        "cq" => ArbiterKind::CrosspointQueued {
+            cap: mmr_arbiter::cq::DEFAULT_CAP,
+        },
         other => {
             eprintln!("unknown arbiter '{other}'");
             usage()

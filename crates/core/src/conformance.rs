@@ -51,6 +51,10 @@ pub enum Figure {
     Fig9,
     /// Table 1 — MPEG-2 sequence statistics.
     Table1,
+    /// Beyond-the-paper arbiter frontier ablation (EXPERIMENTS.md
+    /// "Frontier"): COA measured against the MWM oracle, the greedy
+    /// ½-approximation, frame-based fair and crosspoint-queued designs.
+    Frontier,
 }
 
 impl Figure {
@@ -62,6 +66,7 @@ impl Figure {
             Figure::Fig8 => "Fig. 8",
             Figure::Fig9 => "Fig. 9",
             Figure::Table1 => "Table 1",
+            Figure::Frontier => "Frontier",
         }
     }
 }
@@ -75,6 +80,10 @@ pub enum Panel {
     Fig9Sr,
     /// The Fig. 8/9 VBR sweep, Back-to-Back injection.
     Fig9Bb,
+    /// The frontier-ablation CBR sweep: the Fig. 5 workload swept over
+    /// the full arbiter frontier (COA, WFA, iSLIP, MWM exact + approx,
+    /// frame-fair, crosspoint-queued).
+    FrontierCbr,
 }
 
 /// Scalar a curve check reads off one experiment result.
@@ -222,6 +231,41 @@ pub enum Check {
         hi_load: f64,
         /// Minimum (util ratio)/(load ratio).
         min_ratio_of_ratios: f64,
+    },
+    /// One-sided factor bound over a load prefix: at every grid point
+    /// with load ≤ `until_load`, `numerator`'s metric stays at most
+    /// `max_ratio` times `denominator`'s.  Unlike [`Check::WithinFactor`]
+    /// the denominator may be arbitrarily better — this is "A never falls
+    /// more than `max_ratio`× behind B", the frontier's COA-vs-oracle
+    /// question.
+    AtMostRatio {
+        /// Sweep the check reads.
+        panel: Panel,
+        /// Metric compared.
+        metric: CurveMetric,
+        /// The arbiter whose metric is bounded.
+        numerator: ArbiterKind,
+        /// The arbiter providing the reference value.
+        denominator: ArbiterKind,
+        /// Load prefix checked (inclusive).
+        until_load: f64,
+        /// Maximum allowed numerator/denominator at any prefix point.
+        max_ratio: f64,
+    },
+    /// `oracle` is the panel's performance floor: at every grid point
+    /// with load ≤ `until_load`, its metric stays within `slack`× of the
+    /// best (lowest) value ANY arbiter in the panel achieves there.
+    DelayFloor {
+        /// Sweep the check reads.
+        panel: Panel,
+        /// Metric compared.
+        metric: CurveMetric,
+        /// The arbiter claimed to be (near-)optimal.
+        oracle: ArbiterKind,
+        /// Load prefix checked (inclusive).
+        until_load: f64,
+        /// Maximum allowed oracle/best ratio over the prefix.
+        slack: f64,
     },
     /// Back-to-Back injection: at least `min_mass` of frame-0's flits are
     /// emitted within the first `within_fraction` of the frame time
@@ -519,6 +563,84 @@ pub fn paper_claims() -> Vec<Claim> {
                 min_peak_fraction: 0.75,
             },
         },
+        // ---- Frontier: COA vs the beyond-the-paper arbiters -----------
+        Claim {
+            id: "frontier.coa-within-factor-of-mwm",
+            figure: Figure::Frontier,
+            description: "COA's 55 Mbps delay never falls more than 3x behind the \
+                          exact MWM oracle at any load through 86% — the paper's \
+                          heuristic sits close to the optimality frontier \
+                          (measured quick: median 1.7x)",
+            check: Check::AtMostRatio {
+                panel: Panel::FrontierCbr,
+                metric: CurveMetric::ClassDelayUs(TrafficClass::CbrHigh),
+                numerator: Coa,
+                denominator: ArbiterKind::MwmExact,
+                until_load: 0.86,
+                max_ratio: 3.0,
+            },
+        },
+        Claim {
+            id: "frontier.mwm-delay-floor",
+            figure: Figure::Frontier,
+            description: "MWM-exact is the panel's delay floor: within 1.5x of the \
+                          best 55 Mbps delay any arbiter posts through 70% load \
+                          (measured quick: median 1.00)",
+            check: Check::DelayFloor {
+                panel: Panel::FrontierCbr,
+                metric: CurveMetric::ClassDelayUs(TrafficClass::CbrHigh),
+                oracle: ArbiterKind::MwmExact,
+                until_load: 0.7,
+                slack: 1.5,
+            },
+        },
+        Claim {
+            id: "frontier.mwm-approx-tracks-exact",
+            figure: Figure::Frontier,
+            description: "the greedy 1/2-approximation tracks the exact oracle on \
+                          the 55 Mbps class (within 2x through 70% load; measured \
+                          quick: median 1.09x)",
+            check: Check::WithinFactor {
+                panel: Panel::FrontierCbr,
+                metric: CurveMetric::ClassDelayUs(TrafficClass::CbrHigh),
+                a: ArbiterKind::MwmExact,
+                b: ArbiterKind::MwmApprox,
+                until_load: 0.7,
+                max_factor: 2.0,
+            },
+        },
+        Claim {
+            id: "frontier.cq-no-hol-blocking",
+            figure: Figure::Frontier,
+            description: "crosspoint queueing removes HOL blocking: the CQ switch \
+                          delivers >= 97% of generated flits through 86% load \
+                          (measured quick: median 99.5%)",
+            check: Check::ThroughputFloor {
+                panel: Panel::FrontierCbr,
+                arbiter: ArbiterKind::CrosspointQueued {
+                    cap: mmr_arbiter::cq::DEFAULT_CAP,
+                },
+                until_load: 0.86,
+                min_ratio: 0.97,
+            },
+        },
+        Claim {
+            id: "frontier.frame-fair-low-class-parity",
+            figure: Figure::Frontier,
+            description: "frame-based fairness does not starve the 64 Kbps class: \
+                          its delay stays within 3x of COA's through 70% load \
+                          (measured quick: median 1.48x)",
+            check: Check::WithinFactor {
+                panel: Panel::FrontierCbr,
+                metric: CurveMetric::ClassDelayUs(TrafficClass::CbrLow),
+                a: ArbiterKind::FrameFair {
+                    frame: mmr_arbiter::frame::DEFAULT_FRAME,
+                },
+                b: Coa,
+                until_load: 0.7,
+                max_factor: 3.0,
+            },
+        },
     ]
 }
 
@@ -561,6 +683,8 @@ pub struct ConformanceReport {
     pub cbr_seeds: Vec<u64>,
     /// Seeds of the VBR (Fig. 8/9) ensemble.
     pub vbr_seeds: Vec<u64>,
+    /// Seeds of the frontier-ablation ensemble.
+    pub frontier_seeds: Vec<u64>,
     /// Per-claim outcomes, manifest order.
     pub claims: Vec<ClaimOutcome>,
 }
@@ -628,13 +752,18 @@ pub struct EnsembleOptions {
     /// fidelity; 3 in quick, where the drained-GOP runs dominate the
     /// suite's wall clock (DESIGN.md §13).
     pub vbr_seeds: usize,
+    /// Seeds for the frontier-ablation ensemble.  Default 3: the panel
+    /// runs 7 arbiters per grid point, and its COA/WFA cells dedupe
+    /// against the Fig. 5 sweep through the experiment cache only
+    /// because the frontier seeds are a prefix of the CBR seeds.
+    pub frontier_seeds: usize,
     /// Worker threads for the sweep fan-out (`None` = one per core).
     pub workers: Option<usize>,
 }
 
 impl EnsembleOptions {
     /// Defaults for a fidelity: 5 CBR seeds, 5 (full) / 3 (quick) VBR
-    /// seeds.
+    /// seeds, 3 frontier seeds.
     pub fn new(fidelity: Fidelity) -> Self {
         EnsembleOptions {
             fidelity,
@@ -643,6 +772,7 @@ impl EnsembleOptions {
                 Fidelity::Quick => 3,
                 Fidelity::Full => 5,
             },
+            frontier_seeds: 3,
             workers: None,
         }
     }
@@ -664,6 +794,30 @@ pub fn fig5_conformance_spec(fidelity: Fidelity) -> SweepSpec {
         spec.loads.push(0.86);
         spec.loads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     }
+    spec
+}
+
+/// The frontier-ablation sweep: the Fig. 5 CBR workload swept over the
+/// full arbiter frontier.  The load grid is a subset of the Fig. 5
+/// conformance grid in both fidelities, so the COA and WFA cells are
+/// cache hits when the Fig. 5 ensemble has already run — only the five
+/// beyond-the-paper arbiters simulate fresh points.
+pub fn frontier_conformance_spec(fidelity: Fidelity) -> SweepSpec {
+    let mut spec = fig5_conformance_spec(fidelity);
+    spec.loads = vec![0.5, 0.7, 0.86];
+    spec.arbiters = vec![
+        ArbiterKind::Coa,
+        ArbiterKind::Wfa,
+        ArbiterKind::Islip { iterations: 2 },
+        ArbiterKind::MwmExact,
+        ArbiterKind::MwmApprox,
+        ArbiterKind::FrameFair {
+            frame: mmr_arbiter::frame::DEFAULT_FRAME,
+        },
+        ArbiterKind::CrosspointQueued {
+            cap: mmr_arbiter::cq::DEFAULT_CAP,
+        },
+    ];
     spec
 }
 
@@ -735,8 +889,12 @@ pub struct Ensemble {
     pub cbr_seeds: Vec<u64>,
     /// VBR ensemble seeds.
     pub vbr_seeds: Vec<u64>,
+    /// Frontier-ablation seeds (a prefix of the CBR seeds).
+    pub frontier_seeds: Vec<u64>,
     /// Fig. 5 sweep points (each point carries one result per CBR seed).
     pub fig5: Vec<SweepPoint>,
+    /// Frontier-ablation sweep points (one result per frontier seed).
+    pub frontier: Vec<SweepPoint>,
     /// Fig. 8/9 Smooth-Rate sweep points (one result per VBR seed).
     pub fig9_sr: Vec<SweepPoint>,
     /// Fig. 8/9 Back-to-Back sweep points (one result per VBR seed).
@@ -760,6 +918,13 @@ impl Ensemble {
         let mut fig5_spec = fig5_conformance_spec(options.fidelity);
         fig5_spec.seeds = cbr_seeds.clone();
         let fig5 = run_sweep_cached(&fig5_spec, cache, options.workers);
+
+        // Run after Fig. 5 so the shared COA/WFA grid cells are cache
+        // hits (frontier seeds are a prefix of the CBR seeds).
+        let frontier_seeds = ensemble_seeds(base, options.frontier_seeds);
+        let mut frontier_spec = frontier_conformance_spec(options.fidelity);
+        frontier_spec.seeds = frontier_seeds.clone();
+        let frontier = run_sweep_cached(&frontier_spec, cache, options.workers);
 
         let mut sr_spec = fig9_conformance_spec(InjectionKind::SmoothRate, options.fidelity);
         sr_spec.seeds = vbr_seeds.clone();
@@ -802,7 +967,9 @@ impl Ensemble {
         Ensemble {
             cbr_seeds,
             vbr_seeds,
+            frontier_seeds,
             fig5,
+            frontier,
             fig9_sr,
             fig9_bb,
             traces,
@@ -817,6 +984,7 @@ impl Ensemble {
             Panel::Fig5Cbr => &self.fig5,
             Panel::Fig9Sr => &self.fig9_sr,
             Panel::Fig9Bb => &self.fig9_bb,
+            Panel::FrontierCbr => &self.frontier,
         }
     }
 
@@ -825,6 +993,7 @@ impl Ensemble {
         match panel {
             Panel::Fig5Cbr => self.cbr_seeds.len(),
             Panel::Fig9Sr | Panel::Fig9Bb => self.vbr_seeds.len(),
+            Panel::FrontierCbr => self.frontier_seeds.len(),
         }
     }
 }
@@ -998,6 +1167,60 @@ impl Claim {
                     })
                     .collect();
                 (vals, max_factor, false, "x")
+            }
+            Check::AtMostRatio {
+                panel,
+                metric,
+                numerator,
+                denominator,
+                until_load,
+                max_ratio,
+            } => {
+                let pts = e.panel(panel);
+                let ns = arbiter_series(pts, numerator);
+                let ds = arbiter_series(pts, denominator);
+                let vals = (0..e.panel_seed_count(panel))
+                    .map(|s| {
+                        let mut worst = 0.0f64;
+                        for (np, dp) in ns.iter().zip(&ds) {
+                            if np.target_load > until_load + 1e-6 {
+                                continue;
+                            }
+                            let n = metric.of(&np.results[s]).max(1e-9);
+                            let d = metric.of(&dp.results[s]).max(1e-9);
+                            worst = worst.max(n / d);
+                        }
+                        worst
+                    })
+                    .collect();
+                (vals, max_ratio, false, "x")
+            }
+            Check::DelayFloor {
+                panel,
+                metric,
+                oracle,
+                until_load,
+                slack,
+            } => {
+                let pts = e.panel(panel);
+                let os = arbiter_series(pts, oracle);
+                let vals = (0..e.panel_seed_count(panel))
+                    .map(|s| {
+                        let mut worst = 1.0f64;
+                        for op in os.iter().filter(|p| p.target_load <= until_load + 1e-6) {
+                            let oracle_v = metric.of(&op.results[s]).max(1e-9);
+                            // Best value any arbiter posts at this load.
+                            let best = pts
+                                .iter()
+                                .filter(|p| (p.target_load - op.target_load).abs() < 1e-6)
+                                .map(|p| metric.of(&p.results[s]).max(1e-9))
+                                .fold(f64::INFINITY, f64::min);
+                            worst = worst.max(oracle_v / best);
+                        }
+                        worst
+                    })
+                    .collect();
+                (vals, slack, false, "x")
             }
             Check::MonotoneDelay {
                 panel,
@@ -1220,7 +1443,58 @@ pub fn report_from(ensemble: &Ensemble, fidelity: Fidelity) -> ConformanceReport
         .to_string(),
         cbr_seeds: ensemble.cbr_seeds.clone(),
         vbr_seeds: ensemble.vbr_seeds.clone(),
+        frontier_seeds: ensemble.frontier_seeds.clone(),
         claims: evaluate_all(&paper_claims(), ensemble),
+    }
+}
+
+/// The Frontier-figure subset of the committed manifest.
+pub fn frontier_claims() -> Vec<Claim> {
+    paper_claims()
+        .into_iter()
+        .filter(|c| c.figure == Figure::Frontier)
+        .collect()
+}
+
+/// Build ONLY the frontier-ablation panel (no Fig. 5/8/9 sweeps, no
+/// traces): the sweep-free ensemble `ablation_frontier` evaluates the
+/// Frontier claims against.  Panels other than
+/// [`Panel::FrontierCbr`] are left empty, so only Frontier-figure
+/// claims may be evaluated against the result.
+pub fn frontier_ensemble(options: EnsembleOptions, cache: &mut ExperimentCache) -> Ensemble {
+    let base = SimConfig::default().seed;
+    let frontier_seeds = ensemble_seeds(base, options.frontier_seeds);
+    let mut spec = frontier_conformance_spec(options.fidelity);
+    spec.seeds = frontier_seeds.clone();
+    let frontier = run_sweep_cached(&spec, cache, options.workers);
+    Ensemble {
+        cbr_seeds: vec![],
+        vbr_seeds: vec![],
+        frontier_seeds,
+        fig5: vec![],
+        frontier,
+        fig9_sr: vec![],
+        fig9_bb: vec![],
+        traces: vec![],
+        bb_hist: vec![],
+        sr_hist: vec![],
+    }
+}
+
+/// Run the frontier ablation alone and evaluate its claims — the
+/// `ablation_frontier --gate` entry point.
+pub fn run_frontier(options: EnsembleOptions, cache: &mut ExperimentCache) -> ConformanceReport {
+    let ensemble = frontier_ensemble(options, cache);
+    ConformanceReport {
+        fidelity: match options.fidelity {
+            Fidelity::Quick => "quick",
+            Fidelity::Full => "full",
+        }
+        .to_string(),
+        cbr_seeds: vec![],
+        vbr_seeds: vec![],
+        frontier_seeds: ensemble.frontier_seeds.clone(),
+        claims: evaluate_all(&frontier_claims(), &ensemble),
     }
 }
 
@@ -1256,6 +1530,7 @@ mod tests {
             Figure::Fig8,
             Figure::Fig9,
             Figure::Table1,
+            Figure::Frontier,
         ] {
             assert!(
                 claims.iter().any(|c| c.figure == figure),
@@ -1287,6 +1562,41 @@ mod tests {
             }
             _ => panic!("Fig. 9 spec must be VBR"),
         }
+    }
+
+    #[test]
+    fn frontier_spec_loads_are_a_fig5_subset_in_both_fidelities() {
+        // The dedup guarantee: every frontier grid point must also be a
+        // Fig. 5 grid point, so the COA/WFA cells never simulate twice.
+        for fidelity in [Fidelity::Quick, Fidelity::Full] {
+            let f5 = fig5_conformance_spec(fidelity);
+            let fr = frontier_conformance_spec(fidelity);
+            for load in &fr.loads {
+                assert!(
+                    f5.loads.contains(load),
+                    "frontier load {load} missing from the Fig. 5 grid ({fidelity:?})"
+                );
+            }
+            assert_eq!(fr.base, f5.base, "frontier must reuse the Fig. 5 base");
+            assert_eq!(fr.arbiters.len(), 7, "the frontier compares 7 arbiters");
+            for kind in [ArbiterKind::Coa, ArbiterKind::Wfa, ArbiterKind::MwmExact] {
+                assert!(fr.arbiters.contains(&kind));
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_claims_are_the_frontier_figure_subset() {
+        let claims = frontier_claims();
+        assert!(
+            claims.len() >= 4,
+            "frontier manifest holds {} claims",
+            claims.len()
+        );
+        assert!(claims.iter().all(|c| c.figure == Figure::Frontier));
+        assert!(claims
+            .iter()
+            .any(|c| c.id == "frontier.coa-within-factor-of-mwm"));
     }
 
     #[test]
@@ -1345,7 +1655,9 @@ mod tests {
         let e = Ensemble {
             cbr_seeds: cbr_seeds.clone(),
             vbr_seeds: vec![],
+            frontier_seeds: vec![],
             fig5: vec![],
+            frontier: vec![],
             fig9_sr: vec![],
             fig9_bb: vec![],
             traces,
@@ -1393,6 +1705,7 @@ mod tests {
             fidelity: "quick".into(),
             cbr_seeds: vec![1, 2],
             vbr_seeds: vec![1],
+            frontier_seeds: vec![1],
             claims: vec![outcome],
         };
         let json = serde_json::to_string(&report).unwrap();

@@ -52,6 +52,17 @@ cargo run --release -q -p mmr-bench --bin conformance_report
 test -s results/conformance.json
 test -s results/conformance.txt
 
+echo "== frontier ablation gate =="
+# Sweep the Fig. 5 CBR workload over the full arbiter frontier (COA,
+# WFA, iSLIP, MWM exact + greedy 1/2-approx, frame-fair, crosspoint-
+# queued) and enforce the Frontier claims: exits non-zero if COA's
+# delay ratio against the exact MWM oracle regresses past tolerance
+# (override with MMR_FRONTIER_COA_MWM_MAX) or any other frontier claim
+# fails at the ensemble median.
+cargo run --release -q -p mmr-bench --bin ablation_frontier -- --gate
+test -s results/frontier.json
+test -s results/frontier.txt
+
 if [[ "${MMR_CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: property suites at 4x cases =="
     # MMR_PROPTEST_CASES multiplies every proptest!-suite's configured

@@ -1,10 +1,47 @@
 //! Property-based tests (proptest) on the scheduling invariants.
 
 use mmr_core::arbiter::candidate::{Candidate, CandidateSet, Priority};
+use mmr_core::arbiter::mwm::{matching_weight, priority_bounds, shaped_weight};
 use mmr_core::arbiter::priority::{Iabp, LinkPriority, Siabp};
 use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::sim::rng::SimRng;
 use proptest::prelude::*;
+
+/// The maximum total frontier weight over **all** matchings of the
+/// candidate request graph, found by exhaustive recursion: every input
+/// either takes one of its still-free requested outputs or stays
+/// unmatched.  Exponential, so only run at small port counts — this is
+/// the ground truth the MWM-exact kernel is checked against.
+fn brute_force_max_weight(cs: &CandidateSet) -> f64 {
+    let ports = cs.ports();
+    let (floor, ceil) = priority_bounds(cs);
+    let mut edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ports];
+    for (input, row) in edges.iter_mut().enumerate() {
+        for output in 0..ports {
+            if let Some(c) = cs.best_for(input, output) {
+                row.push((output, shaped_weight(c.priority.0, floor, ceil, ports)));
+            }
+        }
+    }
+    fn rec(input: usize, edges: &[Vec<(usize, f64)>], used: &mut [bool]) -> f64 {
+        if input == edges.len() {
+            return 0.0;
+        }
+        // Leave this input unmatched…
+        let mut best = rec(input + 1, edges, used);
+        // …or match it to any free requested output.
+        for &(output, w) in &edges[input] {
+            if !used[output] {
+                used[output] = true;
+                best = best.max(w + rec(input + 1, edges, used));
+                used[output] = false;
+            }
+        }
+        best
+    }
+    let mut used = vec![false; ports];
+    rec(0, &edges, &mut used)
+}
 
 /// Explicit replay of the regression corpus
 /// (`tests/arbiter_properties.proptest-regressions`).
@@ -154,6 +191,58 @@ proptest! {
         let p1 = Iabp.priority(0, iat, delay).0;
         let p2 = Iabp.priority(0, iat, delay * 2).0;
         prop_assert!((p2 - 2.0 * p1).abs() < 1e-6 * p1.max(1.0));
+    }
+
+    #[test]
+    fn mwm_exact_is_weight_optimal_at_six_ports(
+        cs in candidate_set_strategy(6, 3),
+        seed in 0u64..1000,
+    ) {
+        // The Hungarian kernel's matching weight must equal the maximum
+        // over ALL matchings, enumerated brute-force.  (The weight
+        // function orders matchings by size first, so this also proves
+        // MWM-exact always finds a maximum matching.)
+        let mut sched = ArbiterKind::MwmExact.instantiate(6);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let m = sched.schedule(&cs, &mut rng);
+        let got = matching_weight(&cs, &m);
+        let best = brute_force_max_weight(&cs);
+        prop_assert!(
+            (got - best).abs() <= 1e-9 * best.max(1.0),
+            "kernel weight {} vs enumerated optimum {}", got, best
+        );
+    }
+
+    #[test]
+    fn mwm_exact_is_weight_optimal_at_four_ports(
+        cs in candidate_set_strategy(4, 4),
+        seed in 0u64..1000,
+    ) {
+        let mut sched = ArbiterKind::MwmExact.instantiate(4);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let m = sched.schedule(&cs, &mut rng);
+        let got = matching_weight(&cs, &m);
+        let best = brute_force_max_weight(&cs);
+        prop_assert!(
+            (got - best).abs() <= 1e-9 * best.max(1.0),
+            "kernel weight {} vs enumerated optimum {}", got, best
+        );
+    }
+
+    #[test]
+    fn mwm_greedy_keeps_the_half_approximation_bound(
+        cs in candidate_set_strategy(6, 3),
+        seed in 0u64..1000,
+    ) {
+        let mut sched = ArbiterKind::MwmApprox.instantiate(6);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let m = sched.schedule(&cs, &mut rng);
+        let got = matching_weight(&cs, &m);
+        let best = brute_force_max_weight(&cs);
+        prop_assert!(
+            2.0 * got >= best - 1e-9,
+            "greedy weight {} below half of optimum {}", got, best
+        );
     }
 
     #[test]

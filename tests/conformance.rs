@@ -46,6 +46,7 @@ fn manifest_spans_every_figure_with_at_least_ten_claims() {
         Figure::Fig8,
         Figure::Fig9,
         Figure::Table1,
+        Figure::Frontier,
     ] {
         assert!(
             claims.iter().any(|c| c.figure == figure),
@@ -53,6 +54,14 @@ fn manifest_spans_every_figure_with_at_least_ten_claims() {
             figure.label()
         );
     }
+    assert!(
+        claims
+            .iter()
+            .filter(|c| c.figure == Figure::Frontier)
+            .count()
+            >= 4,
+        "the frontier ablation must carry >= 4 claims"
+    );
     // The headline Fig. 5 acceptance claims, by construction.
     let gap = claims
         .iter()
@@ -255,4 +264,65 @@ fn ensemble_grids_match_the_claim_anchors() {
     for load in [0.4, 0.6, 0.85] {
         assert!(f9.loads.contains(&load), "Fig. 9 grid misses {load}");
     }
+    let fr = mmr_core::conformance::frontier_conformance_spec(Fidelity::Quick);
+    for load in [0.5, 0.7, 0.86] {
+        assert!(fr.loads.contains(&load), "frontier grid misses {load}");
+    }
+    assert_eq!(fr.arbiters.len(), 7, "the frontier compares 7 arbiters");
+    for kind in [
+        ArbiterKind::Coa,
+        ArbiterKind::Wfa,
+        ArbiterKind::MwmExact,
+        ArbiterKind::MwmApprox,
+    ] {
+        assert!(fr.arbiters.contains(&kind), "frontier grid misses a kind");
+    }
+}
+
+#[test]
+fn frontier_negative_controls_fail_against_the_same_ensemble() {
+    // The frontier checks must be able to reject: (1) WFA — which
+    // collapses at 86% load — cannot be the panel's delay floor; (2) COA
+    // cannot sit within a vanishing factor of the MWM oracle.
+    let (e, _) = ensemble();
+    let high = CurveMetric::ClassDelayUs(TrafficClass::CbrHigh);
+    let wfa_floor = Claim {
+        id: "negative.wfa-is-the-floor",
+        figure: Figure::Frontier,
+        description: "artificially inverted: WFA is the panel's delay floor",
+        check: Check::DelayFloor {
+            panel: Panel::FrontierCbr,
+            metric: high,
+            oracle: ArbiterKind::Wfa,
+            until_load: 0.86,
+            slack: 1.5,
+        },
+    };
+    let o = wfa_floor.evaluate(e);
+    assert!(
+        !o.pass,
+        "WFA passed as the delay floor (median {:.2}) — DelayFloor cannot reject",
+        o.median
+    );
+    assert!(o.margin < 0.0);
+
+    let vanishing = Claim {
+        id: "negative.coa-equals-mwm",
+        figure: Figure::Frontier,
+        description: "artificially tight: COA within 1.01x of the MWM oracle",
+        check: Check::AtMostRatio {
+            panel: Panel::FrontierCbr,
+            metric: high,
+            numerator: ArbiterKind::Coa,
+            denominator: ArbiterKind::MwmExact,
+            until_load: 0.86,
+            max_ratio: 1.01,
+        },
+    };
+    let o = vanishing.evaluate(e);
+    assert!(
+        !o.pass,
+        "COA matched the oracle to 1% (median {:.4}) — AtMostRatio cannot reject",
+        o.median
+    );
 }

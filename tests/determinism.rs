@@ -264,6 +264,21 @@ fn horizon_engine_matches_cycle_by_cycle_across_config_corpus() {
     for seed in 0..4 {
         corpus.push(corpus_cbr(0.2, seed).with_arbiter(ArbiterKind::Wfa));
     }
+    // Frontier arbiters: the MWM oracle pair plus the stateful frame-fair
+    // and crosspoint-queued schedulers.  The latter two age internal state
+    // only on busy cycles (frame clocks, queue pressures), so a skip that
+    // fails to preserve "no-op cycle ⇒ no state change" diverges here.
+    for (seed, kind) in [
+        (700, ArbiterKind::MwmExact),
+        (701, ArbiterKind::MwmApprox),
+        (702, ArbiterKind::FrameFair { frame: 64 }),
+        (703, ArbiterKind::FrameFair { frame: 3 }),
+        (704, ArbiterKind::CrosspointQueued { cap: 16 }),
+        (705, ArbiterKind::CrosspointQueued { cap: 1 }),
+    ] {
+        corpus.push(corpus_cbr(0.25, seed).with_arbiter(kind));
+        corpus.push(corpus_cbr(0.7, seed).with_arbiter(kind));
+    }
     // Armed telemetry with an interval that forces mid-window skips.
     for &load in &[0.1, 0.3] {
         for seed in 0..3 {

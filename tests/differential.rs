@@ -140,10 +140,43 @@ fn random_matches_reference() {
 }
 
 #[test]
+fn mwm_exact_matches_reference() {
+    // ≤64 ports runs the Hungarian solver on both sides (bit-identical
+    // f64 sequences); 128/256 exercise the documented greedy fallback.
+    differential_matrix(ArbiterKind::MwmExact);
+}
+
+#[test]
+fn mwm_approx_matches_reference() {
+    differential_matrix(ArbiterKind::MwmApprox);
+}
+
+#[test]
+fn frame_fair_matches_reference() {
+    differential_matrix(ArbiterKind::FrameFair { frame: 64 });
+    // A short frame rolls the quota counters over mid-matrix.
+    assert_matches_reference(ArbiterKind::FrameFair { frame: 3 }, 8, 64, 6);
+}
+
+#[test]
+fn cq_matches_reference() {
+    differential_matrix(ArbiterKind::CrosspointQueued { cap: 16 });
+    // A depth cap of 1 keeps every queue saturated, forcing the
+    // all-ties RNG path each cycle.
+    assert_matches_reference(ArbiterKind::CrosspointQueued { cap: 1 }, 8, 64, 6);
+}
+
+#[test]
 fn stateful_arbiters_stay_locked_over_long_runs() {
-    // WFA's diagonal and iSLIP's pointers evolve over time; run a long
-    // shared-stream session so pointer state divergence would compound.
-    for kind in [ArbiterKind::Wfa, ArbiterKind::Islip { iterations: 2 }] {
+    // WFA's diagonal, iSLIP's pointers, frame-fair's quota counters and
+    // CQ's queue pressures all evolve over time; run a long
+    // shared-stream session so state divergence would compound.
+    for kind in [
+        ArbiterKind::Wfa,
+        ArbiterKind::Islip { iterations: 2 },
+        ArbiterKind::FrameFair { frame: 16 },
+        ArbiterKind::CrosspointQueued { cap: 8 },
+    ] {
         assert_matches_reference(kind, 8, 8, 64);
     }
 }

@@ -294,6 +294,9 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
         ArbiterKind::Coa,
         ArbiterKind::Wfa,
         ArbiterKind::Islip { iterations: 2 },
+        ArbiterKind::MwmExact,
+        ArbiterKind::FrameFair { frame: 64 },
+        ArbiterKind::CrosspointQueued { cap: 16 },
     ] {
         let cfg = RouterConfig::default();
         let mut rng = SimRng::seed_from_u64(5);
