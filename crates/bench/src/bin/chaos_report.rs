@@ -21,6 +21,8 @@ struct ChaosPoint {
     faults: FaultReport,
     qos_violations: u64,
     throughput_ratio: f64,
+    cbr_high_p99_delay_us: f64,
+    best_effort_p99_delay_us: f64,
 }
 
 fn main() {
@@ -36,7 +38,7 @@ fn main() {
         fidelity,
     );
     out.push_str(&format!(
-        "{:>6}  {:>7}  {:>5}  {:>5}  {:>7}  {:>6}  {:>5}  {:>8}  {:>10}  {:>10}  {:>10}\n",
+        "{:>6}  {:>7}  {:>5}  {:>5}  {:>7}  {:>6}  {:>5}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
         "rate",
         "events",
         "corr",
@@ -46,10 +48,12 @@ fn main() {
         "quar",
         "qos-viol",
         "cbrH-delay",
+        "cbrH-p99",
         "be-delay",
+        "be-p99",
         "thru-ratio",
     ));
-    out.push_str(&"-".repeat(96));
+    out.push_str(&"-".repeat(120));
     out.push('\n');
     for (result, &factor) in results.iter().zip(&spec.factors) {
         let s = &result.summary;
@@ -60,8 +64,14 @@ fn main() {
                 .map(|c| format!("{:10.2}", c.mean_delay_us))
                 .unwrap_or_else(|| format!("{:>10}", "-"))
         };
+        let p99 = |class: TrafficClass| {
+            s.metrics
+                .class(class)
+                .map(|c| format!("{:10.2}", c.p99_delay_us))
+                .unwrap_or_else(|| format!("{:>10}", "-"))
+        };
         out.push_str(&format!(
-            "{:>6.1}  {:>7}  {:>5}  {:>5}  {:>7}  {:>6}  {:>5}  {:>8}  {}  {}  {:>10.4}\n",
+            "{:>6.1}  {:>7}  {:>5}  {:>5}  {:>7}  {:>6}  {:>5}  {:>8}  {}  {}  {}  {}  {:>10.4}\n",
             factor,
             f.events_fired,
             f.corrupted_flits,
@@ -71,7 +81,9 @@ fn main() {
             f.quarantined_connections,
             s.metrics.qos_violations,
             delay(TrafficClass::CbrHigh),
+            p99(TrafficClass::CbrHigh),
             delay(TrafficClass::BestEffort),
+            p99(TrafficClass::BestEffort),
             s.throughput_ratio(),
         ));
     }
@@ -85,6 +97,8 @@ fn main() {
          # quar      connections quarantined for contract violation\n\
          # qos-viol  deliveries past the delay bound (all classes, incl. best-effort)\n\
          # delays    mean flit delay (us): guaranteed CBR-high vs best-effort\n\
+         # p99       99th-percentile flit delay (us), from the per-class\n\
+         #           log-bucketed delay histograms\n\
          # expectation: cbrH-delay stays near the baseline while drops and\n\
          # best-effort delay absorb the damage (DESIGN.md s10)\n",
     );
@@ -99,6 +113,18 @@ fn main() {
             faults: r.summary.faults,
             qos_violations: r.summary.metrics.qos_violations,
             throughput_ratio: r.summary.throughput_ratio(),
+            cbr_high_p99_delay_us: r
+                .summary
+                .metrics
+                .class(TrafficClass::CbrHigh)
+                .map(|c| c.p99_delay_us)
+                .unwrap_or(0.0),
+            best_effort_p99_delay_us: r
+                .summary
+                .metrics
+                .class(TrafficClass::BestEffort)
+                .map(|c| c.p99_delay_us)
+                .unwrap_or(0.0),
         })
         .collect();
     emit(

@@ -12,6 +12,7 @@
 //! are printed and also written under `results/`.
 
 pub mod harness;
+pub mod overview;
 
 use mmr_core::scenarios::Fidelity;
 use std::path::{Path, PathBuf};

@@ -164,6 +164,12 @@ pub struct TelemetrySpec {
     /// Measure stage wall time with a real clock (sacrifices report
     /// determinism for the wall-time fields only).
     pub wall_clock: bool,
+    /// Arm the QoS observatory (per-class/per-connection delay, jitter
+    /// and residency histograms plus SLO tracking).
+    pub observatory: bool,
+    /// Delay bound in router cycles for SLO violation counting
+    /// (0 disables the bound; best-effort traffic is always exempt).
+    pub slo_delay_bound_rc: u64,
 }
 
 impl Default for TelemetrySpec {
@@ -174,6 +180,8 @@ impl Default for TelemetrySpec {
             trace_capacity: d.trace_capacity,
             max_snapshots: d.max_snapshots,
             wall_clock: d.wall_clock,
+            observatory: d.observatory,
+            slo_delay_bound_rc: d.slo_delay_bound_rc,
         }
     }
 }
@@ -186,6 +194,8 @@ impl TelemetrySpec {
             trace_capacity: self.trace_capacity,
             max_snapshots: self.max_snapshots,
             wall_clock: self.wall_clock,
+            observatory: self.observatory,
+            slo_delay_bound_rc: self.slo_delay_bound_rc,
         }
     }
 }

@@ -5,7 +5,7 @@ use mmr_router::router::{MmrRouter, RouterSummary};
 use mmr_router::telemetry::TelemetryReport;
 use mmr_sim::engine::{Runner, StopCondition};
 use mmr_sim::rng::SimRng;
-use mmr_traffic::workload::{CbrMixBuilder, VbrInjection, VbrMixBuilder, Workload};
+use mmr_traffic::workload::{AdmissionTally, CbrMixBuilder, VbrInjection, VbrMixBuilder, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Result of one simulation.
@@ -18,6 +18,8 @@ pub struct ExperimentResult {
     pub achieved_load: f64,
     /// Connections admitted.
     pub connections: usize,
+    /// CAC accept/reject counts from workload construction.
+    pub admission: AdmissionTally,
     /// Flit cycles executed.
     pub executed_cycles: u64,
     /// True if the workload drained completely (finite workloads only).
@@ -26,6 +28,33 @@ pub struct ExperimentResult {
     pub summary: RouterSummary,
     /// Telemetry observations (`None` unless the config armed telemetry).
     pub telemetry: Option<TelemetryReport>,
+}
+
+impl ExperimentResult {
+    /// Prometheus text exposition (format 0.0.4) of this result's
+    /// telemetry: counter registry, stage profiler, kernel stats, the QoS
+    /// observatory's per-class histograms/SLO counters, and the CAC
+    /// admission tally.  Empty when telemetry was not armed.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        self.prometheus_into(&mut out);
+        out
+    }
+
+    /// As [`Self::prometheus`], appending into a caller-owned buffer.
+    pub fn prometheus_into(&self, out: &mut String) {
+        let Some(t) = &self.telemetry else { return };
+        t.write_prometheus(out, self.config.router.time.router_cycle_secs());
+        mmr_sim::telemetry::expose::write_counters(
+            out,
+            "mmr_admission",
+            [
+                ("accepted_total", self.admission.accepted),
+                ("rejected_total", self.admission.rejected),
+            ]
+            .into_iter(),
+        );
+    }
 }
 
 /// Construct the workload a config describes.
@@ -83,6 +112,7 @@ pub fn run_experiment(cfg: &SimConfig) -> ExperimentResult {
     let workload = build_workload(cfg);
     let achieved_load = workload.mean_load();
     let connections = workload.len();
+    let admission = workload.admission;
     let mut router = build_router(cfg, workload);
     if let Some(fault) = &cfg.fault {
         // The fault schedule draws from its own stream split off the
@@ -111,6 +141,7 @@ pub fn run_experiment(cfg: &SimConfig) -> ExperimentResult {
         config: cfg.clone(),
         achieved_load,
         connections,
+        admission,
         executed_cycles: outcome.executed,
         drained: router.drained(),
         summary: router.summary(),

@@ -230,6 +230,7 @@ mod tests {
                 max_frame_delay_us: 0.0,
                 p99_frame_delay_us: 0.0,
                 mean_frame_jitter_us: 0.0,
+                p99_frame_jitter_us: 0.0,
                 max_frame_jitter_us: 0.0,
             },
             crossbar_utilization: util,
@@ -254,6 +255,7 @@ mod tests {
                 config: SimConfig::default(),
                 achieved_load: load,
                 connections: 1,
+                admission: Default::default(),
                 executed_cycles: 100,
                 drained: true,
                 summary,

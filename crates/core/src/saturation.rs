@@ -295,6 +295,7 @@ mod tests {
             max_frame_delay_us: frame_delay_us,
             p99_frame_delay_us: frame_delay_us,
             mean_frame_jitter_us: 0.0,
+            p99_frame_jitter_us: 0.0,
             max_frame_jitter_us: 0.0,
         };
         let summary = RouterSummary {
@@ -324,6 +325,7 @@ mod tests {
                 config: SimConfig::default(),
                 achieved_load: load,
                 connections: 1,
+                admission: Default::default(),
                 executed_cycles: 1000,
                 drained: true,
                 summary,

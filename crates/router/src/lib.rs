@@ -48,6 +48,7 @@ pub mod link_scheduler;
 pub mod metrics;
 pub mod network;
 pub mod nic;
+pub mod observatory;
 pub mod output;
 pub mod router;
 pub mod tdm;
@@ -57,5 +58,6 @@ pub mod vcmem;
 pub use config::RouterConfig;
 pub use fault::{FaultProfile, FaultReport};
 pub use metrics::{ClassStats, MetricsCollector, MetricsReport};
+pub use observatory::{Observatory, ObservatoryReport, SloSummary};
 pub use router::MmrRouter;
 pub use telemetry::{RouterTelemetry, TelemetryConfig, TelemetryReport};

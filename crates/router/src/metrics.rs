@@ -199,8 +199,10 @@ impl MetricsCollector {
             .collect();
         // Aggregate jitter over connections that produced samples.
         let mut jitter = Running::new();
+        let mut jitter_hist = LogHistogram::new(3);
         for t in &self.jitter_per_conn {
             jitter.merge(t.stats());
+            jitter_hist.merge(t.histogram());
         }
         MetricsReport {
             classes,
@@ -214,6 +216,10 @@ impl MetricsCollector {
                 .map(|v| to_us(v as f64))
                 .unwrap_or(0.0),
             mean_frame_jitter_us: to_us(jitter.mean()),
+            p99_frame_jitter_us: jitter_hist
+                .quantile(0.99)
+                .map(|v| to_us(v as f64))
+                .unwrap_or(0.0),
             max_frame_jitter_us: jitter.max().map(to_us).unwrap_or(0.0),
         }
     }
@@ -254,6 +260,8 @@ pub struct MetricsReport {
     pub p99_frame_delay_us: f64,
     /// Mean frame jitter, microseconds.
     pub mean_frame_jitter_us: f64,
+    /// 99th-percentile frame jitter, microseconds (histogram-backed).
+    pub p99_frame_jitter_us: f64,
     /// Maximum frame jitter, microseconds.
     pub max_frame_jitter_us: f64,
 }

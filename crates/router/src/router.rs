@@ -240,7 +240,8 @@ impl MmrRouter {
     /// Reports stay bit-deterministic unless `cfg.wall_clock` opts into
     /// real stage timing.
     pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
-        self.telemetry = RouterTelemetry::armed(cfg);
+        let classes: Vec<_> = self.specs.iter().map(|s| s.class).collect();
+        self.telemetry = RouterTelemetry::armed(cfg, &classes);
         self.arbiter.set_probe_enabled(true);
     }
 
@@ -258,6 +259,19 @@ impl MmrRouter {
     /// kernel's work counters.
     pub fn telemetry_report(&self) -> TelemetryReport {
         self.telemetry.report(self.arbiter.kernel_stats())
+    }
+
+    /// Append a Prometheus text exposition of the live telemetry state
+    /// (counters, stage profile, kernel probe, observatory histograms)
+    /// to `out`.  Histogram values are exposed in seconds.  Performs no
+    /// heap allocation once `out` has grown to its working size, so a
+    /// scrape loop can reuse one buffer.
+    pub fn prometheus_into(&self, out: &mut String) {
+        self.telemetry.write_prometheus(
+            out,
+            &self.arbiter.kernel_stats(),
+            self.cfg.time.router_cycle_secs(),
+        );
     }
 
     /// Toggle the calendar-backed stage-1 drain fast path (on by
@@ -566,8 +580,12 @@ impl CycleModel for MmrRouter {
                 self.metrics
                     .record_delivery(&delivery, self.specs[cf.vc].class);
             }
-            self.telemetry
-                .on_delivered(self.specs[cf.vc].class, delivery.delay().0);
+            self.telemetry.on_delivered(
+                self.specs[cf.vc].class,
+                cf.vc,
+                delivery.delay().0,
+                delivery.delivered_at.0 - cf.buffered.entered_at.0,
+            );
             if faults_active && self.faults.steal_return(cf.vc) {
                 // Credit return lost on the return path: the NIC's
                 // counter drifts low until the watchdog resynchronizes.
@@ -936,6 +954,7 @@ mod tests {
             connections: vec![],
             sources: vec![],
             per_input_load: vec![0.0; 4],
+            admission: Default::default(),
         };
         let mut r = MmrRouter::new(cfg, w, ArbiterKind::Coa.instantiate(4), Box::new(Siabp), 0);
         assert!(r.drained());

@@ -20,9 +20,10 @@
 //! telemetry can never perturb simulation results, only observe them.
 
 use crate::metrics::{class_index, ALL_CLASSES, CLASS_COUNT};
+use crate::observatory::{Observatory, ObservatoryReport};
 use mmr_arbiter::scheduler::KernelStats;
 use mmr_sim::telemetry::{
-    Clock, CounterId, CounterSample, FlightRecorder, MonotonicClock, NullClock, Registry,
+    expose, Clock, CounterId, CounterSample, FlightRecorder, MonotonicClock, NullClock, Registry,
     SnapshotRing, StageId, StageProfiler, StageSample, TraceEvent,
 };
 use mmr_traffic::connection::TrafficClass;
@@ -40,6 +41,14 @@ pub struct TelemetryConfig {
     /// Measure stage wall time with a real monotonic clock.  Off by
     /// default: the `NullClock` keeps reports bit-deterministic.
     pub wall_clock: bool,
+    /// Arm the QoS observatory: per-class and per-connection histograms
+    /// for delay/jitter/queue residency plus SLO tracking.
+    pub observatory: bool,
+    /// Delay SLO bound in router cycles, applied to guaranteed classes
+    /// (CBR/VBR; best-effort is exempt).  0 disables violation counting.
+    /// The default (4096 rc) sits a few multiples above the Fig. 5 mean
+    /// delays at 0.7 load, so violations flag genuine tail excursions.
+    pub slo_delay_bound_rc: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -49,6 +58,8 @@ impl Default for TelemetryConfig {
             snapshot_interval: 1000,
             max_snapshots: 512,
             wall_clock: false,
+            observatory: true,
+            slo_delay_bound_rc: 4096,
         }
     }
 }
@@ -116,6 +127,7 @@ struct WindowAccum {
     generated: [u64; CLASS_COUNT],
     delivered: [u64; CLASS_COUNT],
     delay_sum_rc: [u64; CLASS_COUNT],
+    slo_violations: [u64; CLASS_COUNT],
     grants: u64,
     vc_stalls: u64,
     backlog_end: u64,
@@ -130,6 +142,7 @@ impl WindowAccum {
             generated: [0; CLASS_COUNT],
             delivered: [0; CLASS_COUNT],
             delay_sum_rc: [0; CLASS_COUNT],
+            slo_violations: [0; CLASS_COUNT],
             grants: 0,
             vc_stalls: 0,
             backlog_end: 0,
@@ -157,6 +170,7 @@ impl WindowAccum {
                         } else {
                             self.delay_sum_rc[i] as f64 / self.delivered[i] as f64
                         },
+                        slo_violations: self.slo_violations[i],
                     }
                 })
                 .collect(),
@@ -175,6 +189,9 @@ pub struct WindowClass {
     pub delivered: u64,
     /// Mean delivery delay in router cycles (0 when nothing delivered).
     pub mean_delay_rc: f64,
+    /// Deliveries in the window that broke the observatory's delay bound
+    /// (0 when the observatory is disarmed).
+    pub slo_violations: u64,
 }
 
 /// One closed snapshot window.
@@ -215,6 +232,168 @@ pub struct TelemetryReport {
     pub trace_events_recorded: u64,
     /// Trace events still in the ring.
     pub trace_events_retained: u64,
+    /// QoS observatory snapshot (`None` when the observatory is
+    /// disarmed).
+    pub observatory: Option<ObservatoryReport>,
+}
+
+impl TelemetryReport {
+    /// Render this report as a Prometheus text exposition.  `scale`
+    /// converts router cycles to the exposed unit — pass the time base's
+    /// `router_cycle_secs()` to expose seconds.  Produces the same
+    /// families as [`RouterTelemetry::write_prometheus`], but from the
+    /// owned snapshot (usable after the router is gone).
+    pub fn write_prometheus(&self, out: &mut String, scale: f64) {
+        expose::write_counters(
+            out,
+            "mmr",
+            self.counters.iter().map(|c| (c.name.as_str(), c.value)),
+        );
+        expose::write_stages(
+            out,
+            "mmr",
+            self.stages
+                .iter()
+                .map(|s| (s.name.as_str(), s.calls, s.work, s.wall_ns)),
+        );
+        write_kernel_prometheus(out, &self.kernel);
+        if let Some(obs) = &self.observatory {
+            write_observatory_prometheus(
+                out,
+                scale,
+                obs.slo.delay_bound_rc,
+                obs.slo.violations_total,
+                obs.slo.best_effort_starved_windows,
+                obs.slo.best_effort_starved_cycles,
+                obs.slo.windows_observed,
+                obs.classes
+                    .iter()
+                    .map(|c| (c.class, &c.delay, &c.jitter, &c.residency, c.slo_violations)),
+            );
+        }
+    }
+}
+
+/// Arbitration-kernel counter families.
+fn write_kernel_prometheus(out: &mut String, kernel: &KernelStats) {
+    expose::write_counters(
+        out,
+        "mmr_kernel",
+        [
+            ("matchings", kernel.matchings),
+            ("grants", kernel.grants),
+            ("candidates_examined", kernel.candidates_examined),
+            ("conflicts_retired", kernel.conflicts_retired),
+            ("iterations", kernel.iterations),
+        ]
+        .into_iter(),
+    );
+}
+
+/// Observatory families: per-class histograms and SLO counters.  Shared
+/// between the live writer (borrowing the [`Observatory`]) and the
+/// report writer (borrowing an [`ObservatoryReport`]).
+#[allow(clippy::too_many_arguments)]
+fn write_observatory_prometheus<'a>(
+    out: &mut String,
+    scale: f64,
+    delay_bound_rc: u64,
+    violations_total: u64,
+    starved_windows: u64,
+    starved_cycles: u64,
+    windows_observed: u64,
+    classes: impl Iterator<
+            Item = (
+                TrafficClass,
+                &'a mmr_sim::stats::LogHistogram,
+                &'a mmr_sim::stats::LogHistogram,
+                &'a mmr_sim::stats::LogHistogram,
+                u64,
+            ),
+        > + Clone,
+) {
+    expose::write_header(
+        out,
+        "mmr_delay_seconds",
+        "End-to-end flit delay per traffic class.",
+        "histogram",
+    );
+    for (class, delay, _, _, _) in classes.clone() {
+        expose::write_histogram(
+            out,
+            "mmr_delay_seconds",
+            &[("class", class.label())],
+            delay,
+            scale,
+        );
+    }
+    expose::write_header(
+        out,
+        "mmr_jitter_seconds",
+        "Delay difference between consecutive deliveries of a connection.",
+        "histogram",
+    );
+    for (class, _, jitter, _, _) in classes.clone() {
+        expose::write_histogram(
+            out,
+            "mmr_jitter_seconds",
+            &[("class", class.label())],
+            jitter,
+            scale,
+        );
+    }
+    expose::write_header(
+        out,
+        "mmr_residency_seconds",
+        "VC-queue residency (router entry to crossbar exit).",
+        "histogram",
+    );
+    for (class, _, _, residency, _) in classes.clone() {
+        expose::write_histogram(
+            out,
+            "mmr_residency_seconds",
+            &[("class", class.label())],
+            residency,
+            scale,
+        );
+    }
+    expose::write_header(
+        out,
+        "mmr_slo_violations_total",
+        "Deliveries that broke the delay bound, per class.",
+        "counter",
+    );
+    for (class, _, _, _, violations) in classes {
+        expose::write_sample(
+            out,
+            "mmr_slo_violations_total",
+            &[("class", class.label())],
+            violations,
+        );
+    }
+    expose::write_header(
+        out,
+        "mmr_slo_delay_bound_seconds",
+        "The armed delay bound (0 = violation counting disabled).",
+        "gauge",
+    );
+    expose::write_sample_f64(
+        out,
+        "mmr_slo_delay_bound_seconds",
+        &[],
+        delay_bound_rc as f64 * scale,
+    );
+    expose::write_counters(
+        out,
+        "mmr_slo",
+        [
+            ("violations_all_classes", violations_total),
+            ("best_effort_starved_windows", starved_windows),
+            ("best_effort_starved_cycles", starved_cycles),
+            ("windows_observed", windows_observed),
+        ]
+        .into_iter(),
+    );
 }
 
 /// Telemetry state owned by one `MmrRouter`.
@@ -232,6 +411,7 @@ pub struct RouterTelemetry {
     windows: SnapshotRing<WindowAccum>,
     current: WindowAccum,
     interval: u64,
+    observatory: Observatory,
 }
 
 impl std::fmt::Debug for CounterIds {
@@ -263,12 +443,14 @@ impl RouterTelemetry {
             windows: SnapshotRing::with_capacity(0),
             current: WindowAccum::fresh(0, 0),
             interval: 0,
+            observatory: Observatory::disabled(),
         }
     }
 
-    /// An armed instance per `cfg`.  All buffers are sized here; the
-    /// per-cycle path never allocates.
-    pub fn armed(cfg: TelemetryConfig) -> Self {
+    /// An armed instance per `cfg` observing the given per-connection
+    /// traffic classes.  All buffers are sized here; the per-cycle path
+    /// never allocates.
+    pub fn armed(cfg: TelemetryConfig, conn_classes: &[TrafficClass]) -> Self {
         let mut registry = Registry::new();
         let counters = CounterIds::register(&mut registry);
         let clock: Box<dyn Clock> = if cfg.wall_clock {
@@ -288,7 +470,17 @@ impl RouterTelemetry {
             windows: SnapshotRing::with_capacity(cfg.max_snapshots),
             current: WindowAccum::fresh(0, 0),
             interval: cfg.snapshot_interval,
+            observatory: if cfg.observatory {
+                Observatory::armed(cfg.slo_delay_bound_rc, conn_classes)
+            } else {
+                Observatory::disabled()
+            },
         }
+    }
+
+    /// The QoS observatory (disarmed unless the config asked for it).
+    pub fn observatory(&self) -> &Observatory {
+        &self.observatory
     }
 
     /// Whether the hooks record anything.
@@ -430,15 +622,47 @@ impl RouterTelemetry {
         self.current.generated[class_index(class)] += 1;
     }
 
-    /// A flit was delivered after `delay_rc` router cycles.
+    /// A flit on connection `conn` was delivered after `delay_rc` router
+    /// cycles, having sat `residency_rc` router cycles in the VC queue.
     #[inline]
-    pub(crate) fn on_delivered(&mut self, class: TrafficClass, delay_rc: u64) {
+    pub(crate) fn on_delivered(
+        &mut self,
+        class: TrafficClass,
+        conn: usize,
+        delay_rc: u64,
+        residency_rc: u64,
+    ) {
         if !self.enabled {
             return;
         }
         let i = class_index(class);
         self.current.delivered[i] += 1;
         self.current.delay_sum_rc[i] += delay_rc;
+        if self
+            .observatory
+            .on_delivered(conn, class, delay_rc, residency_rc)
+        {
+            self.current.slo_violations[i] += 1;
+        }
+    }
+
+    /// Close the current snapshot window ending at `cycle` and open the
+    /// next one.  Shared by [`RouterTelemetry::end_cycle`] and the bulk
+    /// quiescent skip so both account the window to the observatory's
+    /// SLO tracker identically.
+    #[inline]
+    fn close_window(&mut self, cycle: u64, backlog_end: u64) {
+        self.current.end_cycle = cycle;
+        self.current.backlog_end = backlog_end;
+        let closed = self.current;
+        let be = class_index(TrafficClass::BestEffort);
+        self.observatory.on_window_close(
+            closed.generated[be],
+            closed.delivered[be],
+            closed.end_cycle - closed.start_cycle + 1,
+        );
+        self.windows.push(closed);
+        self.current = WindowAccum::fresh(closed.index + 1, cycle + 1);
     }
 
     /// Close the cycle: update gauges and roll the snapshot window when
@@ -454,10 +678,7 @@ impl RouterTelemetry {
         }
         self.current.end_cycle = cycle;
         if self.interval > 0 && (cycle + 1).is_multiple_of(self.interval) {
-            self.current.backlog_end = backlog;
-            let closed = self.current;
-            self.windows.push(closed);
-            self.current = WindowAccum::fresh(closed.index + 1, cycle + 1);
+            self.close_window(cycle, backlog);
         }
     }
 
@@ -483,11 +704,7 @@ impl RouterTelemetry {
             // would, with an empty-system backlog.
             let mut c = (from + 1).div_ceil(self.interval) * self.interval - 1;
             while c <= last {
-                self.current.end_cycle = c;
-                self.current.backlog_end = 0;
-                let closed = self.current;
-                self.windows.push(closed);
-                self.current = WindowAccum::fresh(closed.index + 1, c + 1);
+                self.close_window(c, 0);
                 c += self.interval;
             }
         }
@@ -514,6 +731,41 @@ impl RouterTelemetry {
             windows_dropped: self.windows.dropped(),
             trace_events_recorded: self.recorder.recorded(),
             trace_events_retained: self.recorder.len() as u64,
+            observatory: self.observatory.report(),
+        }
+    }
+
+    /// Render the live state as a Prometheus text exposition without
+    /// allocating (given a warm `out` buffer): counters, stages and
+    /// histograms are walked through their non-allocating iterators.
+    /// `kernel` comes from the scheduler's probe; `scale` converts router
+    /// cycles to the exposed unit (pass `router_cycle_secs()` for
+    /// seconds).  Emits the same families as
+    /// [`TelemetryReport::write_prometheus`].
+    pub fn write_prometheus(&self, out: &mut String, kernel: &KernelStats, scale: f64) {
+        expose::write_counters(out, "mmr", self.registry.iter());
+        expose::write_stages(out, "mmr", self.profiler.iter());
+        write_kernel_prometheus(out, kernel);
+        if self.observatory.is_enabled() {
+            let slo = self.observatory.slo_summary();
+            write_observatory_prometheus(
+                out,
+                scale,
+                slo.delay_bound_rc,
+                slo.violations_total,
+                slo.best_effort_starved_windows,
+                slo.best_effort_starved_cycles,
+                slo.windows_observed,
+                ALL_CLASSES.iter().map(|&class| {
+                    (
+                        class,
+                        self.observatory.class_delay(class),
+                        self.observatory.class_jitter(class),
+                        self.observatory.class_residency(class),
+                        self.observatory.class_violations(class),
+                    )
+                }),
+            );
         }
     }
 }
@@ -533,24 +785,28 @@ mod tests {
         let mut t = RouterTelemetry::disabled();
         t.on_grant(1, 0, 1, 2);
         t.on_generated(TrafficClass::Vbr);
-        t.on_delivered(TrafficClass::Vbr, 10);
+        t.on_delivered(TrafficClass::Vbr, 0, 10, 4);
         t.end_cycle(0, 5);
         let rep = t.report(KernelStats::default());
         assert!(rep.counters.iter().all(|c| c.value == 0));
         assert!(rep.windows.is_empty());
         assert_eq!(rep.trace_events_recorded, 0);
+        assert!(rep.observatory.is_none());
     }
 
     #[test]
     fn windows_roll_on_interval() {
-        let mut t = RouterTelemetry::armed(TelemetryConfig {
-            snapshot_interval: 10,
-            ..Default::default()
-        });
+        let mut t = RouterTelemetry::armed(
+            TelemetryConfig {
+                snapshot_interval: 10,
+                ..Default::default()
+            },
+            &[TrafficClass::CbrHigh],
+        );
         for cycle in 0..25u64 {
             t.on_grant(cycle, 0, 1, 0);
             t.on_generated(TrafficClass::CbrHigh);
-            t.on_delivered(TrafficClass::CbrHigh, 4);
+            t.on_delivered(TrafficClass::CbrHigh, 0, 4, 2);
             t.end_cycle(cycle, 3);
         }
         let rep = t.report(KernelStats::default());
@@ -595,10 +851,13 @@ mod tests {
         // A mid-window skip crossing several window boundaries must leave
         // the report bit-identical to stepping every idle cycle.
         let mk = || {
-            RouterTelemetry::armed(TelemetryConfig {
-                snapshot_interval: 10,
-                ..Default::default()
-            })
+            RouterTelemetry::armed(
+                TelemetryConfig {
+                    snapshot_interval: 10,
+                    ..Default::default()
+                },
+                &[TrafficClass::CbrHigh],
+            )
         };
         let mut stepped = mk();
         let mut skipped = mk();
@@ -606,7 +865,7 @@ mod tests {
             for cycle in 0..4u64 {
                 t.on_grant(cycle, 0, 1, 0);
                 t.on_generated(TrafficClass::CbrHigh);
-                t.on_delivered(TrafficClass::CbrHigh, 3);
+                t.on_delivered(TrafficClass::CbrHigh, 0, 3, 1);
                 t.end_cycle(cycle, 2);
             }
         }
@@ -628,7 +887,7 @@ mod tests {
 
     #[test]
     fn counters_and_trace_accumulate() {
-        let mut t = RouterTelemetry::armed(TelemetryConfig::default());
+        let mut t = RouterTelemetry::armed(TelemetryConfig::default(), &[]);
         t.on_grant(5, 1, 2, 3);
         t.on_vc_stall(5, 0, 2, 1);
         t.on_credit_consumed(6, 9);
@@ -649,5 +908,95 @@ mod tests {
         assert_eq!(get("connections_quarantined"), 1);
         assert_eq!(rep.trace_events_recorded, 5);
         assert_eq!(rep.trace_events_retained, 5);
+    }
+
+    #[test]
+    fn observatory_violations_land_in_windows() {
+        let mut t = RouterTelemetry::armed(
+            TelemetryConfig {
+                snapshot_interval: 10,
+                slo_delay_bound_rc: 100,
+                ..Default::default()
+            },
+            &[TrafficClass::CbrHigh, TrafficClass::BestEffort],
+        );
+        for cycle in 0..10u64 {
+            t.on_generated(TrafficClass::BestEffort);
+            // One compliant and one violating delivery, plus starving BE.
+            t.on_delivered(TrafficClass::CbrHigh, 0, 50, 10);
+            t.on_delivered(TrafficClass::CbrHigh, 0, 500, 10);
+            t.end_cycle(cycle, 1);
+        }
+        let rep = t.report(KernelStats::default());
+        let w = &rep.windows[0];
+        let high = w
+            .classes
+            .iter()
+            .find(|c| c.class == TrafficClass::CbrHigh)
+            .unwrap();
+        assert_eq!(high.slo_violations, 10);
+        let obs = rep.observatory.expect("observatory armed by default");
+        assert_eq!(obs.slo.violations_total, 10);
+        assert_eq!(obs.slo.best_effort_starved_windows, 1);
+        assert_eq!(obs.slo.best_effort_starved_cycles, 10);
+        assert_eq!(obs.slo.windows_observed, 1);
+        let high_obs = obs
+            .classes
+            .iter()
+            .find(|c| c.class == TrafficClass::CbrHigh)
+            .unwrap();
+        assert_eq!(high_obs.delay.count(), 20);
+        assert_eq!(high_obs.residency.count(), 20);
+        assert_eq!(high_obs.jitter.count(), 19);
+    }
+
+    #[test]
+    fn observatory_opt_out_leaves_reports_bare() {
+        let mut t = RouterTelemetry::armed(
+            TelemetryConfig {
+                observatory: false,
+                ..Default::default()
+            },
+            &[TrafficClass::Vbr],
+        );
+        t.on_delivered(TrafficClass::Vbr, 0, 10_000, 5);
+        let rep = t.report(KernelStats::default());
+        assert!(rep.observatory.is_none());
+    }
+
+    #[test]
+    fn live_and_report_prometheus_expositions_agree() {
+        let mut t = RouterTelemetry::armed(
+            TelemetryConfig {
+                snapshot_interval: 10,
+                slo_delay_bound_rc: 100,
+                ..Default::default()
+            },
+            &[TrafficClass::CbrHigh, TrafficClass::BestEffort],
+        );
+        for cycle in 0..30u64 {
+            t.on_generated(TrafficClass::CbrHigh);
+            t.on_delivered(TrafficClass::CbrHigh, 0, 40 + cycle * 7, 9);
+            t.on_delivered(TrafficClass::BestEffort, 1, 300, 250);
+            t.end_cycle(cycle, 2);
+        }
+        let kernel = KernelStats {
+            matchings: 30,
+            grants: 60,
+            candidates_examined: 90,
+            conflicts_retired: 10,
+            iterations: 30,
+        };
+        let scale = 1e-6;
+        let mut live = String::new();
+        t.write_prometheus(&mut live, &kernel, scale);
+        let mut from_report = String::new();
+        t.report(kernel).write_prometheus(&mut from_report, scale);
+        assert_eq!(live, from_report, "both writers emit identical expositions");
+        let stats =
+            mmr_sim::telemetry::validate_exposition(&live).expect("generated exposition validates");
+        assert!(stats.families > 10);
+        assert!(live.contains("mmr_delay_seconds_bucket{class=\"cbr-high\""));
+        assert!(live.contains("mmr_slo_violations_total{class=\"cbr-high\"}"));
     }
 }

@@ -4,21 +4,43 @@
 //! (sub-microsecond through seconds), so fixed-width buckets are useless.
 //! `LogHistogram` uses base-2 sub-bucketed buckets (the HdrHistogram idea,
 //! reimplemented minimally) giving a bounded relative error per bucket.
+//!
+//! The storage is fixed-capacity (`64 << sub_bits` slots, a few KiB),
+//! sized once at construction: [`LogHistogram::record`] never allocates,
+//! so histograms can live on the simulator's hot path.  Quantile queries
+//! come in two flavours — [`LogHistogram::quantile`] returns a bucket
+//! midpoint, [`LogHistogram::quantile_bounds`] returns the exact bucket
+//! interval the true order statistic provably lies in.  Serialization is
+//! sparse (only populated buckets), so an armed observatory's report
+//! stays proportional to the distribution's support, not its range.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Histogram over `u64` values with geometric bucket widths.
 ///
 /// Values are bucketed by (exponent, sub-bucket): `sub_bits` linear
 /// sub-buckets per power of two, giving a worst-case relative error of
 /// `2^-sub_bits`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     sub_bits: u32,
     counts: Vec<u64>,
     total: u64,
     sum: u128,
     max: u64,
+}
+
+/// One populated histogram bucket: `count` values fell in `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Dense bucket index.
+    pub index: usize,
+    /// Smallest value the bucket covers (inclusive).
+    pub lo: u64,
+    /// Largest value the bucket covers (inclusive).
+    pub hi: u64,
+    /// Recorded values in the bucket.
+    pub count: u64,
 }
 
 impl LogHistogram {
@@ -37,6 +59,11 @@ impl LogHistogram {
         }
     }
 
+    /// Sub-bucket bits this histogram was built with.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
     #[inline]
     fn bucket_of(&self, v: u64) -> usize {
         let sub = self.sub_bits;
@@ -48,26 +75,42 @@ impl LogHistogram {
         (((exp - sub + 1) as usize) << sub) + sub_idx as usize
     }
 
-    /// Representative (midpoint) value of a bucket.
-    fn bucket_mid(&self, idx: usize) -> u64 {
+    /// Inclusive value range `[lo, hi]` covered by bucket `idx`.
+    pub fn bucket_bounds(&self, idx: usize) -> (u64, u64) {
         let sub = self.sub_bits;
         if idx < (1 << sub) {
-            return idx as u64;
+            return (idx as u64, idx as u64);
         }
         let block = (idx >> sub) as u32; // = exp - sub + 1
         let sub_idx = (idx & ((1 << sub) - 1)) as u64;
         let exp = block + sub - 1;
-        let base = (1u64 << exp) + (sub_idx << (exp - sub));
-        base + (1u64 << (exp - sub)) / 2
+        let lo = (1u64 << exp) + (sub_idx << (exp - sub));
+        let width = 1u64 << (exp - sub);
+        (lo, lo + (width - 1))
+    }
+
+    /// Representative (midpoint) value of a bucket.
+    fn bucket_mid(&self, idx: usize) -> u64 {
+        let (lo, hi) = self.bucket_bounds(idx);
+        lo + (hi - lo) / 2
     }
 
     /// Record one value.
     #[inline]
     pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` occurrences of `v` in O(1).
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let b = self.bucket_of(v);
-        self.counts[b] += 1;
-        self.total += 1;
-        self.sum += v as u128;
+        self.counts[b] += n;
+        self.total += n;
+        self.sum += v as u128 * n as u128;
         if v > self.max {
             self.max = v;
         }
@@ -77,6 +120,16 @@ impl LogHistogram {
     #[inline]
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Exact mean of recorded values (sums are kept exactly).
@@ -93,7 +146,8 @@ impl LogHistogram {
         self.max
     }
 
-    /// Approximate quantile `q` in `[0, 1]`; `None` if empty.
+    /// Approximate quantile `q` in `[0, 1]`; `None` if empty.  The top
+    /// quantile is exact (the recorded maximum).
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
             return None;
@@ -103,14 +157,56 @@ impl LogHistogram {
         if target >= self.total {
             return Some(self.max);
         }
+        self.quantile_bucket(q)
+            .map(|idx| self.bucket_mid(idx).min(self.max))
+    }
+
+    /// Exact bounds on quantile `q`: the true order statistic lies in
+    /// `lo..=hi` (the covering bucket's range, clamped to the recorded
+    /// maximum).  `None` if empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        self.quantile_bucket(q).map(|idx| {
+            let (lo, hi) = self.bucket_bounds(idx);
+            (lo.min(self.max), hi.min(self.max))
+        })
+    }
+
+    /// Dense index of the bucket containing quantile `q`.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        if target >= self.total {
+            return Some(self.bucket_of(self.max));
+        }
         let mut acc = 0;
         for (idx, &c) in self.counts.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return Some(self.bucket_mid(idx).min(self.max));
+                return Some(idx);
             }
         }
-        Some(self.max)
+        Some(self.bucket_of(self.max))
+    }
+
+    /// Iterate the populated buckets in increasing value order.  Does not
+    /// allocate — usable from the Prometheus exposition hot path.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = Bucket> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(index, &count)| {
+                let (lo, hi) = self.bucket_bounds(index);
+                Bucket {
+                    index,
+                    lo,
+                    hi,
+                    count,
+                }
+            })
     }
 
     /// Merge another histogram (must share `sub_bits`).
@@ -123,11 +219,81 @@ impl LogHistogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// Forget everything recorded; capacity is retained.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
 }
 
 impl Default for LogHistogram {
     fn default() -> Self {
         LogHistogram::new(3)
+    }
+}
+
+// Sparse JSON encoding: only populated buckets are written, as
+// `[index, count]` pairs.  A 512-slot histogram with ten occupied buckets
+// serializes to ten pairs, not 512 zeros.
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> Value {
+        let counts: Vec<Value> = self
+            .nonzero_buckets()
+            .map(|b| Value::Array(vec![Value::U64(b.index as u64), Value::U64(b.count)]))
+            .collect();
+        Value::Object(vec![
+            ("sub_bits".to_string(), Value::U64(self.sub_bits as u64)),
+            ("counts".to_string(), Value::Array(counts)),
+            ("total".to_string(), Value::U64(self.total)),
+            ("sum".to_string(), self.sum.to_value()),
+            ("max".to_string(), Value::U64(self.max)),
+        ])
+    }
+}
+
+impl Deserialize for LogHistogram {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let sub_bits = u32::from_maybe(v.get("sub_bits"), "sub_bits")?;
+        if sub_bits == 0 || sub_bits >= 16 {
+            return Err(Error::new(format!("sub_bits {sub_bits} out of range")));
+        }
+        let mut h = LogHistogram::new(sub_bits);
+        let pairs = match v.get("counts") {
+            Some(Value::Array(xs)) => xs,
+            other => return Err(Error::new(format!("counts: expected array, got {other:?}"))),
+        };
+        let mut recorded = 0u64;
+        for pair in pairs {
+            let (idx, count) = match pair {
+                Value::Array(kv) if kv.len() == 2 => (
+                    usize::from_maybe(kv.first(), "bucket index")?,
+                    u64::from_maybe(kv.get(1), "bucket count")?,
+                ),
+                other => {
+                    return Err(Error::new(format!(
+                        "counts entry: expected [index, count], got {other:?}"
+                    )))
+                }
+            };
+            if idx >= h.counts.len() {
+                return Err(Error::new(format!("bucket index {idx} out of range")));
+            }
+            h.counts[idx] += count;
+            recorded += count;
+        }
+        h.total = u64::from_maybe(v.get("total"), "total")?;
+        h.sum = u128::from_maybe(v.get("sum"), "sum")?;
+        h.max = u64::from_maybe(v.get("max"), "max")?;
+        if recorded != h.total {
+            return Err(Error::new(format!(
+                "bucket counts sum to {recorded} but total says {}",
+                h.total
+            )));
+        }
+        Ok(h)
     }
 }
 
@@ -153,6 +319,29 @@ mod tests {
             let mid = h.bucket_mid(h.bucket_of(v));
             let rel = (mid as f64 - v as f64).abs() / v as f64;
             assert!(rel <= 0.125 + 1e-9, "v={v} mid={mid} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        let h = LogHistogram::new(3);
+        for v in [0u64, 1, 7, 8, 9, 255, 256, 1 << 20, u64::MAX] {
+            let (lo, hi) = h.bucket_bounds(h.bucket_of(v));
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo}, {hi}]");
+        }
+        // Adjacent buckets tile the value line without gaps or overlap.
+        let mut prev_hi = None;
+        for idx in 0..h.counts.len() {
+            let (lo, hi) = h.bucket_bounds(idx);
+            if let Some(p) = prev_hi {
+                if lo > 0 {
+                    assert_eq!(lo, p + 1, "gap before bucket {idx}");
+                }
+            }
+            if hi == u64::MAX {
+                break;
+            }
+            prev_hi = Some(hi);
         }
     }
 
@@ -183,10 +372,43 @@ mod tests {
     }
 
     #[test]
+    fn quantile_bounds_bracket_the_true_order_statistic() {
+        let mut h = LogHistogram::default();
+        let mut values: Vec<u64> = (0..500u64).map(|i| i * i + 3).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            assert!(
+                lo <= truth && truth <= hi,
+                "q={q} truth={truth} not in [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        for _ in 0..7 {
+            a.record(123);
+        }
+        b.record_n(123, 7);
+        b.record_n(99, 0); // no-op
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn empty_quantile_none() {
         let h = LogHistogram::default();
         assert!(h.quantile(0.5).is_none());
+        assert!(h.quantile_bounds(0.5).is_none());
         assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
     }
 
     #[test]
@@ -199,5 +421,54 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 1000);
         assert_eq!(a.mean(), 505.0);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_record() {
+        let mut h = LogHistogram::default();
+        for v in [3u64, 3, 700, 70_000] {
+            h.record(v);
+        }
+        let buckets: Vec<Bucket> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), h.count());
+        assert!(buckets.windows(2).all(|w| w[0].hi < w[1].lo));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut h = LogHistogram::new(4);
+        for v in [0u64, 1, 9, 1_000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        // The encoding is sparse: six records, six pairs.
+        assert!(
+            json.matches('[').count() <= 8,
+            "encoding must be sparse: {json}"
+        );
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        let json = r#"{"sub_bits":3,"counts":[[9999,1]],"total":1,"sum":5,"max":5}"#;
+        assert!(serde_json::from_str::<LogHistogram>(json).is_err());
+        let json = r#"{"sub_bits":3,"counts":[[5,2]],"total":1,"sum":5,"max":5}"#;
+        assert!(
+            serde_json::from_str::<LogHistogram>(json).is_err(),
+            "total inconsistent with bucket counts must be rejected"
+        );
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_capacity() {
+        let mut h = LogHistogram::default();
+        h.record(42);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
     }
 }

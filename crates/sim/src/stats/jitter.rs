@@ -4,8 +4,12 @@
 //! experienced by two adjacent [application data units] belonging to the
 //! same connection": for consecutive delivered units with delays `d_i`,
 //! jitter samples are `|d_i - d_{i-1}|`.
+//!
+//! Samples feed both a [`Running`] accumulator (exact mean/min/max) and a
+//! [`LogHistogram`] (rounded to the nearest integer unit), so reports can
+//! quote jitter percentiles instead of re-deriving buckets ad hoc.
 
-use super::Running;
+use super::{LogHistogram, Running};
 use serde::{Deserialize, Serialize};
 
 /// Tracks inter-unit delay jitter for one connection.
@@ -13,6 +17,7 @@ use serde::{Deserialize, Serialize};
 pub struct JitterTracker {
     last_delay: Option<f64>,
     jitter: Running,
+    hist: LogHistogram,
 }
 
 impl JitterTracker {
@@ -25,7 +30,9 @@ impl JitterTracker {
     /// first unit, every call contributes one jitter sample.
     pub fn record_delay(&mut self, delay: f64) {
         if let Some(prev) = self.last_delay {
-            self.jitter.push((delay - prev).abs());
+            let sample = (delay - prev).abs();
+            self.jitter.push(sample);
+            self.hist.record(sample.round() as u64);
         }
         self.last_delay = Some(delay);
     }
@@ -33,6 +40,17 @@ impl JitterTracker {
     /// Jitter statistics accumulated so far.
     pub fn stats(&self) -> &Running {
         &self.jitter
+    }
+
+    /// Histogram of jitter samples, rounded to the nearest integer unit.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+
+    /// Approximate jitter quantile `q` (integer units); `None` before the
+    /// second delivered unit.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.hist.quantile(q)
     }
 
     /// Number of jitter samples (units delivered minus one, per connection).
@@ -44,6 +62,7 @@ impl JitterTracker {
     /// chains stay independent — use only for cross-connection aggregation).
     pub fn merge_stats(&mut self, other: &JitterTracker) {
         self.jitter.merge(&other.jitter);
+        self.hist.merge(&other.hist);
     }
 }
 
@@ -56,6 +75,7 @@ mod tests {
         let mut j = JitterTracker::new();
         j.record_delay(100.0);
         assert_eq!(j.samples(), 0);
+        assert!(j.quantile(0.99).is_none());
     }
 
     #[test]
@@ -69,6 +89,8 @@ mod tests {
         assert!((j.stats().mean() - 80.0 / 3.0).abs() < 1e-12);
         assert_eq!(j.stats().max(), Some(50.0));
         assert_eq!(j.stats().min(), Some(0.0));
+        assert_eq!(j.histogram().count(), 3);
+        assert_eq!(j.histogram().max(), 50);
     }
 
     #[test]
@@ -79,6 +101,7 @@ mod tests {
         }
         assert_eq!(j.stats().mean(), 0.0);
         assert_eq!(j.stats().max(), Some(0.0));
+        assert_eq!(j.quantile(1.0), Some(0));
     }
 
     #[test]
@@ -92,5 +115,21 @@ mod tests {
         a.merge_stats(&b);
         assert_eq!(a.samples(), 2);
         assert_eq!(a.stats().mean(), 15.0);
+        assert_eq!(a.histogram().count(), 2);
+        assert_eq!(a.histogram().max(), 20);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram() {
+        let mut j = JitterTracker::new();
+        let mut d = 0.0;
+        for i in 0..1000 {
+            d += if i % 10 == 0 { 100.0 } else { 1.0 };
+            j.record_delay(d);
+        }
+        // 10% of the samples are 100, the rest 1.
+        assert_eq!(j.quantile(0.5), Some(1));
+        let p99 = j.quantile(0.99).unwrap();
+        assert!((90..=112).contains(&p99), "p99={p99}");
     }
 }

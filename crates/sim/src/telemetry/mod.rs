@@ -29,6 +29,7 @@
 //! * [`snapshot::SnapshotRing`] — a pre-allocated buffer for periodic
 //!   windowed snapshots, counting (never silently dropping) overflow.
 
+pub mod expose;
 pub mod profiler;
 pub mod recorder;
 pub mod snapshot;
@@ -36,6 +37,7 @@ pub mod snapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+pub use expose::{validate_exposition, ExpositionStats};
 pub use profiler::{StageId, StageProfiler, StageSample};
 pub use recorder::{run_with_dump_on_panic, FlightRecorder, TraceEvent, TraceKind};
 pub use snapshot::SnapshotRing;
@@ -205,12 +207,21 @@ impl Registry {
     /// Snapshot every counter as an owned, serializable sample list.
     /// Allocates — report-time only.
     pub fn samples(&self) -> Vec<CounterSample> {
-        self.iter()
-            .map(|(name, value)| CounterSample {
-                name: name.to_string(),
-                value,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Refill `out` with the current samples, reusing its capacity.  The
+    /// only allocations are `out`'s one-time growth and the name strings;
+    /// scrape loops that want zero allocation should use [`Registry::iter`]
+    /// with the exposition writers instead.
+    pub fn write_into(&self, out: &mut Vec<CounterSample>) {
+        out.clear();
+        out.extend(self.iter().map(|(name, value)| CounterSample {
+            name: name.to_string(),
+            value,
+        }));
     }
 }
 

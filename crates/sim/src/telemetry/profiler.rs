@@ -165,17 +165,30 @@ impl StageProfiler {
         self.wall_ns.fill(0);
     }
 
+    /// Iterate `(name, calls, work, wall_ns)` tuples in registration
+    /// order without allocating — the exposition writer's path.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, u64, u64)> + Clone + '_ {
+        (0..self.names.len())
+            .map(move |i| (self.names[i], self.calls[i], self.work[i], self.wall_ns[i]))
+    }
+
     /// Snapshot every stage as owned, serializable samples in
     /// registration order.  Allocates — report-time only.
     pub fn samples(&self) -> Vec<StageSample> {
-        (0..self.names.len())
-            .map(|i| StageSample {
-                name: self.names[i].to_string(),
-                calls: self.calls[i],
-                work: self.work[i],
-                wall_ns: self.wall_ns[i],
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Refill `out` with the current samples, reusing its capacity.
+    pub fn write_into(&self, out: &mut Vec<StageSample>) {
+        out.clear();
+        out.extend(self.iter().map(|(name, calls, work, wall_ns)| StageSample {
+            name: name.to_string(),
+            calls,
+            work,
+            wall_ns,
+        }));
     }
 }
 

@@ -88,6 +88,101 @@ proptest! {
     }
 
     #[test]
+    fn histogram_merge_equals_single_pass(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut whole = LogHistogram::new(3);
+        let mut a = LogHistogram::new(3);
+        let mut b = LogHistogram::new(3);
+        for &x in &xs {
+            whole.record(x);
+            a.record(x);
+        }
+        for &y in &ys {
+            whole.record(y);
+            b.record(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &whole, "merge must equal single-pass recording");
+    }
+
+    #[test]
+    fn histogram_quantile_bounds_bracket_the_order_statistic(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new(3);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let exact = sorted[idx];
+        let (lo, hi) = h.quantile_bounds(q).unwrap();
+        prop_assert!(
+            lo <= exact && exact <= hi,
+            "q={q}: order statistic {exact} outside bucket [{lo}, {hi}]"
+        );
+        let approx = h.quantile(q).unwrap();
+        prop_assert!(lo <= approx && approx <= hi, "point estimate outside its own bounds");
+    }
+
+    #[test]
+    fn histogram_record_n_equals_repeats(
+        pairs in proptest::collection::vec((0u64..1_000_000, 0u64..50), 1..50),
+    ) {
+        let mut bulk = LogHistogram::new(3);
+        let mut single = LogHistogram::new(3);
+        for &(v, n) in &pairs {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                single.record(v);
+            }
+        }
+        prop_assert_eq!(&bulk, &single);
+    }
+
+    #[test]
+    fn histogram_json_round_trip(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let mut h = LogHistogram::new(3);
+        for &x in &xs {
+            h.record(x);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &h, "sparse JSON round-trip must be lossless");
+    }
+
+    #[test]
+    fn histogram_nonzero_buckets_account_everything(
+        xs in proptest::collection::vec(0u64..u64::MAX, 1..300),
+    ) {
+        let mut h = LogHistogram::new(3);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut total = 0u64;
+        for b in h.nonzero_buckets() {
+            prop_assert!(b.count > 0);
+            prop_assert!(b.lo <= b.hi);
+            let (lo, hi) = h.bucket_bounds(b.index);
+            prop_assert_eq!((b.lo, b.hi), (lo, hi));
+            total += b.count;
+        }
+        prop_assert_eq!(total, xs.len() as u64, "bucket counts must conserve mass");
+        for &x in &xs {
+            prop_assert!(
+                h.nonzero_buckets().any(|b| b.lo <= x && x <= b.hi),
+                "recorded value {x} falls in no non-empty bucket"
+            );
+        }
+    }
+
+    #[test]
     fn windowed_series_conserves_mass(
         samples in proptest::collection::vec((0u64..10_000, -100.0f64..100.0), 1..200),
         window in 1u64..500,

@@ -22,6 +22,35 @@ use mmr_sim::units::Bandwidth;
 /// A boxed source, index-aligned with its `ConnectionSpec`.
 pub type BoxedSource = Box<dyn TrafficSource + Send>;
 
+/// Outcome counts from the connection-admission control (CAC) ledger
+/// during workload construction.  Placement-policy skips (a class whose
+/// bandwidth would overshoot the load target) are not admission attempts
+/// and are not counted; best-effort connections reserve nothing and never
+/// consult the CAC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AdmissionTally {
+    /// Admission requests the CAC accepted (slots reserved).
+    pub accepted: u64,
+    /// Admission requests the CAC rejected (no feasible reservation).
+    pub rejected: u64,
+}
+
+impl AdmissionTally {
+    /// Total admission requests presented to the CAC.
+    pub fn attempted(&self) -> u64 {
+        self.accepted + self.rejected
+    }
+
+    /// Fraction of requests rejected (0 when none were made).
+    pub fn reject_rate(&self) -> f64 {
+        if self.attempted() == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.attempted() as f64
+        }
+    }
+}
+
 /// An assembled workload: admitted connections plus their flit sources.
 pub struct Workload {
     /// Admitted connections; `connections[i].id.idx() == i`.
@@ -31,6 +60,8 @@ pub struct Workload {
     /// Achieved offered load fraction per input link (average bandwidth /
     /// link bandwidth).
     pub per_input_load: Vec<f64>,
+    /// CAC accept/reject counts from construction.
+    pub admission: AdmissionTally,
 }
 
 impl Workload {
@@ -166,6 +197,7 @@ impl CbrMixBuilder {
     /// Assemble the workload.
     pub fn build(&self, rng: &mut SimRng) -> Workload {
         let mut cac = AdmissionControl::new(self.ports, self.round, self.tb);
+        let mut admission = AdmissionTally::default();
         let mut connections = Vec::new();
         let mut sources: Vec<BoxedSource> = Vec::new();
         for input in 0..self.ports {
@@ -182,6 +214,7 @@ impl CbrMixBuilder {
                 let output = rng.index(self.ports);
                 match cac.admit(input, output, bw, bw) {
                     Ok(slots) => {
+                        admission.accepted += 1;
                         failures = 0;
                         let id = ConnectionId(connections.len() as u32);
                         let iat = self.tb.flit_iat_router_cycles(bw.as_bps());
@@ -197,7 +230,10 @@ impl CbrMixBuilder {
                         });
                         sources.push(Box::new(CbrSource::new(id, bw, phase, &self.tb)));
                     }
-                    Err(_) => failures += 1,
+                    Err(_) => {
+                        admission.rejected += 1;
+                        failures += 1;
+                    }
                 }
             }
         }
@@ -206,6 +242,7 @@ impl CbrMixBuilder {
             connections,
             sources,
             per_input_load,
+            admission,
         }
     }
 }
@@ -317,6 +354,7 @@ impl VbrMixBuilder {
     pub fn build(&self, rng: &mut SimRng) -> Workload {
         let model = self.model();
         let mut cac = AdmissionControl::new(self.ports, self.round, self.tb);
+        let mut admission = AdmissionTally::default();
         let mut connections = Vec::new();
         let mut sources: Vec<BoxedSource> = Vec::new();
         let gop_time_rc =
@@ -343,6 +381,7 @@ impl VbrMixBuilder {
                 let output = rng.index(self.ports);
                 match cac.admit(input, output, avg, admit_peak) {
                     Ok(slots) => {
+                        admission.accepted += 1;
                         failures = 0;
                         let id = ConnectionId(connections.len() as u32);
                         // "randomly aligned, that is, they start at a random
@@ -359,7 +398,10 @@ impl VbrMixBuilder {
                         });
                         sources.push(Box::new(VbrSource::new(id, trace, model, start, &self.tb)));
                     }
-                    Err(_) => failures += 1,
+                    Err(_) => {
+                        admission.rejected += 1;
+                        failures += 1;
+                    }
                 }
             }
         }
@@ -368,6 +410,7 @@ impl VbrMixBuilder {
             connections,
             sources,
             per_input_load,
+            admission,
         }
     }
 }

@@ -36,6 +36,18 @@ test -s results/trace_fig5_cbr.jsonl
 test -s results/telemetry_chaos.json
 test -s results/trace_chaos.jsonl
 
+echo "== observatory artifacts =="
+# Run the Fig. 5 mix with the QoS observatory armed and emit both
+# observability artifacts.  metrics_dump self-validates each one —
+# the Prometheus exposition re-parses (declared families, monotone
+# cumulative buckets, +Inf/_count agreement) and the dashboard's
+# inline JSON + panels check out — and exits non-zero on any failure;
+# the trajectory panel reads the same BENCH_<n>.json files the perf
+# gate above maintains.
+cargo run --release -q -p mmr-bench --bin metrics_dump
+test -s results/metrics.prom
+test -s results/overview.html
+
 echo "== chaos smoke =="
 cargo test --release -q -p mmr-core --test chaos
 cargo run --release -q -p mmr-bench --bin chaos_report

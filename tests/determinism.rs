@@ -176,6 +176,76 @@ fn armed_telemetry_reports_are_bit_identical() {
     );
 }
 
+#[test]
+fn observatory_arming_does_not_perturb_the_simulation() {
+    // The observatory adds per-delivery histogram and SLO bookkeeping on
+    // top of plain telemetry; like the rest of the layer it must be pure
+    // observation.  Compare observatory-on against observatory-off (both
+    // armed) and against a fully disarmed run.
+    let base = quick(0.7, 42);
+    let off = base.with_telemetry(TelemetrySpec {
+        observatory: false,
+        ..TelemetrySpec::default()
+    });
+    let on = base.with_telemetry(TelemetrySpec::default());
+    let plain = run_experiment(&base);
+    let without = run_experiment(&off);
+    let with = run_experiment(&on);
+    assert!(with
+        .telemetry
+        .as_ref()
+        .is_some_and(|t| t.observatory.is_some()));
+    assert!(without
+        .telemetry
+        .as_ref()
+        .is_some_and(|t| t.observatory.is_none()));
+    for r in [&without, &with] {
+        assert_eq!(plain.summary, r.summary);
+        assert_eq!(plain.achieved_load, r.achieved_load);
+        assert_eq!(plain.executed_cycles, r.executed_cycles);
+    }
+}
+
+#[test]
+fn observatory_leaves_the_rng_stream_untouched() {
+    // Same RNG-position proof as the telemetry variant above, with the
+    // per-delivery observatory hooks in the delivery path.
+    let cfg = quick(0.6, 9);
+    let run = |cfg: &SimConfig| {
+        let workload = build_workload(cfg);
+        let mut router = build_router(cfg, workload);
+        if let Some(t) = &cfg.telemetry {
+            router.set_telemetry(t.to_config());
+        }
+        for t in 0..4_000 {
+            router.step(FlitCycle(t), true);
+        }
+        router.rng_fingerprint()
+    };
+    let plain = run(&cfg);
+    let armed = run(&cfg.with_telemetry(TelemetrySpec::default()));
+    let observatory_off = run(&cfg.with_telemetry(TelemetrySpec {
+        observatory: false,
+        ..TelemetrySpec::default()
+    }));
+    assert_eq!(plain, armed, "the observatory consumed an RNG draw");
+    assert_eq!(plain, observatory_off);
+}
+
+#[test]
+fn prometheus_exposition_replays_byte_identically() {
+    // The exposition is rendered from the deterministic report, so two
+    // identical runs must produce the same bytes — histogram buckets,
+    // float formatting, family order, the lot.
+    let cfg = quick(0.5, 11).with_telemetry(TelemetrySpec::default());
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    let ea = a.prometheus();
+    let eb = b.prometheus();
+    assert!(!ea.is_empty());
+    assert_eq!(ea, eb, "exposition must replay byte-identically");
+}
+
 // ---------------------------------------------------------------------------
 // Event-horizon differential: the fast-forwarding loop and the reference
 // cycle-by-cycle loop must be observationally indistinguishable — the

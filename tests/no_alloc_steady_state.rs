@@ -436,10 +436,39 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
             recorder.recorded() > recorder.capacity() as u64,
             "measured region must wrap the trace ring"
         );
+        let report = router.telemetry_report();
         assert!(
-            router.telemetry_report().windows.len() >= 8,
+            report.windows.len() >= 8,
             "measured region must roll snapshot windows"
         );
+
+        // The observatory is on by default, so the allocation-free region
+        // above already covered its per-delivery histogram and SLO hooks;
+        // confirm it actually observed traffic rather than sitting idle.
+        let obs = report
+            .observatory
+            .as_ref()
+            .expect("default telemetry config arms the observatory");
+        assert!(
+            obs.classes.iter().map(|c| c.delay.count()).sum::<u64>() > 0,
+            "observatory must have recorded deliveries in the measured region"
+        );
+
+        // Prometheus exposition into a warm buffer is allocation-free:
+        // one sizing pass, then clear + rewrite must never touch the heap.
+        let mut buf = String::new();
+        router.prometheus_into(&mut buf);
+        assert!(buf.contains("# TYPE mmr_delay_seconds histogram"));
+        let expected = buf.clone();
+        let allocs = allocations_in(|| {
+            buf.clear();
+            router.prometheus_into(&mut buf);
+        });
+        assert_eq!(
+            allocs, 0,
+            "exposition into a warm buffer allocated {allocs} times"
+        );
+        assert_eq!(buf, expected, "warm-buffer rewrite must be byte-identical");
     }
 
     // --- Horizon loop: skips allocate nothing ---------------------------

@@ -96,6 +96,116 @@ fn armed_cbr_run_reports_counters_stages_and_windows() {
 }
 
 #[test]
+fn armed_run_carries_a_consistent_observatory() {
+    let cfg = fig5_style(0.7).with_telemetry(TelemetrySpec {
+        snapshot_interval: 1_000,
+        ..TelemetrySpec::default()
+    });
+    let result = run_experiment(&cfg);
+    let report = result.telemetry.as_ref().expect("armed run reports");
+    let obs = report
+        .observatory
+        .as_ref()
+        .expect("the observatory is armed by default");
+    assert_eq!(report.windows_dropped, 0);
+
+    // Every delivery lands in exactly one class delay histogram, with a
+    // matching queue-residency sample; the window accounting sees the
+    // same flits.
+    let observed: u64 = obs.classes.iter().map(|c| c.delay.count()).sum();
+    assert!(observed > 0, "load 0.7 delivers flits");
+    let windowed: u64 = report
+        .windows
+        .iter()
+        .flat_map(|w| w.classes.iter())
+        .map(|c| c.delivered)
+        .sum();
+    assert_eq!(observed, windowed, "observatory and windows disagree");
+    for c in &obs.classes {
+        assert_eq!(
+            c.delay.count(),
+            c.residency.count(),
+            "{:?}: every delivered flit has a residency sample",
+            c.class
+        );
+    }
+
+    // Per-connection observations partition the class totals, and jitter
+    // chains record one sample per delivery after a connection's first.
+    let per_conn: u64 = obs.connections.iter().map(|c| c.delivered).sum();
+    assert_eq!(per_conn, observed);
+    let jitter: u64 = obs.classes.iter().map(|c| c.jitter.count()).sum();
+    assert_eq!(jitter, observed - obs.connections.len() as u64);
+
+    // SLO accounting: windowed violation counts reconcile with the
+    // totals, and the window observer saw every closed window.
+    let win_violations: u64 = report
+        .windows
+        .iter()
+        .flat_map(|w| w.classes.iter())
+        .map(|c| c.slo_violations)
+        .sum();
+    assert_eq!(win_violations, obs.slo.violations_total);
+    assert_eq!(obs.slo.windows_observed, report.windows.len() as u64);
+    let by_class: u64 = obs.classes.iter().map(|c| c.slo_violations).sum();
+    assert_eq!(by_class, obs.slo.violations_total);
+
+    // The CAC tally rode along from workload construction.
+    assert!(result.admission.accepted > 0);
+    assert_eq!(result.admission.accepted, result.connections as u64);
+}
+
+#[test]
+fn experiment_exposition_is_valid_and_covers_the_observatory() {
+    let cfg = fig5_style(0.6).with_telemetry(TelemetrySpec::default());
+    let result = run_experiment(&cfg);
+    let prom = result.prometheus();
+    let stats = mmr_core::sim::telemetry::validate_exposition(&prom)
+        .expect("experiment exposition validates");
+    assert!(stats.families >= 15, "only {} families", stats.families);
+    for family in [
+        "mmr_cycles",
+        "mmr_stage_calls_total",
+        "mmr_kernel_matchings",
+        "mmr_delay_seconds",
+        "mmr_jitter_seconds",
+        "mmr_residency_seconds",
+        "mmr_slo_violations_total",
+        "mmr_admission_accepted_total",
+        "mmr_admission_rejected_total",
+    ] {
+        assert!(
+            prom.contains(&format!("# TYPE {family} ")),
+            "exposition is missing family {family}"
+        );
+    }
+    // A disarmed result exposes nothing.
+    let plain = run_experiment(&fig5_style(0.6));
+    assert_eq!(plain.prometheus(), "", "disarmed exposition must be empty");
+}
+
+#[test]
+fn observatory_opt_out_removes_the_report_section() {
+    let cfg = fig5_style(0.6).with_telemetry(TelemetrySpec {
+        observatory: false,
+        ..TelemetrySpec::default()
+    });
+    let result = run_experiment(&cfg);
+    let report = result.telemetry.as_ref().unwrap();
+    assert!(report.observatory.is_none());
+    assert!(
+        report
+            .windows
+            .iter()
+            .all(|w| w.classes.iter().all(|c| c.slo_violations == 0)),
+        "no SLO accounting without the observatory"
+    );
+    let prom = result.prometheus();
+    mmr_core::sim::telemetry::validate_exposition(&prom).expect("still valid");
+    assert!(!prom.contains("mmr_delay_seconds"));
+}
+
+#[test]
 fn chaos_run_traces_fault_detections() {
     // The hottest quick chaos point, truncated to the fault window so
     // detections land in the retained ring tail.
