@@ -18,7 +18,7 @@ const BINS: &[&str] = &[
     "ablation_arbiters",
     "ablation_concurrency",
     "ablation_link_policy",
-    "ext_network",
+    "fabric_report",
     "ext_besteffort",
     "ext_hol_blocking",
 ];

@@ -3,6 +3,7 @@
 use mmr_arbiter::priority::PriorityKind;
 use mmr_arbiter::scheduler::ArbiterKind;
 use mmr_router::config::RouterConfig;
+use mmr_router::fabric::{FabricConfig, Topology};
 use mmr_router::fault::FaultProfile;
 use mmr_router::telemetry::TelemetryConfig;
 use mmr_sim::fault::FaultPlanConfig;
@@ -200,6 +201,56 @@ impl TelemetrySpec {
     }
 }
 
+/// Multi-router fabric geometry (the paper-§6 extension at scale).
+///
+/// When present on a [`SimConfig`], fabric experiments instantiate this
+/// topology of MMRs instead of the single router; the workload builders
+/// target the fabric's flat host-port space
+/// ([`Topology::workload_ports`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// Topology to instantiate.
+    pub topology: Topology,
+    /// Inter-node link latency in flit cycles (also the epoch length of
+    /// the sharded executor).
+    pub link_latency: u64,
+    /// Host (injection/ejection) links per router (ring/mesh/torus).
+    pub host_ports: usize,
+    /// Worker threads for fabric execution.  Results are bit-identical
+    /// for every value, so this is a performance knob, not a semantic
+    /// one.
+    pub workers: usize,
+}
+
+impl FabricSpec {
+    /// A spec for `topology` with the fabric defaults (single-cycle line
+    /// links, 4-cycle links otherwise, one host port, one worker).
+    pub fn new(topology: Topology) -> Self {
+        let d = FabricConfig::new(RouterConfig::default(), topology);
+        FabricSpec {
+            topology,
+            link_latency: d.link_latency,
+            host_ports: d.host_ports,
+            workers: 1,
+        }
+    }
+
+    /// A copy with a different worker count.
+    pub fn with_workers(self, workers: usize) -> Self {
+        FabricSpec { workers, ..self }
+    }
+
+    /// The router-side fabric config this spec describes.
+    pub fn to_config(self, router: RouterConfig) -> FabricConfig {
+        FabricConfig {
+            router,
+            topology: self.topology,
+            link_latency: self.link_latency,
+            host_ports: self.host_ports,
+        }
+    }
+}
+
 /// Which engine loop drives the simulation.
 ///
 /// Both produce bit-identical results (`ExperimentResult`, RNG stream
@@ -246,6 +297,11 @@ pub struct SimConfig {
     /// `Some(EngineMode::CycleByCycle)` to force the naive reference
     /// loop.
     pub engine: Option<EngineMode>,
+    /// Optional multi-router fabric geometry.  `None` (also what older
+    /// serialized configs deserialize to) keeps the single-router model;
+    /// `Some` routes fabric experiments through
+    /// [`mmr_router::fabric::Fabric`].
+    pub fabric: Option<FabricSpec>,
 }
 
 impl Default for SimConfig {
@@ -262,6 +318,7 @@ impl Default for SimConfig {
             fault: None,
             telemetry: None,
             engine: None,
+            fabric: None,
         }
     }
 }
@@ -311,6 +368,14 @@ impl SimConfig {
     pub fn with_engine(&self, engine: EngineMode) -> Self {
         SimConfig {
             engine: Some(engine),
+            ..self.clone()
+        }
+    }
+
+    /// A copy with a multi-router fabric geometry.
+    pub fn with_fabric(&self, fabric: FabricSpec) -> Self {
+        SimConfig {
+            fabric: Some(fabric),
             ..self.clone()
         }
     }
@@ -390,14 +455,36 @@ mod tests {
 
     #[test]
     fn legacy_configs_without_engine_field_deserialize() {
-        // Serialized configs from before the engine field existed must
-        // still load, defaulting to the horizon loop.
+        // Serialized configs from before the engine and fabric fields
+        // existed must still load, defaulting to the horizon loop and
+        // the single-router model.
         let json = serde_json::to_string(&SimConfig::default()).unwrap();
-        let legacy = json.replace(",\"engine\":null", "");
-        assert_ne!(legacy, json, "fixture must actually drop the field");
+        let legacy = json
+            .replace(",\"engine\":null", "")
+            .replace(",\"fabric\":null", "");
+        assert_ne!(legacy, json, "fixture must actually drop the fields");
         let back: SimConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.engine, None);
         assert_eq!(back.engine_mode(), EngineMode::EventHorizon);
+        assert_eq!(back.fabric, None);
+    }
+
+    #[test]
+    fn fabric_spec_roundtrips() {
+        let spec = FabricSpec::new(Topology::Mesh { x: 4, y: 4 }).with_workers(8);
+        assert_eq!(spec.link_latency, 4);
+        assert_eq!(spec.host_ports, 1);
+        let cfg = SimConfig::default().with_fabric(spec);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        let fc = spec.to_config(cfg.router);
+        assert_eq!(fc.topology.node_count(), 16);
+        // Line specs keep the historical single-cycle hop latency.
+        assert_eq!(
+            FabricSpec::new(Topology::Line { stages: 3 }).link_latency,
+            1
+        );
     }
 
     #[test]

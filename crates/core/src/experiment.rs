@@ -1,6 +1,7 @@
 //! Build-and-run for one simulation point.
 
-use crate::config::{EngineMode, InjectionKind, RunLength, SimConfig, WorkloadSpec};
+use crate::config::{EngineMode, FabricSpec, InjectionKind, RunLength, SimConfig, WorkloadSpec};
+use mmr_router::fabric::{Fabric, FabricRunOutcome, FabricSummary};
 use mmr_router::router::{MmrRouter, RouterSummary};
 use mmr_router::telemetry::TelemetryReport;
 use mmr_sim::engine::{Runner, StopCondition};
@@ -59,10 +60,16 @@ impl ExperimentResult {
 
 /// Construct the workload a config describes.
 pub fn build_workload(cfg: &SimConfig) -> Workload {
+    build_workload_for_ports(cfg, cfg.router.ports)
+}
+
+/// As [`build_workload`], but targeting an explicit port count — fabric
+/// experiments pass the topology's flat host-port space.
+pub fn build_workload_for_ports(cfg: &SimConfig, ports: usize) -> Workload {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut workload = match &cfg.workload {
         WorkloadSpec::Cbr { target_load } => {
-            CbrMixBuilder::new(cfg.router.ports, cfg.router.time, cfg.router.round)
+            CbrMixBuilder::new(ports, cfg.router.time, cfg.router.round)
                 .target_load(*target_load)
                 .build(&mut rng)
         }
@@ -76,7 +83,7 @@ pub fn build_workload(cfg: &SimConfig) -> Workload {
                 InjectionKind::SmoothRate => VbrInjection::SmoothRate,
                 InjectionKind::BackToBack => VbrInjection::BackToBack,
             };
-            VbrMixBuilder::new(cfg.router.ports, cfg.router.time, cfg.router.round)
+            VbrMixBuilder::new(ports, cfg.router.time, cfg.router.round)
                 .target_load(*target_load)
                 .gops(*gops)
                 .injection(inj)
@@ -86,7 +93,7 @@ pub fn build_workload(cfg: &SimConfig) -> Workload {
     };
     if let Some(be) = &cfg.best_effort {
         workload.append_best_effort(
-            cfg.router.ports,
+            ports,
             be.per_link_load,
             be.mean_flits,
             &cfg.router.time,
@@ -149,10 +156,85 @@ pub fn run_experiment(cfg: &SimConfig) -> ExperimentResult {
     }
 }
 
+/// Result of one fabric simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricExperimentResult {
+    /// The configuration that produced this result (always carries
+    /// `Some(fabric)`).
+    pub config: SimConfig,
+    /// Offered load actually achieved by admission (mean over the
+    /// fabric's host links).
+    pub achieved_load: f64,
+    /// Connections admitted.
+    pub connections: usize,
+    /// CAC accept/reject counts from workload construction.
+    pub admission: AdmissionTally,
+    /// Engine accounting (executed counts stepped plus skipped).
+    pub outcome: FabricRunOutcome,
+    /// True if the workload drained completely (finite workloads only).
+    pub drained: bool,
+    /// Fabric-side results.
+    pub summary: FabricSummary,
+}
+
+/// The fabric workload a config describes: the usual builders, targeting
+/// the topology's flat host-port space.
+pub fn build_fabric_workload(cfg: &SimConfig, spec: &FabricSpec) -> Workload {
+    let ports = spec
+        .topology
+        .workload_ports(cfg.router.ports, spec.host_ports);
+    build_workload_for_ports(cfg, ports)
+}
+
+/// Build the fabric for a config and workload.
+pub fn build_fabric(cfg: &SimConfig, spec: &FabricSpec, workload: Workload) -> Fabric {
+    Fabric::new(
+        spec.to_config(cfg.router),
+        workload,
+        cfg.arbiter,
+        cfg.priority,
+        cfg.seed,
+    )
+}
+
+/// Run one fabric experiment to completion on `cfg.fabric.workers`
+/// worker threads.  Results are bit-identical for every worker count and
+/// engine mode; fault injection and telemetry arming are single-router
+/// features and are ignored here.
+///
+/// # Panics
+///
+/// Panics if `cfg.fabric` is `None`.
+pub fn run_fabric_experiment(cfg: &SimConfig) -> FabricExperimentResult {
+    let spec = cfg
+        .fabric
+        .expect("run_fabric_experiment needs cfg.fabric = Some(..)");
+    let workload = build_fabric_workload(cfg, &spec);
+    let achieved_load = workload.mean_load();
+    let connections = workload.len();
+    let admission = workload.admission;
+    let mut fabric = build_fabric(cfg, &spec, workload);
+    let bound = match cfg.run {
+        RunLength::Cycles(n) | RunLength::UntilDrained { max_cycles: n } => n,
+    };
+    let horizon = cfg.engine_mode() == EngineMode::EventHorizon;
+    let outcome = fabric.run_parallel(cfg.warmup_cycles, bound, spec.workers, horizon);
+    FabricExperimentResult {
+        config: cfg.clone(),
+        achieved_load,
+        connections,
+        admission,
+        outcome,
+        drained: fabric.drained(),
+        summary: fabric.summary(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mmr_arbiter::scheduler::ArbiterKind;
+    use mmr_router::fabric::Topology;
     use mmr_traffic::connection::TrafficClass;
 
     #[test]
@@ -236,6 +318,27 @@ mod tests {
         assert_eq!(faulty.connections, clean.connections);
         // Determinism holds for chaos runs too.
         assert_eq!(faulty, run_experiment(&faulty_cfg));
+    }
+
+    #[test]
+    fn fabric_experiment_runs_and_is_worker_invariant() {
+        let cfg = SimConfig {
+            workload: WorkloadSpec::cbr(0.4),
+            warmup_cycles: 300,
+            run: RunLength::Cycles(4_000),
+            ..Default::default()
+        }
+        .with_fabric(FabricSpec::new(Topology::Mesh { x: 3, y: 3 }));
+        let one = run_fabric_experiment(&cfg);
+        assert!(one.connections > 0);
+        assert!(one.summary.delivered_flits > 0);
+        assert_eq!(one.summary.nodes, 9);
+        assert_eq!(one.outcome.executed, 4_000);
+        let spec = cfg.fabric.unwrap().with_workers(4);
+        let four = run_fabric_experiment(&cfg.with_fabric(spec));
+        // Worker count is a pure performance knob.
+        assert_eq!(one.summary, four.summary);
+        assert_eq!(one.achieved_load, four.achieved_load);
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! runs and fewer GOPs but identical structure, so shapes are preserved —
 //! only statistical smoothness differs.
 
-use crate::config::{BestEffortSpec, FaultSpec, InjectionKind, RunLength, SimConfig, WorkloadSpec};
+use crate::config::{
+    BestEffortSpec, FabricSpec, FaultSpec, InjectionKind, RunLength, SimConfig, WorkloadSpec,
+};
 use crate::sweep::SweepSpec;
 use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_router::fabric::Topology;
 use mmr_router::fault::FaultProfile;
 use mmr_sim::fault::FaultPlanConfig;
 
@@ -89,6 +92,24 @@ pub fn arbiter_field(fidelity: Fidelity) -> SweepSpec {
     let mut spec = fig5(fidelity);
     spec.arbiters = ArbiterKind::all();
     spec
+}
+
+/// The fabric scaling scenario backing the BENCH fabric section and CI
+/// gate: a 4×4 mesh of MMRs (16 routers) under the CBR mix at load 0.6,
+/// measured at several worker counts.  Results are bit-identical across
+/// worker counts; only wall-clock differs.
+pub fn fabric_mesh(fidelity: Fidelity) -> SimConfig {
+    let (warmup, cycles): (u64, u64) = match fidelity {
+        Fidelity::Quick => (1_000, 15_000),
+        Fidelity::Full => (5_000, 60_000),
+    };
+    SimConfig {
+        workload: WorkloadSpec::cbr(0.6),
+        warmup_cycles: warmup,
+        run: RunLength::Cycles(cycles),
+        ..Default::default()
+    }
+    .with_fabric(FabricSpec::new(Topology::Mesh { x: 4, y: 4 }))
 }
 
 /// A chaos experiment: one base configuration plus the fault-rate
@@ -198,6 +219,19 @@ mod tests {
     fn arbiter_field_covers_all() {
         let s = arbiter_field(Fidelity::Quick);
         assert_eq!(s.arbiters.len(), ArbiterKind::all().len());
+    }
+
+    #[test]
+    fn fabric_scenario_is_a_16_router_mesh_at_load_0_6() {
+        let cfg = fabric_mesh(Fidelity::Quick);
+        let spec = cfg.fabric.expect("fabric scenario carries a spec");
+        assert_eq!(spec.topology.node_count(), 16);
+        assert_eq!(cfg.workload.target_load(), 0.6);
+        let full = fabric_mesh(Fidelity::Full);
+        let (RunLength::Cycles(q), RunLength::Cycles(f)) = (cfg.run, full.run) else {
+            panic!()
+        };
+        assert!(f > q);
     }
 
     #[test]

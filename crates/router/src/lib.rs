@@ -31,8 +31,12 @@
 //!   snapshots, all free when disarmed and deterministic when armed.
 //! * [`router`] — [`router::MmrRouter`], the top-level
 //!   [`mmr_sim::CycleModel`] tying the pipeline together.
-//! * [`network`] — multi-router extension (paper §6 future work): a line
-//!   of MMRs with per-hop credit flow control.
+//! * [`fabric`] — the sharded multi-router fabric (paper §6 future
+//!   work): line/ring/mesh/torus topologies of MMRs with dimension-order
+//!   routing, epoch-batched boundary exchange, and deterministic
+//!   multi-worker execution.
+//! * [`network`] — the original line-of-MMRs extension, now a thin
+//!   wrapper over a line-topology [`fabric`].
 //! * [`holfifo`] — the rejected single-FIFO-per-input design, reproducing
 //!   Karol et al.'s 58.6 % HOL-blocking limit that motivates the MMR's
 //!   per-connection virtual channels.
@@ -42,6 +46,7 @@
 pub mod config;
 pub mod credit;
 pub mod crossbar;
+pub mod fabric;
 pub mod fault;
 pub mod holfifo;
 pub mod link_scheduler;

@@ -1,70 +1,35 @@
 //! Multi-router extension (paper §6 future work): a line of MMRs.
 //!
 //! "In order to assess the conclusions obtained, this study must be further
-//! extended to a network composed of several MMRs."  This module builds the
-//! simplest such network — `S` routers in tandem — reusing the single-router
-//! components: each connection enters stage 0 through a NIC, follows a fixed
-//! per-stage output-port path (Pipelined Circuit Switching reserves the path
-//! at setup), and is consumed after the last stage.  Credit-based flow
-//! control runs hop by hop: a head flit may only be offered to stage *s*'s
-//! crossbar when the connection's VC buffer at stage *s+1* has space.
+//! extended to a network composed of several MMRs."  This module used to
+//! hold a bespoke sequential line-of-routers model; it is now a thin
+//! wrapper over the topology-general [`fabric`](crate::fabric) with a
+//! [`Topology::Line`] description — one network model, not two.  Each
+//! connection enters stage 0 through a NIC, follows a fixed per-stage
+//! output-port path (Pipelined Circuit Switching reserves the path at
+//! setup, with the same seeded draws as the pre-fabric model), and is
+//! consumed after the last stage; credit-based flow control runs hop by
+//! hop over single-cycle links, so a flit advances at most one hop per
+//! flit cycle — exactly the behaviour of independent routers on short
+//! links.
 //!
-//! All stages arbitrate concurrently from pre-cycle state, so a flit
-//! advances at most one hop per flit cycle — exactly the behaviour of
-//! independent routers on short links.
+//! The wrapper keeps the historical [`NetworkSummary`] shape and — via
+//! the fabric — inherits multi-worker execution and the event-horizon
+//! engine for free.
 
 use crate::config::RouterConfig;
-use crate::credit::CreditBank;
-use crate::crossbar::{Crossbar, CrossedFlit};
-use crate::link_scheduler::{LinkScheduler, VcQosInfo};
-use crate::metrics::{MetricsCollector, MetricsReport};
-use crate::nic::Nic;
-use crate::output::Delivery;
-use crate::vcmem::VcMemory;
-use mmr_arbiter::candidate::CandidateSet;
-use mmr_arbiter::priority::LinkPriority;
-use mmr_arbiter::scheduler::{ArbiterKind, SwitchScheduler};
+use crate::fabric::{Fabric, FabricConfig, Topology};
+use crate::metrics::MetricsReport;
+use mmr_arbiter::priority::PriorityKind;
+use mmr_arbiter::scheduler::ArbiterKind;
 use mmr_sim::engine::CycleModel;
-use mmr_sim::rng::SimRng;
-use mmr_sim::time::{FlitCycle, RouterCycle};
-use mmr_traffic::connection::ConnectionSpec;
-use mmr_traffic::flit::Flit;
+use mmr_sim::time::FlitCycle;
 use mmr_traffic::workload::Workload;
 use serde::{Deserialize, Serialize};
 
-/// One router stage of the line.
-struct Stage {
-    mem: VcMemory,
-    link_scheds: Vec<LinkScheduler>,
-    qos: Vec<VcQosInfo>,
-    arbiter: Box<dyn SwitchScheduler>,
-    crossbar: Crossbar,
-    /// Credits for the *next* stage's VC buffers (unused at the last
-    /// stage, where the hosts consume flits immediately).
-    credits_down: CreditBank,
-    candidates: CandidateSet,
-}
-
-/// A tandem network of MMRs.
+/// A tandem network of MMRs: a line-topology [`Fabric`].
 pub struct LineNetwork {
-    cfg: RouterConfig,
-    priority_fn: Box<dyn LinkPriority>,
-    specs: Vec<ConnectionSpec>,
-    /// Per connection, the output port taken at each stage.
-    paths: Vec<Vec<usize>>,
-    sources: Vec<Box<dyn mmr_traffic::source::TrafficSource + Send>>,
-    nic_slot: Vec<(usize, usize)>,
-    nics: Vec<Nic>,
-    nic_credits: CreditBank,
-    stages: Vec<Stage>,
-    metrics: MetricsCollector,
-    rng: SimRng,
-    rc_per_flit: u64,
-    crossing_rc: u64,
-    drain_buf: Vec<Flit>,
-    crossed_buf: Vec<CrossedFlit>,
-    generated_total: u64,
-    delivered_total: u64,
+    fabric: Fabric,
 }
 
 impl LineNetwork {
@@ -77,267 +42,89 @@ impl LineNetwork {
         workload: Workload,
         stages: usize,
         arbiter_kind: ArbiterKind,
-        priority_fn: Box<dyn LinkPriority>,
+        priority: PriorityKind,
         seed: u64,
     ) -> Self {
-        assert!(stages >= 1, "need at least one stage");
-        cfg.validate();
-        let Workload {
-            connections: specs,
-            sources,
-            ..
-        } = workload;
-        let n = specs.len();
-        let mut rng = SimRng::seed_from_u64(seed ^ 0x4C49_4E45);
-
-        // Reserve a path per connection: ports at stage boundaries.
-        let mut paths: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for s in &specs {
-            let mut p = Vec::with_capacity(stages);
-            for stage in 0..stages {
-                if stage + 1 == stages {
-                    p.push(s.output);
-                } else {
-                    p.push(rng.index(cfg.ports));
-                }
-            }
-            paths.push(p);
-        }
-
-        // Input port of each connection at each stage: stage 0 uses the
-        // spec input; stage s+1 uses the output port at stage s.
-        let input_at = |conn: usize, stage: usize| -> usize {
-            if stage == 0 {
-                specs[conn].input
-            } else {
-                paths[conn][stage - 1]
-            }
-        };
-
-        let mut stage_vec = Vec::with_capacity(stages);
-        for stage in 0..stages {
-            let mut by_input: Vec<Vec<usize>> = vec![Vec::new(); cfg.ports];
-            for conn in 0..n {
-                by_input[input_at(conn, stage)].push(conn);
-            }
-            let link_scheds = by_input
-                .iter()
-                .enumerate()
-                .map(|(p, conns)| LinkScheduler::new(p, conns.clone()))
-                .collect();
-            let qos = (0..n)
-                .map(|conn| VcQosInfo {
-                    output: paths[conn][stage],
-                    reserved_slots: specs[conn].reserved_slots,
-                    iat_rc: specs[conn].iat_router_cycles(&cfg.time),
-                })
-                .collect();
-            stage_vec.push(Stage {
-                mem: VcMemory::new(n, cfg.vc_buffer_flits, cfg.vc_ram_banks),
-                link_scheds,
-                qos,
-                arbiter: arbiter_kind.instantiate(cfg.ports),
-                crossbar: Crossbar::new(cfg.ports),
-                credits_down: CreditBank::new(n, cfg.vc_buffer_flits as u32),
-                candidates: CandidateSet::new(cfg.ports, cfg.candidate_levels),
-            });
-        }
-
-        let mut by_input: Vec<Vec<usize>> = vec![Vec::new(); cfg.ports];
-        for s in &specs {
-            by_input[s.input].push(s.id.idx());
-        }
-        let mut nic_slot = vec![(0usize, 0usize); n];
-        for (port, conns) in by_input.iter().enumerate() {
-            for (local, &conn) in conns.iter().enumerate() {
-                nic_slot[conn] = (port, local);
-            }
-        }
-        let rc_per_flit = cfg.router_cycles_per_flit();
+        let fabric_cfg = FabricConfig::new(cfg, Topology::Line { stages });
         LineNetwork {
-            specs,
-            paths,
-            sources,
-            nic_slot,
-            nics: by_input.iter().map(|c| Nic::new(c.clone())).collect(),
-            nic_credits: CreditBank::new(n, cfg.vc_buffer_flits as u32),
-            stages: stage_vec,
-            metrics: MetricsCollector::new(n, cfg.time),
-            rng: SimRng::seed_from_u64(seed ^ 0x6E65_7477),
-            rc_per_flit,
-            crossing_rc: cfg.crossing_latency_flits * rc_per_flit,
-            drain_buf: Vec::new(),
-            crossed_buf: Vec::new(),
-            generated_total: 0,
-            delivered_total: 0,
-            priority_fn,
-            cfg,
+            fabric: Fabric::new(fabric_cfg, workload, arbiter_kind, priority, seed),
         }
+    }
+
+    /// The underlying fabric (e.g. for [`Fabric::run_parallel`] or RNG
+    /// fingerprinting).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Mutable access to the underlying fabric.
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
     }
 
     /// Number of router stages.
     pub fn stage_count(&self) -> usize {
-        self.stages.len()
+        self.fabric.node_count()
     }
 
     /// The reserved path of one connection: output port at each stage.
     pub fn path_of(&self, conn: usize) -> &[usize] {
-        &self.paths[conn]
+        self.fabric.path_of(conn)
     }
 
     /// QoS metrics snapshot (end-to-end, across all stages).
     pub fn metrics_report(&self) -> MetricsReport {
-        self.metrics.report()
+        self.fabric.metrics_report()
     }
 
     /// Mean crossbar utilization per stage.
     pub fn stage_utilizations(&self) -> Vec<f64> {
-        self.stages
-            .iter()
-            .map(|s| s.crossbar.mean_utilization())
-            .collect()
+        self.fabric.node_utilizations()
     }
 
     /// Flits buffered anywhere in the network.
     pub fn backlog(&self) -> usize {
-        self.nics.iter().map(Nic::total_depth).sum::<usize>()
-            + self
-                .stages
-                .iter()
-                .map(|s| s.mem.total_occupancy())
-                .sum::<usize>()
+        self.fabric.backlog()
     }
 
     /// True when sources are exhausted and all buffers empty.
     pub fn drained(&self) -> bool {
-        self.sources.iter().all(|s| s.peek_next().is_none()) && self.backlog() == 0
+        self.fabric.drained()
     }
 
     /// Run summary.
     pub fn summary(&self) -> NetworkSummary {
+        let s = self.fabric.summary();
         NetworkSummary {
-            stages: self.stages.len(),
-            metrics: self.metrics.report(),
-            stage_utilization: self.stage_utilizations(),
-            generated_flits: self.generated_total,
-            delivered_flits: self.delivered_total,
-            backlog_flits: self.backlog(),
+            stages: s.nodes,
+            metrics: s.metrics,
+            stage_utilization: s.node_utilization,
+            generated_flits: s.generated_flits,
+            delivered_flits: s.delivered_flits,
+            backlog_flits: s.backlog_flits,
         }
     }
 }
 
 impl CycleModel for LineNetwork {
     fn step(&mut self, now: FlitCycle, measuring: bool) {
-        let now_rc = RouterCycle(now.0 * self.rc_per_flit);
-        let last = self.stages.len() - 1;
-
-        // 1. Sources -> NICs.
-        for i in 0..self.sources.len() {
-            self.drain_buf.clear();
-            self.sources[i].drain_until(now_rc, &mut self.drain_buf);
-            let (port, local) = self.nic_slot[i];
-            let class = self.specs[i].class;
-            for &flit in self.drain_buf.iter() {
-                self.nics[port].enqueue(local, flit);
-                self.generated_total += 1;
-                if measuring {
-                    self.metrics.record_generated(class);
-                }
-            }
-        }
-
-        // 2. Every stage arbitrates from pre-cycle state.
-        let mut matchings = Vec::with_capacity(self.stages.len());
-        for (si, stage) in self.stages.iter_mut().enumerate() {
-            stage.candidates.clear();
-            let gate_credits = si < last;
-            let credits = &stage.credits_down;
-            for ls in &mut stage.link_scheds {
-                ls.select_where(
-                    &stage.mem,
-                    &stage.qos,
-                    self.priority_fn.as_ref(),
-                    now_rc,
-                    &mut stage.candidates,
-                    |vc| !gate_credits || credits.has_credit(vc),
-                );
-            }
-            let m = stage.arbiter.schedule(&stage.candidates, &mut self.rng);
-            matchings.push(m);
-        }
-
-        // 3. Apply transfers stage by stage (pushes land with end-of-cycle
-        //    arrival times, so they cannot be re-scheduled this cycle).
-        let arrival = RouterCycle(now_rc.0 + self.rc_per_flit);
-        #[allow(clippy::needless_range_loop)] // stage index addresses si+1 too
-        for si in 0..self.stages.len() {
-            let mut crossed = std::mem::take(&mut self.crossed_buf);
-            {
-                let stage = &mut self.stages[si];
-                stage
-                    .crossbar
-                    .transfer(&matchings[si], &mut stage.mem, measuring, &mut crossed);
-            }
-            for cf in &crossed {
-                if si == last {
-                    // Delivered to the destination host.
-                    self.delivered_total += 1;
-                    let delivery = Delivery {
-                        flit: cf.buffered.flit,
-                        output: cf.output,
-                        delivered_at: RouterCycle(now_rc.0 + self.crossing_rc),
-                    };
-                    if measuring {
-                        self.metrics
-                            .record_delivery(&delivery, self.specs[cf.vc].class);
-                    }
-                } else {
-                    // Advance to the next stage; consumes a downstream
-                    // credit (checked at candidate selection).
-                    self.stages[si].credits_down.spend(cf.vc);
-                    self.stages[si + 1]
-                        .mem
-                        .push(cf.vc, cf.buffered.flit, arrival);
-                }
-                // Return a credit upstream: to the NIC for stage 0, to the
-                // previous stage otherwise.
-                if si == 0 {
-                    self.nic_credits.queue_return(cf.vc);
-                } else {
-                    self.stages[si - 1].credits_down.queue_return(cf.vc);
-                }
-            }
-            self.crossed_buf = crossed;
-        }
-
-        // 4. NIC link controllers feed stage 0.
-        for nic in &mut self.nics {
-            let credits = &self.nic_credits;
-            if let Some((conn, flit)) = nic.forward_one(|c| credits.has_credit(c)) {
-                self.nic_credits.spend(conn);
-                self.stages[0].mem.push(conn, flit, arrival);
-            }
-        }
-
-        // 5. Credit returns become visible next cycle.
-        self.nic_credits.apply_returns();
-        for stage in &mut self.stages {
-            stage.credits_down.apply_returns();
-        }
+        self.fabric.step(now, measuring);
     }
 
-    fn on_measurement_start(&mut self, _now: FlitCycle) {
-        let n = self.specs.len();
-        self.metrics = MetricsCollector::new(n, self.cfg.time);
-        for stage in &mut self.stages {
-            stage.crossbar.reset_stats();
-        }
-        self.generated_total = 0;
-        self.delivered_total = 0;
+    fn on_measurement_start(&mut self, now: FlitCycle) {
+        self.fabric.on_measurement_start(now);
     }
 
-    fn is_done(&self, _now: FlitCycle) -> bool {
-        self.drained()
+    fn is_done(&self, now: FlitCycle) -> bool {
+        self.fabric.is_done(now)
+    }
+
+    fn next_event(&self, now: FlitCycle) -> FlitCycle {
+        self.fabric.next_event(now)
+    }
+
+    fn skip_quiescent(&mut self, from: FlitCycle, n: u64, measuring: bool) {
+        self.fabric.skip_quiescent(from, n, measuring);
     }
 }
 
@@ -361,8 +148,8 @@ pub struct NetworkSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmr_arbiter::priority::Siabp;
     use mmr_sim::engine::{Runner, StopCondition};
+    use mmr_sim::rng::SimRng;
     use mmr_traffic::admission::RoundConfig;
     use mmr_traffic::workload::CbrMixBuilder;
 
@@ -372,7 +159,7 @@ mod tests {
         let w = CbrMixBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
             .target_load(load)
             .build(&mut rng);
-        LineNetwork::new(cfg, w, stages, ArbiterKind::Coa, Box::new(Siabp), seed)
+        LineNetwork::new(cfg, w, stages, ArbiterKind::Coa, PriorityKind::Siabp, seed)
     }
 
     #[test]
@@ -427,5 +214,20 @@ mod tests {
         for (i, u) in net.stage_utilizations().iter().enumerate() {
             assert!(*u > 0.1, "stage {i} utilization {u}");
         }
+    }
+
+    #[test]
+    fn line_network_horizon_engine_agrees() {
+        let run = |horizon: bool| {
+            let mut net = network(2, 0.15, 5);
+            let runner = Runner::new(300, StopCondition::Cycles(5_000));
+            let o = if horizon {
+                runner.run_horizon(&mut net)
+            } else {
+                runner.run(&mut net)
+            };
+            (net.summary(), o.executed)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -15,6 +15,9 @@
 //! * [`vbr`] — VBR sources that replay a trace through an injection model.
 //! * [`besteffort`] — unreserved Poisson message traffic scavenging the
 //!   residual bandwidth (the hybrid-switching goal of §1–2).
+//! * [`path`] — multi-hop connection paths for the fabric extension:
+//!   dimension-order mesh/torus routes, ring routes, and the host-link
+//!   endpoint mapping (paper §6).
 //! * [`admission`] — connection admission control: slot accounting per
 //!   round for CBR, average + peak×concurrency-factor tests for VBR (§2
 //!   "Connection Set up").
@@ -33,6 +36,7 @@ pub mod connection;
 pub mod flit;
 pub mod injection;
 pub mod mpeg;
+pub mod path;
 pub mod source;
 pub mod vbr;
 pub mod workload;

@@ -29,6 +29,21 @@ echo "== bench_report smoke + perf gates =="
 BASELINE="$(ls results/BENCH_*.json | sort -V | tail -1)"
 cargo run --release -q -p mmr-bench --bin bench_report -- --quick --gate "$BASELINE"
 
+echo "== fabric scaling gate =="
+# Measure the 16-router 4x4 mesh fabric at worker counts 1/2/8 (results
+# asserted bit-identical across counts), merge the fabric section into
+# the BENCH_<n>.json bench_report just wrote — so the trajectory files
+# keep carrying fabric numbers — and gate against the committed
+# baseline: on hosts with >= 8 CPUs the 8-worker run must reach
+# MMR_FABRIC_GATE_SPEEDUP (2.5x) the 1-worker throughput; on smaller
+# hosts that is physically unmeasurable and the clause degrades to the
+# MMR_FABRIC_GATE_OVERSUB oversubscription floor.  The 1-worker
+# throughput must also stay within MMR_FABRIC_GATE_PCT (35%) of the
+# baseline's fabric section, drift-normalized by a single-router
+# reference run.
+NEWEST="$(ls results/BENCH_*.json | sort -V | tail -1)"
+cargo run --release -q -p mmr-bench --bin fabric_report -- --merge "$NEWEST" --gate "$BASELINE"
+
 echo "== trace_report smoke =="
 cargo run --release -q -p mmr-bench --bin trace_report
 test -s results/telemetry_fig5_cbr.json

@@ -3,10 +3,14 @@
 
 use mmr_core::arbiter::scheduler::ArbiterKind;
 use mmr_core::config::{
-    BestEffortSpec, EngineMode, FaultSpec, InjectionKind, RunLength, SimConfig, TelemetrySpec,
-    WorkloadSpec,
+    BestEffortSpec, EngineMode, FabricSpec, FaultSpec, InjectionKind, RunLength, SimConfig,
+    TelemetrySpec, WorkloadSpec,
 };
-use mmr_core::experiment::{build_router, build_workload, run_experiment, ExperimentResult};
+use mmr_core::experiment::{
+    build_fabric, build_fabric_workload, build_router, build_workload, run_experiment,
+    run_fabric_experiment, ExperimentResult,
+};
+use mmr_core::router::fabric::Topology;
 use mmr_core::scenarios::{chaos, vbr_cycle_budget, Fidelity};
 use mmr_core::sim::engine::{CycleModel, Runner, StopCondition};
 use mmr_core::sim::time::FlitCycle;
@@ -460,4 +464,106 @@ fn arbiter_rng_does_not_leak_into_workload() {
     let wfa = run_experiment(&quick(0.6, 5).with_arbiter(ArbiterKind::Wfa));
     assert_eq!(coa.connections, wfa.connections);
     assert_eq!(coa.achieved_load, wfa.achieved_load);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric determinism: bit-identity across worker counts and engine modes.
+// ---------------------------------------------------------------------------
+
+fn fabric_cfg(load: f64, seed: u64) -> SimConfig {
+    quick(load, seed).with_fabric(FabricSpec::new(Topology::Mesh { x: 4, y: 4 }))
+}
+
+/// Everything observable about one fabric run: the serialized summary,
+/// the per-router RNG fingerprints, and the engine accounting.
+fn fabric_probe(cfg: &SimConfig, workers: usize, horizon: bool) -> (String, Vec<u64>, u64, u64) {
+    let spec = cfg.fabric.expect("fabric spec");
+    let (RunLength::Cycles(cycles) | RunLength::UntilDrained { max_cycles: cycles }) = cfg.run;
+    let mut fabric = build_fabric(cfg, &spec, build_fabric_workload(cfg, &spec));
+    let out = fabric.run_parallel(cfg.warmup_cycles, cycles, workers, horizon);
+    (
+        serde_json::to_string(&fabric.summary()).expect("summary serializes"),
+        fabric.rng_fingerprints(),
+        out.executed,
+        out.measured,
+    )
+}
+
+#[test]
+fn fabric_is_byte_identical_across_worker_counts() {
+    for &(load, seed) in &[(0.3, 21u64), (0.6, 22)] {
+        let cfg = fabric_cfg(load, seed);
+        let base = fabric_probe(&cfg, 1, false);
+        for workers in [2usize, 8] {
+            let probe = fabric_probe(&cfg, workers, false);
+            assert_eq!(
+                base, probe,
+                "fabric diverged at {workers} workers (load {load}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fabric_engine_modes_agree_with_each_other_and_with_the_runner() {
+    let cfg = fabric_cfg(0.4, 23);
+    let spec = cfg.fabric.unwrap();
+    let (RunLength::Cycles(cycles) | RunLength::UntilDrained { max_cycles: cycles }) = cfg.run;
+    // Reference: the sequential Runner driving the fabric as a CycleModel,
+    // in both of its loops.
+    let runner_probe = |horizon: bool| {
+        let mut fabric = build_fabric(&cfg, &spec, build_fabric_workload(&cfg, &spec));
+        let runner = Runner::new(cfg.warmup_cycles, StopCondition::Cycles(cycles));
+        let out = if horizon {
+            runner.run_horizon(&mut fabric)
+        } else {
+            runner.run(&mut fabric)
+        };
+        (
+            serde_json::to_string(&fabric.summary()).expect("serializes"),
+            fabric.rng_fingerprints(),
+            out.executed,
+        )
+    };
+    let naive = runner_probe(false);
+    let horizon = runner_probe(true);
+    assert_eq!(naive, horizon, "Runner loops diverged on the fabric");
+    // run_parallel in both modes, at several worker counts, must land on
+    // the same state (executed-cycle accounting included: every mode
+    // advances through all `cycles`).
+    for workers in [1usize, 2, 8] {
+        for h in [false, true] {
+            let p = fabric_probe(&cfg, workers, h);
+            assert_eq!(
+                (&naive.0, &naive.1, naive.2),
+                (&p.0, &p.1, p.2),
+                "run_parallel({workers}, horizon={h}) diverged from the Runner"
+            );
+        }
+    }
+}
+
+#[test]
+fn fabric_per_router_rng_fingerprints_are_stable() {
+    // The per-router arbitration streams are split deterministically off
+    // the master seed: same seed -> same fingerprints, different seed ->
+    // different fingerprints (and node count matches the topology).
+    let a = fabric_probe(&fabric_cfg(0.5, 31), 2, true);
+    let b = fabric_probe(&fabric_cfg(0.5, 31), 8, true);
+    let c = fabric_probe(&fabric_cfg(0.5, 32), 2, true);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.1.len(), 16, "one fingerprint per router");
+    assert_ne!(a.1, c.1, "distinct seeds must shift the RNG streams");
+}
+
+#[test]
+fn fabric_experiments_are_bit_identical() {
+    let cfg = fabric_cfg(0.5, 33);
+    let a = run_fabric_experiment(&cfg);
+    let b = run_fabric_experiment(&cfg);
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
 }

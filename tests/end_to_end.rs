@@ -150,7 +150,7 @@ fn all_arbiters_run_the_full_pipeline() {
 
 #[test]
 fn line_network_end_to_end() {
-    use mmr_core::arbiter::priority::Siabp;
+    use mmr_core::arbiter::priority::PriorityKind;
     use mmr_core::router::config::RouterConfig;
     use mmr_core::router::network::LineNetwork;
     use mmr_core::sim::rng::SimRng;
@@ -163,7 +163,7 @@ fn line_network_end_to_end() {
         .target_load(0.4)
         .build(&mut rng);
     let conns = w.len();
-    let mut net = LineNetwork::new(cfg, w, 3, ArbiterKind::Coa, Box::new(Siabp), 11);
+    let mut net = LineNetwork::new(cfg, w, 3, ArbiterKind::Coa, PriorityKind::Siabp, 11);
     assert_eq!(net.stage_count(), 3);
     for conn in 0..conns {
         assert_eq!(net.path_of(conn).len(), 3);

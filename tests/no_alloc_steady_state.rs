@@ -532,6 +532,47 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
         );
     }
 
+    // --- Fabric: sharded mesh steady state ------------------------------
+    // A 4×4 mesh of routers driven through the fabric's inline
+    // (workers = 1) epoch path: mailbox double-buffering is pointer
+    // swaps, pending wires drain into reused deques, per-node event
+    // buffers and the commit cursor vector hold their high-water
+    // capacity.  After a warm-up that routes multi-hop traffic through
+    // every lane, stepping the whole 16-router fabric must make zero
+    // allocator calls.  (Worker threads have their own stacks and are
+    // not measurable with a thread-local counter, which is why the
+    // steady-state contract is pinned on the inline path; the parallel
+    // path runs the same per-node code on pre-split slices.)
+    {
+        use mmr_core::experiment::{build_fabric, build_fabric_workload};
+        use mmr_core::scenarios::{fabric_mesh, Fidelity};
+        let cfg = fabric_mesh(Fidelity::Quick);
+        let spec = cfg.fabric.expect("fabric scenario carries a spec");
+        let workload = build_fabric_workload(&cfg, &spec);
+        let mut fabric = build_fabric(&cfg, &spec, workload);
+        let mut t = 0u64;
+        for _ in 0..8_000 {
+            fabric.step(FlitCycle(t), false);
+            t += 1;
+        }
+        let before = fabric.summary().delivered_flits;
+        let allocs = allocations_in(|| {
+            for _ in 0..1_500 {
+                fabric.step(FlitCycle(t), false);
+                t += 1;
+            }
+        });
+        let delivered = fabric.summary().delivered_flits - before;
+        assert!(
+            delivered > 0,
+            "fabric measured region must deliver traffic, delivered {delivered}"
+        );
+        assert_eq!(
+            allocs, 0,
+            "fabric step allocated {allocs} times in steady state"
+        );
+    }
+
     // --- EventLog recording ---------------------------------------------
     // The debug event log formats into a reusable byte arena: recording
     // (including wrap-around eviction of old entries) makes no allocator
