@@ -30,6 +30,81 @@ impl InjectionKind {
     }
 }
 
+/// One connection group of a [`WorkloadSpec::Mix`] workload: a CBR class
+/// with an explicit rate and pick weight (the declarative analogue of the
+/// paper's fixed three-class mix).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixGroup {
+    /// Reporting class the group's connections carry.
+    pub class: mmr_traffic::connection::TrafficClass,
+    /// Per-connection bandwidth in bits per second.
+    pub rate_bps: f64,
+    /// Relative pick probability during admission.
+    pub weight: f64,
+}
+
+/// One breakpoint of a ramp schedule: by `at_cycle`, `fraction` of the
+/// admitted connections must be active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RampStepConfig {
+    /// Router cycle of the breakpoint.
+    pub at_cycle: u64,
+    /// Fraction of admitted connections active from this breakpoint on
+    /// (non-decreasing across steps; the last step must reach 1.0).
+    pub fraction: f64,
+}
+
+/// A ramp schedule: admitted connections activate in admission order so
+/// that exactly `round(fraction * total)` are active at each breakpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RampScheduleConfig {
+    /// Breakpoints, strictly increasing in `at_cycle`.
+    pub steps: Vec<RampStepConfig>,
+}
+
+impl RampScheduleConfig {
+    /// Number of connections the schedule makes active at `cycle`, out of
+    /// `total` admitted — the contract the workload builder implements
+    /// and the ramp tests check against.
+    pub fn active_at(&self, total: usize, cycle: u64) -> usize {
+        let mut active = 0;
+        for s in &self.steps {
+            if s.at_cycle <= cycle {
+                active = (s.fraction * total as f64).round() as usize;
+            }
+        }
+        active.min(total)
+    }
+
+    /// Activation cycle of connection `index` (admission order) out of
+    /// `total`: the first breakpoint whose fraction covers it.
+    pub fn activation_of(&self, total: usize, index: usize) -> u64 {
+        for s in &self.steps {
+            if index < ((s.fraction * total as f64).round() as usize).min(total) {
+                return s.at_cycle;
+            }
+        }
+        self.steps.last().map(|s| s.at_cycle).unwrap_or(0)
+    }
+}
+
+/// A churn window: a fraction of the base connections depart during the
+/// window and a fraction of extra connections arrive, both spread
+/// deterministically across `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// First router cycle of the churn window.
+    pub start: u64,
+    /// One past the last router cycle of the window.
+    pub end: u64,
+    /// Fraction of the base connections that depart during the window.
+    pub departures: f64,
+    /// Extra offered load arriving during the window, as a fraction of
+    /// the base target load (the arrivals go through the CAC like any
+    /// other admission request).
+    pub arrivals: f64,
+}
+
 /// The traffic side of a simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
@@ -49,6 +124,19 @@ pub enum WorkloadSpec {
         injection: InjectionKind,
         /// Enforce the peak-bandwidth admission test (§2).
         enforce_peak: bool,
+    },
+    /// A declarative CBR class mix (workload-language packs): arbitrary
+    /// `(class, rate, weight)` groups with optional ramp and churn
+    /// schedules.
+    Mix {
+        /// Target offered load per input link.
+        target_load: f64,
+        /// Connection groups.
+        groups: Vec<MixGroup>,
+        /// Optional activation ramp.
+        ramp: Option<RampScheduleConfig>,
+        /// Optional churn window.
+        churn: Option<ChurnConfig>,
     },
 }
 
@@ -72,9 +160,9 @@ impl WorkloadSpec {
     /// The configured target load.
     pub fn target_load(&self) -> f64 {
         match *self {
-            WorkloadSpec::Cbr { target_load } | WorkloadSpec::Vbr { target_load, .. } => {
-                target_load
-            }
+            WorkloadSpec::Cbr { target_load }
+            | WorkloadSpec::Vbr { target_load, .. }
+            | WorkloadSpec::Mix { target_load, .. } => target_load,
         }
     }
 
@@ -82,9 +170,9 @@ impl WorkloadSpec {
     pub fn with_load(&self, load: f64) -> Self {
         let mut s = self.clone();
         match &mut s {
-            WorkloadSpec::Cbr { target_load } | WorkloadSpec::Vbr { target_load, .. } => {
-                *target_load = load
-            }
+            WorkloadSpec::Cbr { target_load }
+            | WorkloadSpec::Vbr { target_load, .. }
+            | WorkloadSpec::Mix { target_load, .. } => *target_load = load,
         }
         s
     }

@@ -6,7 +6,9 @@ use mmr_router::router::{MmrRouter, RouterSummary};
 use mmr_router::telemetry::TelemetryReport;
 use mmr_sim::engine::{Runner, StopCondition};
 use mmr_sim::rng::SimRng;
-use mmr_traffic::workload::{AdmissionTally, CbrMixBuilder, VbrInjection, VbrMixBuilder, Workload};
+use mmr_traffic::workload::{
+    AdmissionTally, CbrMixBuilder, MixWorkloadBuilder, VbrInjection, VbrMixBuilder, Workload,
+};
 use serde::{Deserialize, Serialize};
 
 /// Result of one simulation.
@@ -89,6 +91,38 @@ pub fn build_workload_for_ports(cfg: &SimConfig, ports: usize) -> Workload {
                 .injection(inj)
                 .enforce_peak(*enforce_peak)
                 .build(&mut rng)
+        }
+        WorkloadSpec::Mix {
+            target_load,
+            groups,
+            ramp,
+            churn,
+        } => {
+            let classes = groups
+                .iter()
+                .map(|g| {
+                    (
+                        g.class,
+                        mmr_sim::units::Bandwidth::bps(g.rate_bps),
+                        g.weight,
+                    )
+                })
+                .collect();
+            let mut b = MixWorkloadBuilder::new(ports, cfg.router.time, cfg.router.round)
+                .target_load(*target_load)
+                .classes(classes);
+            if let Some(ramp) = ramp {
+                b = b.ramp(
+                    ramp.steps
+                        .iter()
+                        .map(|s| (s.at_cycle, s.fraction))
+                        .collect(),
+                );
+            }
+            if let Some(c) = churn {
+                b = b.churn(c.start, c.end, c.departures, c.arrivals);
+            }
+            b.build(&mut rng)
         }
     };
     if let Some(be) = &cfg.best_effort {

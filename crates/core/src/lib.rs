@@ -45,6 +45,7 @@ pub mod report;
 pub mod saturation;
 pub mod scenarios;
 pub mod sweep;
+pub mod workload_lang;
 
 pub use config::{RunLength, SimConfig, WorkloadSpec};
 pub use experiment::{run_experiment, ExperimentResult};

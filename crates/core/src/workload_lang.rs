@@ -1,0 +1,2172 @@
+//! Declarative workload language: TOML/JSON scenario packs.
+//!
+//! Every experiment the repo can run used to be a canned Rust function in
+//! [`crate::scenarios`].  This module turns "reproduce the paper" into
+//! "describe any experiment": a pack is a TOML (or JSON) document naming
+//! connection groups, traffic classes, per-connection rates, ramp
+//! schedules, churn windows, fault plans, an optional fabric topology, a
+//! load sweep, and typed conformance claims.  [`WorkloadSpec::parse`]
+//! reads it, [`WorkloadSpec::validate`] rejects malformed documents with
+//! typed [`SpecError`]s (never panics), and [`WorkloadSpec::compile`]
+//! lowers it onto the existing [`SimConfig`]/[`SweepSpec`] machinery so
+//! the whole sweep/cache/conformance stack runs unchanged.
+//!
+//! The committed packs live under `workloads/`; the `workload_runner`
+//! bench binary sweeps them and gates their claims in CI.  TOML support
+//! is a self-contained subset (tables, arrays of tables, scalars, inline
+//! arrays, comments) because the build environment vendors no external
+//! TOML crate; JSON documents are detected by a leading `{` and parsed
+//! with the vendored `serde_json`.
+
+use crate::config::{
+    BestEffortSpec, ChurnConfig, FabricSpec, FaultSpec, MixGroup, RampScheduleConfig,
+    RampStepConfig, RunLength, SimConfig, WorkloadSpec as ConfigWorkload,
+};
+use crate::conformance::{ensemble_seeds, median, ClaimOutcome};
+use crate::scenarios::Fidelity;
+use crate::sweep::{SweepPoint, SweepSpec};
+use mmr_arbiter::scheduler::ArbiterKind;
+use mmr_router::fabric::Topology;
+use mmr_sim::fault::FaultPlanConfig;
+use mmr_traffic::connection::TrafficClass;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Load-grid matching tolerance: claim anchors and sweep loads are
+/// compared with this slack so generated grids (`initial`/`max`/`step`)
+/// behave like explicit lists.
+const LOAD_EPS: f64 = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed validation/parse error for a workload document.
+///
+/// The proptest fuzzers assert that malformed documents always surface as
+/// one of these — never as a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not syntactically valid TOML/JSON.
+    Parse {
+        /// 1-based line of the offending input (0 for JSON documents).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The document parsed but does not fit the schema.
+    Schema {
+        /// What went wrong.
+        msg: String,
+    },
+    /// A section that must carry entries is empty.
+    EmptySection {
+        /// Section name.
+        section: String,
+    },
+    /// `[traffic]` must set exactly one of `preset` / `[[traffic.group]]`.
+    MissingTraffic,
+    /// `preset` names no known canned workload.
+    UnknownPreset {
+        /// The unknown name.
+        preset: String,
+    },
+    /// A group's `class` is not a known traffic class label.
+    UnknownClass {
+        /// The unknown label.
+        class: String,
+    },
+    /// An arbiter name is not recognized.
+    UnknownArbiter {
+        /// The unknown name.
+        arbiter: String,
+    },
+    /// A group rate is zero, negative, or non-finite.
+    NegativeRate {
+        /// Offending group name.
+        group: String,
+    },
+    /// A group weight is zero, negative, or non-finite.
+    NonPositiveWeight {
+        /// Offending group name.
+        group: String,
+    },
+    /// A single connection's rate exceeds the link bandwidth.
+    RateOverLink {
+        /// Offending group name.
+        group: String,
+    },
+    /// The declared class totals oversubscribe the link: peak swept load
+    /// (plus churn arrivals and best-effort background) exceeds capacity.
+    CapacityExceeded {
+        /// Peak offered fraction the document declares.
+        declared: f64,
+    },
+    /// The sweep declares no loads (or both an explicit list and an
+    /// `initial`/`max`/`step` generator).
+    NoLoads,
+    /// A swept load is outside `(0, 1]`.
+    LoadOutOfRange {
+        /// The offending load.
+        load: f64,
+    },
+    /// `seeds` is zero.
+    NoSeeds,
+    /// The sweep declares no arbiters.
+    NoArbiters,
+    /// Ramp steps overlap: `at_cycle` is not strictly increasing.
+    OverlappingRampWindows {
+        /// Previous breakpoint cycle.
+        prev_cycle: u64,
+        /// Offending breakpoint cycle.
+        at_cycle: u64,
+    },
+    /// Ramp fractions decrease across steps.
+    RampFractionOutOfOrder {
+        /// Offending step index.
+        step: usize,
+    },
+    /// A ramp fraction is outside `(0, 1]`.
+    RampFractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The last ramp step must activate the full population (1.0).
+    RampMustEndFull {
+        /// The final fraction declared.
+        last: f64,
+    },
+    /// A ramp or churn schedule requires explicit `[[traffic.group]]`s.
+    ScheduleNeedsGroups,
+    /// The churn window is empty or inverted.
+    ChurnWindowInverted {
+        /// Window start.
+        start: u64,
+        /// Window end.
+        end: u64,
+    },
+    /// A churn fraction is outside `[0, 1]`.
+    ChurnFractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The run length is zero cycles.
+    ZeroRun,
+    /// A claim anchors at a load the sweep never visits.
+    ClaimLoadNotSwept {
+        /// Claim id.
+        id: String,
+        /// The unanchored load.
+        at_load: f64,
+    },
+    /// A claim is missing a field its kind requires.
+    ClaimMissingField {
+        /// Claim id.
+        id: String,
+        /// The missing field.
+        field: String,
+    },
+    /// A claim kind is not recognized.
+    UnknownClaimKind {
+        /// Claim id.
+        id: String,
+        /// The unknown kind.
+        kind: String,
+    },
+    /// The fabric topology is not recognized or misses its dimensions.
+    BadFabric {
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SpecError::Schema { msg } => write!(f, "schema error: {msg}"),
+            SpecError::EmptySection { section } => write!(f, "section `{section}` is empty"),
+            SpecError::MissingTraffic => {
+                write!(f, "[traffic] needs exactly one of `preset` / `group`")
+            }
+            SpecError::UnknownPreset { preset } => write!(f, "unknown preset `{preset}`"),
+            SpecError::UnknownClass { class } => write!(f, "unknown traffic class `{class}`"),
+            SpecError::UnknownArbiter { arbiter } => write!(f, "unknown arbiter `{arbiter}`"),
+            SpecError::NegativeRate { group } => {
+                write!(f, "group `{group}` has a non-positive rate")
+            }
+            SpecError::NonPositiveWeight { group } => {
+                write!(f, "group `{group}` has a non-positive weight")
+            }
+            SpecError::RateOverLink { group } => {
+                write!(f, "group `{group}` rate exceeds the link bandwidth")
+            }
+            SpecError::CapacityExceeded { declared } => {
+                write!(f, "declared load {declared:.3} exceeds link capacity")
+            }
+            SpecError::NoLoads => write!(
+                f,
+                "[sweep] needs exactly one of `loads` / `initial`+`max`+`step`"
+            ),
+            SpecError::LoadOutOfRange { load } => write!(f, "load {load} outside (0, 1]"),
+            SpecError::NoSeeds => write!(f, "`seeds` must be at least 1"),
+            SpecError::NoArbiters => write!(f, "`arbiters` must name at least one arbiter"),
+            SpecError::OverlappingRampWindows {
+                prev_cycle,
+                at_cycle,
+            } => write!(
+                f,
+                "ramp steps overlap: cycle {at_cycle} does not follow {prev_cycle}"
+            ),
+            SpecError::RampFractionOutOfOrder { step } => {
+                write!(f, "ramp fraction decreases at step {step}")
+            }
+            SpecError::RampFractionOutOfRange { fraction } => {
+                write!(f, "ramp fraction {fraction} outside (0, 1]")
+            }
+            SpecError::RampMustEndFull { last } => {
+                write!(f, "last ramp step must reach 1.0, got {last}")
+            }
+            SpecError::ScheduleNeedsGroups => {
+                write!(f, "ramp/churn schedules require [[traffic.group]]s")
+            }
+            SpecError::ChurnWindowInverted { start, end } => {
+                write!(f, "churn window [{start}, {end}) is empty or inverted")
+            }
+            SpecError::ChurnFractionOutOfRange { fraction } => {
+                write!(f, "churn fraction {fraction} outside [0, 1]")
+            }
+            SpecError::ZeroRun => write!(f, "run length must be positive"),
+            SpecError::ClaimLoadNotSwept { id, at_load } => {
+                write!(f, "claim `{id}` anchors at unswept load {at_load}")
+            }
+            SpecError::ClaimMissingField { id, field } => {
+                write!(f, "claim `{id}` is missing field `{field}`")
+            }
+            SpecError::UnknownClaimKind { id, kind } => {
+                write!(f, "claim `{id}` has unknown kind `{kind}`")
+            }
+            SpecError::BadFabric { msg } => write!(f, "bad fabric: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------------
+// TOML subset: parse + emit
+// ---------------------------------------------------------------------------
+
+/// Parse a TOML document (the subset this language uses: bare-key tables,
+/// dotted table headers, arrays of tables, strings, booleans, integers,
+/// floats, possibly-multiline inline arrays, `#` comments) into the
+/// vendored serde [`Value`] data model.
+pub fn toml_to_value(text: &str) -> Result<Value, SpecError> {
+    let mut root = Value::Object(Vec::new());
+    // Path of the table the next `key = value` lands in.
+    let mut current: Vec<String> = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]);
+        let line = line.trim();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let path_str = rest.strip_suffix("]]").ok_or_else(|| SpecError::Parse {
+                line: lineno,
+                msg: "unterminated [[table]] header".into(),
+            })?;
+            current = parse_header_path(path_str, lineno)?;
+            let slot = descend(&mut root, &current[..current.len() - 1], lineno)?;
+            let fields = as_object_mut(slot, lineno)?;
+            let key = current.last().unwrap().clone();
+            match fields.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+                Some(_) => {
+                    return Err(SpecError::Parse {
+                        line: lineno,
+                        msg: format!("`{key}` redefined as an array of tables"),
+                    })
+                }
+                None => fields.push((key, Value::Array(vec![Value::Object(Vec::new())]))),
+            }
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let path_str = rest.strip_suffix(']').ok_or_else(|| SpecError::Parse {
+                line: lineno,
+                msg: "unterminated [table] header".into(),
+            })?;
+            current = parse_header_path(path_str, lineno)?;
+            // Materialize the table so empty tables round-trip.
+            descend(&mut root, &current, lineno)?;
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if !is_bare_key(key) {
+                return Err(SpecError::Parse {
+                    line: lineno,
+                    msg: format!("`{key}` is not a bare key"),
+                });
+            }
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Join continuation lines until brackets balance (multiline
+            // inline arrays).
+            while bracket_depth(&value_text).ok_or_else(|| SpecError::Parse {
+                line: lineno,
+                msg: "unterminated string".into(),
+            })? > 0
+            {
+                if i >= lines.len() {
+                    return Err(SpecError::Parse {
+                        line: lineno,
+                        msg: "unterminated array".into(),
+                    });
+                }
+                value_text.push(' ');
+                value_text.push_str(strip_comment(lines[i]).trim());
+                i += 1;
+            }
+            let value = parse_scalar(&value_text, lineno)?;
+            let slot = descend(&mut root, &current, lineno)?;
+            let fields = as_object_mut(slot, lineno)?;
+            if fields.iter().any(|(k, _)| k == key) {
+                return Err(SpecError::Parse {
+                    line: lineno,
+                    msg: format!("duplicate key `{key}`"),
+                });
+            }
+            fields.push((key.to_string(), value));
+        } else {
+            return Err(SpecError::Parse {
+                line: lineno,
+                msg: format!("expected `key = value` or a table header, got `{line}`"),
+            });
+        }
+    }
+    Ok(root)
+}
+
+/// Drop a `#` comment, respecting `"` string delimiters.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, ch) in line.char_indices() {
+        match ch {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_header_path(path: &str, line: usize) -> Result<Vec<String>, SpecError> {
+    let parts: Vec<String> = path
+        .trim()
+        .split('.')
+        .map(|p| p.trim().to_string())
+        .collect();
+    if parts.iter().any(|p| !is_bare_key(p)) {
+        return Err(SpecError::Parse {
+            line,
+            msg: format!("`{path}` is not a dotted bare-key path"),
+        });
+    }
+    Ok(parts)
+}
+
+/// Net bracket depth of `text` outside strings; `None` when a string is
+/// left open.
+fn bracket_depth(text: &str) -> Option<i32> {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for ch in text.chars() {
+        match ch {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_str {
+        None
+    } else {
+        Some(depth)
+    }
+}
+
+/// Walk (and create) nested tables along `path`; inside an array of
+/// tables, the path step lands on the most recent element.
+fn descend<'a>(
+    root: &'a mut Value,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Value, SpecError> {
+    let mut node = root;
+    for key in path {
+        let fields = as_object_mut(node, line)?;
+        let idx = match fields.iter().position(|(k, _)| k == key) {
+            Some(i) => i,
+            None => {
+                fields.push((key.clone(), Value::Object(Vec::new())));
+                fields.len() - 1
+            }
+        };
+        node = &mut fields[idx].1;
+        if let Value::Array(items) = node {
+            node = items.last_mut().ok_or_else(|| SpecError::Parse {
+                line,
+                msg: format!("`{key}` is an empty array of tables"),
+            })?;
+        }
+    }
+    Ok(node)
+}
+
+fn as_object_mut(v: &mut Value, line: usize) -> Result<&mut Vec<(String, Value)>, SpecError> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(SpecError::Parse {
+            line,
+            msg: format!("expected a table, found {other:?}"),
+        }),
+    }
+}
+
+/// Parse one TOML scalar or inline array.
+fn parse_scalar(text: &str, line: usize) -> Result<Value, SpecError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(SpecError::Parse {
+            line,
+            msg: "empty value".into(),
+        });
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, used) = parse_basic_string(rest, line)?;
+        if !rest[used..].trim().is_empty() {
+            return Err(SpecError::Parse {
+                line,
+                msg: "trailing characters after string".into(),
+            });
+        }
+        return Ok(Value::Str(s));
+    }
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return Err(SpecError::Parse {
+                line,
+                msg: "unterminated array".into(),
+            });
+        }
+        let inner = &text[1..text.len() - 1];
+        let mut items = Vec::new();
+        for piece in split_top_level(inner, line)? {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_scalar(piece, line)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits = text.replace('_', "");
+    if let Some(hex) = digits.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16)
+            .map(Value::U64)
+            .map_err(|_| SpecError::Parse {
+                line,
+                msg: format!("`{text}` is not a hex integer"),
+            });
+    }
+    let is_float = digits.contains('.') || digits.contains('e') || digits.contains('E');
+    if !is_float {
+        if let Ok(n) = digits.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+        if let Ok(n) = digits.parse::<i64>() {
+            return Ok(Value::I64(n));
+        }
+    }
+    if let Ok(x) = digits.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::F64(x));
+        }
+    }
+    Err(SpecError::Parse {
+        line,
+        msg: format!("`{text}` is not a TOML value this subset accepts"),
+    })
+}
+
+/// Parse the contents of a basic string (after the opening quote);
+/// returns the unescaped string and the byte length consumed **including**
+/// the closing quote.
+fn parse_basic_string(rest: &str, line: usize) -> Result<(String, usize), SpecError> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((idx, ch)) = chars.next() {
+        match ch {
+            '"' => return Ok((out, idx + 1)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                other => {
+                    return Err(SpecError::Parse {
+                        line,
+                        msg: format!("unsupported escape {other:?}"),
+                    })
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err(SpecError::Parse {
+        line,
+        msg: "unterminated string".into(),
+    })
+}
+
+/// Split an inline-array body at top-level commas.
+fn split_top_level(text: &str, line: usize) -> Result<Vec<&str>, SpecError> {
+    let mut pieces = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (idx, ch) in text.char_indices() {
+        match ch {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                pieces.push(&text[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_str {
+        return Err(SpecError::Parse {
+            line,
+            msg: "unterminated string in array".into(),
+        });
+    }
+    pieces.push(&text[start..]);
+    Ok(pieces)
+}
+
+/// Render a [`Value`] object as the TOML subset [`toml_to_value`] reads:
+/// scalar keys first, then `[path]` sub-tables, then `[[path]]` arrays of
+/// tables.  `Null` fields are skipped (absent optionals).
+pub fn value_to_toml(v: &Value) -> String {
+    let mut out = String::new();
+    if let Value::Object(fields) = v {
+        emit_table(&mut out, "", fields);
+    }
+    out
+}
+
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Array(items) if !items.is_empty()
+        && items.iter().all(|e| matches!(e, Value::Object(_))))
+}
+
+fn emit_table(out: &mut String, path: &str, fields: &[(String, Value)]) {
+    for (k, v) in fields {
+        match v {
+            Value::Null | Value::Object(_) => {}
+            _ if is_table_array(v) => {}
+            _ => {
+                out.push_str(k);
+                out.push_str(" = ");
+                emit_inline(out, v);
+                out.push('\n');
+            }
+        }
+    }
+    for (k, v) in fields {
+        if let Value::Object(sub) = v {
+            let sub_path = join_path(path, k);
+            out.push_str(&format!("\n[{sub_path}]\n"));
+            emit_table(out, &sub_path, sub);
+        }
+    }
+    for (k, v) in fields {
+        if is_table_array(v) {
+            if let Value::Array(items) = v {
+                let sub_path = join_path(path, k);
+                for item in items {
+                    if let Value::Object(sub) = item {
+                        out.push_str(&format!("\n[[{sub_path}]]\n"));
+                        emit_table(out, &sub_path, sub);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn join_path(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn emit_inline(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("[]"), // unreachable for skipped keys
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => out.push_str(&format_toml_float(*x)),
+        Value::Str(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_inline(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(_) => out.push_str("{}"), // inline tables are never emitted
+    }
+}
+
+/// Shortest round-trip float rendering with a guaranteed float marker so
+/// the parser reads it back as `F64`, not an integer.
+fn format_toml_float(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Parse a workload document: JSON when the first non-space byte is `{`,
+/// the TOML subset otherwise.
+pub fn parse_document(text: &str) -> Result<Value, SpecError> {
+    if text.trim_start().starts_with('{') {
+        serde_json::parse_value(text).map_err(|e| SpecError::Parse {
+            line: 0,
+            msg: e.to_string(),
+        })
+    } else {
+        toml_to_value(text)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The typed document
+// ---------------------------------------------------------------------------
+
+/// `[meta]` — pack identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaSpec {
+    /// Pack name (also the results-file stem; `[a-zA-Z0-9_-]+`).
+    pub name: String,
+    /// One-line description for reports.
+    pub description: String,
+}
+
+/// One `[[traffic.group]]` — a CBR connection population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// Group name (reporting only).
+    pub name: String,
+    /// Traffic-class label (`cbr-low`, `cbr-med`, `cbr-high`, `vbr`,
+    /// `best-effort`).
+    pub class: String,
+    /// Per-connection rate in kbit/s.
+    pub rate_kbps: f64,
+    /// Relative admission pick weight.
+    pub weight: f64,
+}
+
+/// `[traffic]` — either a canned preset or explicit groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Canned preset name (`paper-cbr`), exclusive with `group`.
+    pub preset: Option<String>,
+    /// Explicit connection groups, exclusive with `preset`.
+    pub group: Option<Vec<GroupSpec>>,
+}
+
+/// `[best_effort]` — unreserved background traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestEffortSec {
+    /// Offered best-effort load per input link.
+    pub load: f64,
+    /// Mean message length in flits.
+    pub mean_flits: f64,
+}
+
+/// `[run.full]` — full-fidelity overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunFull {
+    /// Warm-up flit cycles.
+    pub warmup: u64,
+    /// Measured flit cycles.
+    pub cycles: u64,
+}
+
+/// `[run]` — run lengths (quick fidelity; `[run.full]` overrides).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSec {
+    /// Warm-up flit cycles.
+    pub warmup: u64,
+    /// Measured flit cycles.
+    pub cycles: u64,
+    /// Full-fidelity overrides.
+    pub full: Option<RunFull>,
+}
+
+/// `[sweep.full]` — full-fidelity overrides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepFull {
+    /// Full-fidelity load grid.
+    pub loads: Option<Vec<f64>>,
+    /// Full-fidelity ensemble size.
+    pub seeds: Option<u64>,
+}
+
+/// `[sweep]` — the offered-load grid, arbiters, and seed ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSec {
+    /// Explicit load grid, exclusive with `initial`/`max`/`step`.
+    pub loads: Option<Vec<f64>>,
+    /// Generated grid start (inclusive).
+    pub initial: Option<f64>,
+    /// Generated grid end (inclusive, within rounding).
+    pub max: Option<f64>,
+    /// Generated grid increment.
+    pub step: Option<f64>,
+    /// Arbiter names (`coa`, `wfa`, `islip`, `islip:4`, `pim`, `greedy`,
+    /// `random`, `mwm`, `mwm-approx`, `frame-fair`, `cq`, ...).
+    pub arbiters: Vec<String>,
+    /// Ensemble size (deterministic seeds derived from `seed`).
+    pub seeds: u64,
+    /// Base seed (default: the paper's `0xB1ACA`).
+    pub seed: Option<u64>,
+    /// Full-fidelity overrides.
+    pub full: Option<SweepFull>,
+}
+
+/// One `[[ramp.step]]` breakpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RampStepSpec {
+    /// Breakpoint cycle.
+    pub at_cycle: u64,
+    /// Cumulative fraction of connections active from here on.
+    pub fraction: f64,
+}
+
+/// `[ramp]` — staged connection activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RampSec {
+    /// Breakpoints, strictly increasing in cycle, ending at 1.0.
+    pub step: Vec<RampStepSpec>,
+}
+
+/// `[churn]` — mid-run departures and arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSec {
+    /// Window start cycle.
+    pub start: u64,
+    /// Window end cycle (exclusive).
+    pub end: u64,
+    /// Fraction of base connections departing inside the window.
+    pub departures: f64,
+    /// Extra connections arriving, as a fraction of the base population.
+    pub arrivals: f64,
+}
+
+/// `[fault]` — a scaled default fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSec {
+    /// Fault window start cycle.
+    pub window_start: u64,
+    /// Fault window length in cycles.
+    pub window_len: u64,
+    /// Rate multiplier over the default plan (0 = no faults).
+    pub factor: f64,
+}
+
+/// `[fabric]` — optional multi-router topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricSec {
+    /// `line`, `ring`, `mesh`, or `torus`.
+    pub topology: String,
+    /// Grid width (mesh/torus).
+    pub x: Option<u64>,
+    /// Grid height (mesh/torus).
+    pub y: Option<u64>,
+    /// Router count (line).
+    pub stages: Option<u64>,
+    /// Router count (ring).
+    pub nodes: Option<u64>,
+    /// Host ports per router.
+    pub host_ports: Option<u64>,
+    /// Worker threads.
+    pub workers: Option<u64>,
+    /// Inter-node link latency in flit cycles.
+    pub link_latency: Option<u64>,
+}
+
+/// One `[[claim]]` — a typed, regression-gated conformance claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClaimSpec {
+    /// Claim identifier (`pack.short-slug`).
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// Check kind: `delay-below`, `delay-ratio-at-least`,
+    /// `delay-within-factor`, `throughput-floor`, `fairness-above`,
+    /// `reject-rate-below`, `utilization-above`.
+    pub kind: String,
+    /// Traffic class the check reads (kinds that need one).
+    pub class: Option<String>,
+    /// Class expected to see *more* delay (`delay-ratio-at-least`).
+    pub slower: Option<String>,
+    /// Class expected to see *less* delay (`delay-ratio-at-least`).
+    pub faster: Option<String>,
+    /// Arbiter under test (default: the sweep's first arbiter).
+    pub arbiter: Option<String>,
+    /// Comparison arbiter (`delay-within-factor`).
+    pub versus: Option<String>,
+    /// Load-grid point the claim anchors at.
+    pub at_load: f64,
+    /// Threshold the ensemble median is gated against.
+    pub threshold: f64,
+}
+
+/// A parsed workload document — the root of the language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// `[meta]`.
+    pub meta: MetaSpec,
+    /// `[traffic]`.
+    pub traffic: TrafficSpec,
+    /// `[best_effort]`.
+    pub best_effort: Option<BestEffortSec>,
+    /// `[run]`.
+    pub run: RunSec,
+    /// `[sweep]`.
+    pub sweep: SweepSec,
+    /// `[ramp]`.
+    pub ramp: Option<RampSec>,
+    /// `[churn]`.
+    pub churn: Option<ChurnSec>,
+    /// `[fault]`.
+    pub fault: Option<FaultSec>,
+    /// `[fabric]`.
+    pub fabric: Option<FabricSec>,
+    /// `[[claim]]`s.
+    pub claim: Option<Vec<ClaimSpec>>,
+}
+
+/// Parse a traffic-class label.
+pub fn parse_class(label: &str) -> Result<TrafficClass, SpecError> {
+    match label {
+        "cbr-low" => Ok(TrafficClass::CbrLow),
+        "cbr-med" | "cbr-medium" => Ok(TrafficClass::CbrMedium),
+        "cbr-high" => Ok(TrafficClass::CbrHigh),
+        "vbr" => Ok(TrafficClass::Vbr),
+        "best-effort" => Ok(TrafficClass::BestEffort),
+        other => Err(SpecError::UnknownClass {
+            class: other.to_string(),
+        }),
+    }
+}
+
+/// Parse an arbiter name (optionally `islip:N` / `pim:N` for iteration
+/// counts).
+pub fn parse_arbiter(name: &str) -> Result<ArbiterKind, SpecError> {
+    let (base, param) = match name.split_once(':') {
+        Some((b, p)) => (b, Some(p)),
+        None => (name, None),
+    };
+    let iterations = |default: usize| -> Result<usize, SpecError> {
+        match param {
+            None => Ok(default),
+            Some(p) => p.parse().map_err(|_| SpecError::UnknownArbiter {
+                arbiter: name.to_string(),
+            }),
+        }
+    };
+    let kind = match base {
+        "coa" => ArbiterKind::Coa,
+        "wfa" => ArbiterKind::Wfa,
+        "wfa-fixed" => ArbiterKind::WfaFixed,
+        "wfa-first-level" => ArbiterKind::WfaFirstLevel,
+        "islip" => ArbiterKind::Islip {
+            iterations: iterations(2)?,
+        },
+        "pim" => ArbiterKind::Pim {
+            iterations: iterations(2)?,
+        },
+        "greedy" => ArbiterKind::GreedyPriority,
+        "random" => ArbiterKind::Random,
+        "mwm" => ArbiterKind::MwmExact,
+        "mwm-approx" => ArbiterKind::MwmApprox,
+        "frame-fair" => ArbiterKind::FrameFair {
+            frame: mmr_arbiter::frame::DEFAULT_FRAME,
+        },
+        "cq" => ArbiterKind::CrosspointQueued {
+            cap: mmr_arbiter::cq::DEFAULT_CAP,
+        },
+        _ => {
+            return Err(SpecError::UnknownArbiter {
+                arbiter: name.to_string(),
+            })
+        }
+    };
+    if param.is_some() && !matches!(kind, ArbiterKind::Islip { .. } | ArbiterKind::Pim { .. }) {
+        return Err(SpecError::UnknownArbiter {
+            arbiter: name.to_string(),
+        });
+    }
+    Ok(kind)
+}
+
+impl WorkloadSpec {
+    /// Parse a TOML or JSON workload document.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let value = parse_document(text)?;
+        Self::from_value(&value).map_err(|e| SpecError::Schema { msg: e.to_string() })
+    }
+
+    /// Render this spec as a TOML document [`Self::parse`] reads back
+    /// losslessly.
+    pub fn to_toml(&self) -> String {
+        value_to_toml(&self.to_value())
+    }
+
+    /// The load grid for a fidelity (explicit list, full override, or
+    /// `initial`/`max`/`step` generation).  Assumes a validated spec.
+    pub fn loads(&self, fidelity: Fidelity) -> Vec<f64> {
+        if fidelity == Fidelity::Full {
+            if let Some(full) = &self.sweep.full {
+                if let Some(loads) = &full.loads {
+                    return loads.clone();
+                }
+            }
+        }
+        if let Some(loads) = &self.sweep.loads {
+            return loads.clone();
+        }
+        let (initial, max, step) = (
+            self.sweep.initial.unwrap_or(0.0),
+            self.sweep.max.unwrap_or(0.0),
+            self.sweep.step.unwrap_or(1.0),
+        );
+        let n = if step > 0.0 && max >= initial {
+            ((max - initial) / step + LOAD_EPS).floor() as usize + 1
+        } else {
+            0
+        };
+        (0..n).map(|i| initial + i as f64 * step).collect()
+    }
+
+    /// Number of ensemble seeds for a fidelity.
+    pub fn seed_count(&self, fidelity: Fidelity) -> usize {
+        if fidelity == Fidelity::Full {
+            if let Some(full) = &self.sweep.full {
+                if let Some(s) = full.seeds {
+                    return s as usize;
+                }
+            }
+        }
+        self.sweep.seeds as usize
+    }
+
+    /// Validate the document, returning the first typed error found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let link_bps = mmr_sim::time::TimeBase::default().link_bits_per_sec;
+        if self.meta.name.is_empty() || !is_bare_key(&self.meta.name) {
+            return Err(SpecError::Schema {
+                msg: format!("meta.name `{}` must be [a-zA-Z0-9_-]+", self.meta.name),
+            });
+        }
+        // Traffic: preset XOR groups.
+        match (&self.traffic.preset, &self.traffic.group) {
+            (Some(_), Some(_)) | (None, None) => return Err(SpecError::MissingTraffic),
+            (Some(preset), None) => {
+                if preset != "paper-cbr" {
+                    return Err(SpecError::UnknownPreset {
+                        preset: preset.clone(),
+                    });
+                }
+            }
+            (None, Some(groups)) => {
+                if groups.is_empty() {
+                    return Err(SpecError::EmptySection {
+                        section: "traffic.group".into(),
+                    });
+                }
+                for g in groups {
+                    parse_class(&g.class)?;
+                    if !g.rate_kbps.is_finite() || g.rate_kbps <= 0.0 {
+                        return Err(SpecError::NegativeRate {
+                            group: g.name.clone(),
+                        });
+                    }
+                    if !g.weight.is_finite() || g.weight <= 0.0 {
+                        return Err(SpecError::NonPositiveWeight {
+                            group: g.name.clone(),
+                        });
+                    }
+                    if g.rate_kbps * 1_000.0 > link_bps {
+                        return Err(SpecError::RateOverLink {
+                            group: g.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(be) = &self.best_effort {
+            if !be.load.is_finite() || !(0.0..1.0).contains(&be.load) {
+                return Err(SpecError::Schema {
+                    msg: format!("best_effort.load {} outside [0, 1)", be.load),
+                });
+            }
+            if !be.mean_flits.is_finite() || be.mean_flits < 1.0 {
+                return Err(SpecError::Schema {
+                    msg: format!("best_effort.mean_flits {} below 1", be.mean_flits),
+                });
+            }
+        }
+        if self.run.cycles == 0 || self.run.full.map(|f| f.cycles == 0).unwrap_or(false) {
+            return Err(SpecError::ZeroRun);
+        }
+        // Sweep: explicit loads XOR a generator.
+        let has_list = self.sweep.loads.is_some();
+        let has_gen =
+            self.sweep.initial.is_some() || self.sweep.max.is_some() || self.sweep.step.is_some();
+        let gen_complete =
+            self.sweep.initial.is_some() && self.sweep.max.is_some() && self.sweep.step.is_some();
+        if has_list == has_gen || (has_gen && !gen_complete) {
+            return Err(SpecError::NoLoads);
+        }
+        if let (Some(step), true) = (self.sweep.step, has_gen) {
+            if !step.is_finite() || step <= 0.0 {
+                return Err(SpecError::Schema {
+                    msg: format!("sweep.step {step} must be positive"),
+                });
+            }
+        }
+        for fidelity in [Fidelity::Quick, Fidelity::Full] {
+            let loads = self.loads(fidelity);
+            if loads.is_empty() {
+                return Err(SpecError::NoLoads);
+            }
+            for &load in &loads {
+                if !load.is_finite() || load <= 0.0 || load > 1.0 {
+                    return Err(SpecError::LoadOutOfRange { load });
+                }
+            }
+        }
+        if self.sweep.seeds == 0 || self.sweep.full.as_ref().map(|f| f.seeds) == Some(Some(0)) {
+            return Err(SpecError::NoSeeds);
+        }
+        if self.sweep.arbiters.is_empty() {
+            return Err(SpecError::NoArbiters);
+        }
+        for name in &self.sweep.arbiters {
+            parse_arbiter(name)?;
+        }
+        // Capacity: peak swept load, plus churn arrivals, plus best-effort
+        // background must fit the link.
+        let peak_load = self
+            .loads(Fidelity::Quick)
+            .iter()
+            .chain(self.loads(Fidelity::Full).iter())
+            .fold(0.0f64, |a, &b| a.max(b));
+        let arrivals = self.churn.map(|c| c.arrivals).unwrap_or(0.0).max(0.0);
+        let be = self.best_effort.as_ref().map(|b| b.load).unwrap_or(0.0);
+        let declared = peak_load * (1.0 + arrivals) + be;
+        if declared > 1.0 + LOAD_EPS {
+            return Err(SpecError::CapacityExceeded { declared });
+        }
+        if (self.ramp.is_some() || self.churn.is_some()) && self.traffic.group.is_none() {
+            return Err(SpecError::ScheduleNeedsGroups);
+        }
+        if let Some(ramp) = &self.ramp {
+            if ramp.step.is_empty() {
+                return Err(SpecError::EmptySection {
+                    section: "ramp.step".into(),
+                });
+            }
+            let mut prev_cycle: Option<u64> = None;
+            let mut prev_fraction = 0.0f64;
+            for (i, s) in ramp.step.iter().enumerate() {
+                if let Some(prev) = prev_cycle {
+                    if s.at_cycle <= prev {
+                        return Err(SpecError::OverlappingRampWindows {
+                            prev_cycle: prev,
+                            at_cycle: s.at_cycle,
+                        });
+                    }
+                }
+                if !s.fraction.is_finite() || s.fraction <= 0.0 || s.fraction > 1.0 {
+                    return Err(SpecError::RampFractionOutOfRange {
+                        fraction: s.fraction,
+                    });
+                }
+                if s.fraction < prev_fraction {
+                    return Err(SpecError::RampFractionOutOfOrder { step: i });
+                }
+                prev_cycle = Some(s.at_cycle);
+                prev_fraction = s.fraction;
+            }
+            if (prev_fraction - 1.0).abs() > LOAD_EPS {
+                return Err(SpecError::RampMustEndFull {
+                    last: prev_fraction,
+                });
+            }
+        }
+        if let Some(churn) = &self.churn {
+            if churn.end <= churn.start {
+                return Err(SpecError::ChurnWindowInverted {
+                    start: churn.start,
+                    end: churn.end,
+                });
+            }
+            for fraction in [churn.departures, churn.arrivals] {
+                if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                    return Err(SpecError::ChurnFractionOutOfRange { fraction });
+                }
+            }
+        }
+        if let Some(fault) = &self.fault {
+            if !fault.factor.is_finite() || fault.factor < 0.0 {
+                return Err(SpecError::Schema {
+                    msg: format!("fault.factor {} must be non-negative", fault.factor),
+                });
+            }
+            if fault.window_len == 0 {
+                return Err(SpecError::Schema {
+                    msg: "fault.window_len must be positive".into(),
+                });
+            }
+        }
+        if let Some(fabric) = &self.fabric {
+            self.fabric_spec(fabric)?;
+            if self.claim.is_some() {
+                return Err(SpecError::Schema {
+                    msg: "fabric packs do not support [[claim]]s yet".into(),
+                });
+            }
+        }
+        if let Some(claims) = &self.claim {
+            if claims.is_empty() {
+                return Err(SpecError::EmptySection {
+                    section: "claim".into(),
+                });
+            }
+            for c in claims {
+                self.validate_claim(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_claim(&self, c: &ClaimSpec) -> Result<(), SpecError> {
+        let need = |field: &str, present: bool| -> Result<(), SpecError> {
+            if present {
+                Ok(())
+            } else {
+                Err(SpecError::ClaimMissingField {
+                    id: c.id.clone(),
+                    field: field.to_string(),
+                })
+            }
+        };
+        if c.id.is_empty() {
+            return Err(SpecError::Schema {
+                msg: "claim with empty id".into(),
+            });
+        }
+        match c.kind.as_str() {
+            "delay-below" => need("class", c.class.is_some())?,
+            "delay-ratio-at-least" => {
+                need("slower", c.slower.is_some())?;
+                need("faster", c.faster.is_some())?;
+            }
+            "delay-within-factor" => {
+                need("class", c.class.is_some())?;
+                need("versus", c.versus.is_some())?;
+            }
+            "throughput-floor" | "fairness-above" | "reject-rate-below" | "utilization-above" => {}
+            other => {
+                return Err(SpecError::UnknownClaimKind {
+                    id: c.id.clone(),
+                    kind: other.to_string(),
+                })
+            }
+        }
+        for label in [&c.class, &c.slower, &c.faster].into_iter().flatten() {
+            parse_class(label)?;
+        }
+        for name in [&c.arbiter, &c.versus].into_iter().flatten() {
+            parse_arbiter(name)?;
+            if !self.sweep.arbiters.contains(name) {
+                return Err(SpecError::Schema {
+                    msg: format!("claim `{}` reads arbiter `{name}` the sweep omits", c.id),
+                });
+            }
+        }
+        if !c.threshold.is_finite() {
+            return Err(SpecError::Schema {
+                msg: format!("claim `{}` threshold must be finite", c.id),
+            });
+        }
+        for fidelity in [Fidelity::Quick, Fidelity::Full] {
+            let loads = self.loads(fidelity);
+            if !loads.iter().any(|&l| (l - c.at_load).abs() < LOAD_EPS) {
+                return Err(SpecError::ClaimLoadNotSwept {
+                    id: c.id.clone(),
+                    at_load: c.at_load,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn fabric_spec(&self, sec: &FabricSec) -> Result<FabricSpec, SpecError> {
+        let dim = |v: Option<u64>, name: &str| -> Result<usize, SpecError> {
+            let v = v.ok_or_else(|| SpecError::BadFabric {
+                msg: format!("`{}` topology needs `{name}`", sec.topology),
+            })?;
+            if v < 1 {
+                return Err(SpecError::BadFabric {
+                    msg: format!("`{name}` must be at least 1"),
+                });
+            }
+            Ok(v as usize)
+        };
+        let topology = match sec.topology.as_str() {
+            "line" => Topology::Line {
+                stages: dim(sec.stages, "stages")?,
+            },
+            "ring" => Topology::Ring {
+                nodes: dim(sec.nodes, "nodes")?,
+            },
+            "mesh" => Topology::Mesh {
+                x: dim(sec.x, "x")?,
+                y: dim(sec.y, "y")?,
+            },
+            "torus" => Topology::Torus {
+                x: dim(sec.x, "x")?,
+                y: dim(sec.y, "y")?,
+            },
+            other => {
+                return Err(SpecError::BadFabric {
+                    msg: format!("unknown topology `{other}`"),
+                })
+            }
+        };
+        let mut spec = FabricSpec::new(topology);
+        if let Some(hp) = sec.host_ports {
+            spec.host_ports = hp.max(1) as usize;
+        }
+        if let Some(w) = sec.workers {
+            spec.workers = w.max(1) as usize;
+        }
+        if let Some(l) = sec.link_latency {
+            spec.link_latency = l.max(1);
+        }
+        Ok(spec)
+    }
+
+    /// Lower the document onto a [`SweepSpec`] plus typed pack claims.
+    /// Validates first, so a successful compile implies a valid document.
+    pub fn compile(&self, fidelity: Fidelity) -> Result<CompiledPack, SpecError> {
+        self.validate()?;
+        let workload = match (&self.traffic.preset, &self.traffic.group) {
+            (Some(_), _) => ConfigWorkload::cbr(0.5),
+            (None, Some(groups)) => ConfigWorkload::Mix {
+                target_load: 0.5,
+                groups: groups
+                    .iter()
+                    .map(|g| {
+                        Ok(MixGroup {
+                            class: parse_class(&g.class)?,
+                            rate_bps: g.rate_kbps * 1_000.0,
+                            weight: g.weight,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?,
+                ramp: self.ramp.as_ref().map(|r| RampScheduleConfig {
+                    steps: r
+                        .step
+                        .iter()
+                        .map(|s| RampStepConfig {
+                            at_cycle: s.at_cycle,
+                            fraction: s.fraction,
+                        })
+                        .collect(),
+                }),
+                churn: self.churn.map(|c| ChurnConfig {
+                    start: c.start,
+                    end: c.end,
+                    departures: c.departures,
+                    arrivals: c.arrivals,
+                }),
+            },
+            (None, None) => unreachable!("validate() enforces traffic"),
+        };
+        let mut base = SimConfig {
+            workload,
+            ..SimConfig::default()
+        };
+        if let Some(be) = &self.best_effort {
+            base.best_effort = Some(BestEffortSpec {
+                per_link_load: be.load,
+                mean_flits: be.mean_flits,
+            });
+        }
+        let (warmup, cycles) = match (fidelity, self.run.full) {
+            (Fidelity::Full, Some(full)) => (full.warmup, full.cycles),
+            _ => (self.run.warmup, self.run.cycles),
+        };
+        base.warmup_cycles = warmup;
+        base.run = RunLength::Cycles(cycles);
+        if let Some(seed) = self.sweep.seed {
+            base.seed = seed;
+        }
+        if let Some(fault) = &self.fault {
+            base.fault = Some(FaultSpec {
+                plan: FaultPlanConfig {
+                    window_start: fault.window_start,
+                    window_len: fault.window_len,
+                    ..FaultPlanConfig::default()
+                }
+                .scaled(fault.factor),
+                profile: Default::default(),
+            });
+        }
+        if let Some(fabric) = &self.fabric {
+            base.fabric = Some(self.fabric_spec(fabric)?);
+        }
+        let arbiters = self
+            .sweep
+            .arbiters
+            .iter()
+            .map(|n| parse_arbiter(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let seeds = ensemble_seeds(base.seed, self.seed_count(fidelity));
+        let loads = self.loads(fidelity);
+        let claims = self
+            .claim
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| self.compile_claim(c, &arbiters))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledPack {
+            name: self.meta.name.clone(),
+            description: self.meta.description.clone(),
+            fabric: self.fabric.is_some(),
+            sweep: SweepSpec {
+                base,
+                loads,
+                arbiters,
+                seeds,
+            },
+            claims,
+        })
+    }
+
+    fn compile_claim(
+        &self,
+        c: &ClaimSpec,
+        arbiters: &[ArbiterKind],
+    ) -> Result<PackClaim, SpecError> {
+        let arbiter = match &c.arbiter {
+            Some(name) => parse_arbiter(name)?,
+            None => arbiters[0],
+        };
+        let class = |label: &Option<String>| -> Result<TrafficClass, SpecError> {
+            parse_class(label.as_deref().unwrap_or(""))
+        };
+        let check = match c.kind.as_str() {
+            "delay-below" => PackCheck::DelayBelow {
+                class: class(&c.class)?,
+                arbiter,
+                at_load: c.at_load,
+                max_us: c.threshold,
+            },
+            "delay-ratio-at-least" => PackCheck::DelayRatioAtLeast {
+                slower: class(&c.slower)?,
+                faster: class(&c.faster)?,
+                arbiter,
+                at_load: c.at_load,
+                min_ratio: c.threshold,
+            },
+            "delay-within-factor" => PackCheck::DelayWithinFactor {
+                class: class(&c.class)?,
+                arbiter,
+                versus: parse_arbiter(c.versus.as_deref().unwrap_or(""))?,
+                at_load: c.at_load,
+                max_factor: c.threshold,
+            },
+            "throughput-floor" => PackCheck::ThroughputFloor {
+                arbiter,
+                at_load: c.at_load,
+                min_ratio: c.threshold,
+            },
+            "fairness-above" => PackCheck::FairnessAbove {
+                arbiter,
+                at_load: c.at_load,
+                min_jain: c.threshold,
+            },
+            "reject-rate-below" => PackCheck::RejectRateBelow {
+                arbiter,
+                at_load: c.at_load,
+                max_rate: c.threshold,
+            },
+            "utilization-above" => PackCheck::UtilizationAbove {
+                arbiter,
+                at_load: c.at_load,
+                min_utilization: c.threshold,
+            },
+            other => {
+                return Err(SpecError::UnknownClaimKind {
+                    id: c.id.clone(),
+                    kind: other.to_string(),
+                })
+            }
+        };
+        Ok(PackClaim {
+            id: c.id.clone(),
+            description: c.description.clone(),
+            check,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled packs and claim evaluation
+// ---------------------------------------------------------------------------
+
+/// A typed pack check, mirroring the conformance engine's `Check` kinds
+/// but anchored at one sweep grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackCheck {
+    /// Class delay stays below a bound (µs).
+    DelayBelow {
+        /// Class whose delay is read.
+        class: TrafficClass,
+        /// Arbiter under test.
+        arbiter: ArbiterKind,
+        /// Grid load the claim anchors at.
+        at_load: f64,
+        /// Maximum allowed median delay (µs).
+        max_us: f64,
+    },
+    /// One class's delay is at least `min_ratio` times another's.
+    DelayRatioAtLeast {
+        /// Class expected to see more delay.
+        slower: TrafficClass,
+        /// Class expected to see less delay.
+        faster: TrafficClass,
+        /// Arbiter under test.
+        arbiter: ArbiterKind,
+        /// Grid load.
+        at_load: f64,
+        /// Minimum delay ratio.
+        min_ratio: f64,
+    },
+    /// A class's delay under one arbiter stays within a factor of the
+    /// same class's delay under another.
+    DelayWithinFactor {
+        /// Class whose delay is read.
+        class: TrafficClass,
+        /// Arbiter under test (numerator).
+        arbiter: ArbiterKind,
+        /// Comparison arbiter (denominator).
+        versus: ArbiterKind,
+        /// Grid load.
+        at_load: f64,
+        /// Maximum allowed ratio.
+        max_factor: f64,
+    },
+    /// Delivered/generated throughput stays above a floor.
+    ThroughputFloor {
+        /// Arbiter under test.
+        arbiter: ArbiterKind,
+        /// Grid load.
+        at_load: f64,
+        /// Minimum throughput ratio.
+        min_ratio: f64,
+    },
+    /// Jain's fairness index over per-connection delivered/reserved
+    /// ratios stays above a floor.
+    FairnessAbove {
+        /// Arbiter under test.
+        arbiter: ArbiterKind,
+        /// Grid load.
+        at_load: f64,
+        /// Minimum Jain's index.
+        min_jain: f64,
+    },
+    /// CAC rejection rate stays below a ceiling.
+    RejectRateBelow {
+        /// Arbiter under test.
+        arbiter: ArbiterKind,
+        /// Grid load.
+        at_load: f64,
+        /// Maximum rejection fraction.
+        max_rate: f64,
+    },
+    /// Crossbar utilization stays above a floor.
+    UtilizationAbove {
+        /// Arbiter under test.
+        arbiter: ArbiterKind,
+        /// Grid load.
+        at_load: f64,
+        /// Minimum utilization.
+        min_utilization: f64,
+    },
+}
+
+/// One compiled pack claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackClaim {
+    /// Claim id.
+    pub id: String,
+    /// Description for reports.
+    pub description: String,
+    /// The typed check.
+    pub check: PackCheck,
+}
+
+/// A compiled pack: the sweep to run plus the claims to gate it with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPack {
+    /// Pack name.
+    pub name: String,
+    /// Pack description.
+    pub description: String,
+    /// True when the pack targets a multi-router fabric (the runner
+    /// routes it through `run_fabric_experiment`; claims are unsupported).
+    pub fabric: bool,
+    /// The sweep grid.
+    pub sweep: SweepSpec,
+    /// Typed claims.
+    pub claims: Vec<PackClaim>,
+}
+
+/// Per-class delay entry of a [`PackCurvePoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDelay {
+    /// Class label.
+    pub class: String,
+    /// Seed-mean flit delay (µs).
+    pub mean_delay_us: f64,
+}
+
+/// One reported sweep point of a pack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackCurvePoint {
+    /// Arbiter label.
+    pub arbiter: String,
+    /// Target offered load.
+    pub target_load: f64,
+    /// Admission-achieved load (seed mean).
+    pub achieved_load: f64,
+    /// Seed-mean frame delay (µs).
+    pub frame_delay_us: f64,
+    /// Seed-mean delivered/generated throughput ratio.
+    pub throughput: f64,
+    /// Seed-mean crossbar utilization.
+    pub utilization: f64,
+    /// Seed-mean Jain's reservation-fairness index.
+    pub fairness: f64,
+    /// Seed-mean CAC rejection rate.
+    pub reject_rate: f64,
+    /// Per-class seed-mean delays.
+    pub class_delay_us: Vec<ClassDelay>,
+}
+
+/// The evaluated report of one pack run (`results/workload_<name>.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackReport {
+    /// Pack name.
+    pub pack: String,
+    /// Pack description.
+    pub description: String,
+    /// "quick" or "full".
+    pub fidelity: String,
+    /// Ensemble seeds.
+    pub seeds: Vec<u64>,
+    /// Swept loads.
+    pub loads: Vec<f64>,
+    /// Arbiter labels.
+    pub arbiters: Vec<String>,
+    /// Per-claim outcomes (ensemble-median gated).
+    pub claims: Vec<ClaimOutcome>,
+    /// The measured curves.
+    pub curves: Vec<PackCurvePoint>,
+}
+
+impl PackReport {
+    /// True when every claim passed.
+    pub fn all_pass(&self) -> bool {
+        self.claims.iter().all(|c| c.pass)
+    }
+
+    /// Claims that failed.
+    pub fn failed(&self) -> Vec<&ClaimOutcome> {
+        self.claims.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// One line per claim, conformance-report style.
+    pub fn render_text(&self) -> String {
+        let mut s = format!(
+            "pack {} [{}] — {} loads x {} arbiters x {} seeds\n",
+            self.pack,
+            self.fidelity,
+            self.loads.len(),
+            self.arbiters.len(),
+            self.seeds.len(),
+        );
+        for c in &self.claims {
+            let op = if c.higher_is_better { ">=" } else { "<=" };
+            s.push_str(&format!(
+                "{} {:<32} {:.4} {} {:.4} (margin {:+.4} {}, seeds {:.4}..{:.4})\n",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.id,
+                c.median,
+                op,
+                c.threshold,
+                c.margin,
+                c.unit,
+                c.spread_min,
+                c.spread_max,
+            ));
+        }
+        s
+    }
+}
+
+fn class_delay_of(r: &crate::experiment::ExperimentResult, class: TrafficClass) -> f64 {
+    r.summary
+        .metrics
+        .class(class)
+        .map(|c| c.mean_delay_us)
+        .unwrap_or(0.0)
+}
+
+fn find_point(points: &[SweepPoint], arbiter: ArbiterKind, at_load: f64) -> &SweepPoint {
+    points
+        .iter()
+        .find(|p| p.arbiter == arbiter && (p.target_load - at_load).abs() < LOAD_EPS)
+        .expect("validated claim anchors at a swept (arbiter, load) cell")
+}
+
+impl CompiledPack {
+    /// Evaluate the pack's claims over completed sweep points and
+    /// assemble the report.  `points` must come from running
+    /// [`Self::sweep`] (same grid, seeds innermost).
+    pub fn evaluate(&self, points: &[SweepPoint], fidelity: Fidelity) -> PackReport {
+        let claims = self
+            .claims
+            .iter()
+            .map(|claim| self.evaluate_claim(claim, points))
+            .collect();
+        let curves = points
+            .iter()
+            .map(|p| PackCurvePoint {
+                arbiter: p.arbiter.label().to_string(),
+                target_load: p.target_load,
+                achieved_load: p.achieved_load,
+                frame_delay_us: p.frame_delay_us(),
+                throughput: p.throughput_ratio(),
+                utilization: p.utilization(),
+                fairness: p.mean_of(|r| r.summary.reservation_fairness),
+                reject_rate: p.mean_of(|r| r.admission.reject_rate()),
+                class_delay_us: [
+                    TrafficClass::CbrLow,
+                    TrafficClass::CbrMedium,
+                    TrafficClass::CbrHigh,
+                    TrafficClass::Vbr,
+                    TrafficClass::BestEffort,
+                ]
+                .iter()
+                .filter(|&&class| {
+                    p.results
+                        .iter()
+                        .any(|r| r.summary.metrics.class(class).is_some())
+                })
+                .map(|&class| ClassDelay {
+                    class: class.label().to_string(),
+                    mean_delay_us: p.class_delay_us(class),
+                })
+                .collect(),
+            })
+            .collect();
+        PackReport {
+            pack: self.name.clone(),
+            description: self.description.clone(),
+            fidelity: match fidelity {
+                Fidelity::Quick => "quick".into(),
+                Fidelity::Full => "full".into(),
+            },
+            seeds: self.sweep.seeds.clone(),
+            loads: self.sweep.loads.clone(),
+            arbiters: self
+                .sweep
+                .arbiters
+                .iter()
+                .map(|a| a.label().to_string())
+                .collect(),
+            claims,
+            curves,
+        }
+    }
+
+    fn evaluate_claim(&self, claim: &PackClaim, points: &[SweepPoint]) -> ClaimOutcome {
+        // Per-seed scalars, the gate direction, the threshold, and a unit.
+        let (per_seed, higher_is_better, threshold, unit): (Vec<f64>, bool, f64, &str) =
+            match &claim.check {
+                PackCheck::DelayBelow {
+                    class,
+                    arbiter,
+                    at_load,
+                    max_us,
+                } => {
+                    let p = find_point(points, *arbiter, *at_load);
+                    (
+                        p.results
+                            .iter()
+                            .map(|r| class_delay_of(r, *class))
+                            .collect(),
+                        false,
+                        *max_us,
+                        "us",
+                    )
+                }
+                PackCheck::DelayRatioAtLeast {
+                    slower,
+                    faster,
+                    arbiter,
+                    at_load,
+                    min_ratio,
+                } => {
+                    let p = find_point(points, *arbiter, *at_load);
+                    (
+                        p.results
+                            .iter()
+                            .map(|r| {
+                                class_delay_of(r, *slower)
+                                    / class_delay_of(r, *faster).max(f64::EPSILON)
+                            })
+                            .collect(),
+                        true,
+                        *min_ratio,
+                        "x",
+                    )
+                }
+                PackCheck::DelayWithinFactor {
+                    class,
+                    arbiter,
+                    versus,
+                    at_load,
+                    max_factor,
+                } => {
+                    let a = find_point(points, *arbiter, *at_load);
+                    let b = find_point(points, *versus, *at_load);
+                    (
+                        a.results
+                            .iter()
+                            .zip(&b.results)
+                            .map(|(ra, rb)| {
+                                class_delay_of(ra, *class)
+                                    / class_delay_of(rb, *class).max(f64::EPSILON)
+                            })
+                            .collect(),
+                        false,
+                        *max_factor,
+                        "x",
+                    )
+                }
+                PackCheck::ThroughputFloor {
+                    arbiter,
+                    at_load,
+                    min_ratio,
+                } => {
+                    let p = find_point(points, *arbiter, *at_load);
+                    (
+                        p.results
+                            .iter()
+                            .map(|r| r.summary.throughput_ratio())
+                            .collect(),
+                        true,
+                        *min_ratio,
+                        "ratio",
+                    )
+                }
+                PackCheck::FairnessAbove {
+                    arbiter,
+                    at_load,
+                    min_jain,
+                } => {
+                    let p = find_point(points, *arbiter, *at_load);
+                    (
+                        p.results
+                            .iter()
+                            .map(|r| r.summary.reservation_fairness)
+                            .collect(),
+                        true,
+                        *min_jain,
+                        "jain",
+                    )
+                }
+                PackCheck::RejectRateBelow {
+                    arbiter,
+                    at_load,
+                    max_rate,
+                } => {
+                    let p = find_point(points, *arbiter, *at_load);
+                    (
+                        p.results
+                            .iter()
+                            .map(|r| r.admission.reject_rate())
+                            .collect(),
+                        false,
+                        *max_rate,
+                        "fraction",
+                    )
+                }
+                PackCheck::UtilizationAbove {
+                    arbiter,
+                    at_load,
+                    min_utilization,
+                } => {
+                    let p = find_point(points, *arbiter, *at_load);
+                    (
+                        p.results
+                            .iter()
+                            .map(|r| r.summary.crossbar_utilization)
+                            .collect(),
+                        true,
+                        *min_utilization,
+                        "fraction",
+                    )
+                }
+            };
+        let med = median(&per_seed);
+        let pass = if higher_is_better {
+            med >= threshold
+        } else {
+            med <= threshold
+        };
+        let margin = if higher_is_better {
+            med - threshold
+        } else {
+            threshold - med
+        };
+        ClaimOutcome {
+            id: claim.id.clone(),
+            figure: self.name.clone(),
+            description: claim.description.clone(),
+            pass,
+            median: med,
+            spread_min: per_seed.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+            spread_max: per_seed.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            per_seed,
+            threshold,
+            higher_is_better,
+            margin,
+            unit: unit.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_pack(extra: &str) -> String {
+        format!(
+            r#"
+[meta]
+name = "test_pack"
+description = "a minimal pack"
+
+[traffic]
+preset = "paper-cbr"
+
+[run]
+warmup = 100
+cycles = 1000
+
+[sweep]
+loads = [0.3, 0.5]
+arbiters = ["coa"]
+seeds = 1
+{extra}"#
+        )
+    }
+
+    #[test]
+    fn toml_parses_tables_arrays_and_scalars() {
+        let v = toml_to_value(
+            r#"
+# top comment
+title = "hello \"world\""
+count = 42
+neg = -7
+ratio = 0.65
+flag = true
+grid = [0.1, 0.2,
+        0.3]  # multiline
+
+[outer.inner]
+x = 1
+
+[[items]]
+name = "a"
+
+[[items]]
+name = "b"
+"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("title"), Some(&Value::Str("hello \"world\"".into())));
+        assert_eq!(v.get("count"), Some(&Value::U64(42)));
+        assert_eq!(v.get("neg"), Some(&Value::I64(-7)));
+        assert_eq!(v.get("ratio"), Some(&Value::F64(0.65)));
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(
+            v.get("grid"),
+            Some(&Value::Array(vec![
+                Value::F64(0.1),
+                Value::F64(0.2),
+                Value::F64(0.3)
+            ]))
+        );
+        assert_eq!(
+            v.get("outer").unwrap().get("inner").unwrap().get("x"),
+            Some(&Value::U64(1))
+        );
+        match v.get("items") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].get("name"), Some(&Value::Str("b".into())));
+            }
+            other => panic!("items should be an array of tables, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn toml_rejects_malformed_lines() {
+        for (doc, what) in [
+            ("key value", "missing equals"),
+            ("[unterminated", "open header"),
+            ("x = [1, 2", "open array"),
+            ("x = \"abc", "open string"),
+            ("x = @nope", "bad scalar"),
+            ("x = 1\nx = 2", "duplicate key"),
+        ] {
+            assert!(toml_to_value(doc).is_err(), "{what} should fail: {doc}");
+        }
+    }
+
+    #[test]
+    fn toml_value_roundtrip() {
+        // Scalars first, then sub-tables, then arrays of tables — the
+        // order the emitter writes, so Value equality holds on re-parse.
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(5)),
+            ("b".into(), Value::F64(2.5)),
+            ("c".into(), Value::Str("x\ny".into())),
+            ("empty".into(), Value::Array(vec![])),
+            (
+                "sub".into(),
+                Value::Object(vec![("d".into(), Value::Bool(false))]),
+            ),
+            (
+                "items".into(),
+                Value::Array(vec![Value::Object(vec![("e".into(), Value::I64(-1))])]),
+            ),
+        ]);
+        let text = value_to_toml(&v);
+        let back = toml_to_value(&text).unwrap();
+        assert_eq!(back, v, "emitted TOML:\n{text}");
+    }
+
+    #[test]
+    fn minimal_pack_parses_and_validates() {
+        let spec = WorkloadSpec::parse(&minimal_pack("")).unwrap();
+        assert_eq!(spec.meta.name, "test_pack");
+        spec.validate().unwrap();
+        let pack = spec.compile(Fidelity::Quick).unwrap();
+        assert_eq!(pack.sweep.loads, vec![0.3, 0.5]);
+        assert_eq!(pack.sweep.arbiters, vec![ArbiterKind::Coa]);
+        assert_eq!(pack.sweep.seeds, vec![SimConfig::default().seed]);
+    }
+
+    #[test]
+    fn json_documents_are_accepted() {
+        let spec = WorkloadSpec::parse(&minimal_pack("")).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = WorkloadSpec::parse(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_roundtrips_through_toml() {
+        let extra = r#"
+[best_effort]
+load = 0.1
+mean_flits = 8.0
+
+[[claim]]
+id = "test_pack.throughput"
+description = "keeps throughput"
+kind = "throughput-floor"
+at_load = 0.5
+threshold = 0.9
+"#;
+        let spec = WorkloadSpec::parse(&minimal_pack(extra)).unwrap();
+        let text = spec.to_toml();
+        let back = WorkloadSpec::parse(&text).unwrap();
+        assert_eq!(back, spec, "emitted TOML:\n{text}");
+    }
+
+    #[test]
+    fn generated_load_grid() {
+        let doc =
+            minimal_pack("").replace("loads = [0.3, 0.5]", "initial = 0.2\nmax = 0.6\nstep = 0.2");
+        let spec = WorkloadSpec::parse(&doc).unwrap();
+        spec.validate().unwrap();
+        let loads = spec.loads(Fidelity::Quick);
+        assert_eq!(loads.len(), 3);
+        assert!((loads[0] - 0.2).abs() < 1e-12);
+        assert!((loads[2] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_specs() {
+        let group_pack = |groups: &str, extra: &str| {
+            minimal_pack(extra).replace("preset = \"paper-cbr\"", groups)
+        };
+        let bad_rate = group_pack(
+            "[[traffic.group]]\nname = \"g\"\nclass = \"cbr-low\"\nrate_kbps = -64.0\nweight = 1.0",
+            "",
+        );
+        assert!(matches!(
+            WorkloadSpec::parse(&bad_rate).unwrap().validate(),
+            Err(SpecError::NegativeRate { .. })
+        ));
+        let overlap = group_pack(
+            "[[traffic.group]]\nname = \"g\"\nclass = \"cbr-low\"\nrate_kbps = 64.0\nweight = 1.0",
+            "[[ramp.step]]\nat_cycle = 100\nfraction = 0.5\n\n[[ramp.step]]\nat_cycle = 100\nfraction = 1.0\n",
+        );
+        assert!(matches!(
+            WorkloadSpec::parse(&overlap).unwrap().validate(),
+            Err(SpecError::OverlappingRampWindows { .. })
+        ));
+        let over_capacity = minimal_pack("\n[best_effort]\nload = 0.7\nmean_flits = 8.0\n")
+            .replace("loads = [0.3, 0.5]", "loads = [0.9]");
+        assert!(matches!(
+            WorkloadSpec::parse(&over_capacity).unwrap().validate(),
+            Err(SpecError::CapacityExceeded { .. })
+        ));
+        let unknown_arbiter = minimal_pack("").replace("\"coa\"", "\"quantum\"");
+        assert!(matches!(
+            WorkloadSpec::parse(&unknown_arbiter).unwrap().validate(),
+            Err(SpecError::UnknownArbiter { .. })
+        ));
+        let unswept = minimal_pack(
+            "\n[[claim]]\nid = \"x.y\"\ndescription = \"d\"\nkind = \"throughput-floor\"\nat_load = 0.77\nthreshold = 0.5\n",
+        );
+        assert!(matches!(
+            WorkloadSpec::parse(&unswept).unwrap().validate(),
+            Err(SpecError::ClaimLoadNotSwept { .. })
+        ));
+    }
+
+    #[test]
+    fn fabric_section_compiles_to_fabric_spec() {
+        let doc = minimal_pack("\n[fabric]\ntopology = \"mesh\"\nx = 2\ny = 2\nworkers = 2\n");
+        let spec = WorkloadSpec::parse(&doc).unwrap();
+        let pack = spec.compile(Fidelity::Quick).unwrap();
+        assert!(pack.fabric);
+        let fabric = pack.sweep.base.fabric.expect("fabric set");
+        assert_eq!(fabric.topology, Topology::Mesh { x: 2, y: 2 });
+        assert_eq!(fabric.workers, 2);
+    }
+
+    #[test]
+    fn arbiter_and_class_names_parse() {
+        assert_eq!(parse_arbiter("coa").unwrap(), ArbiterKind::Coa);
+        assert_eq!(
+            parse_arbiter("islip:4").unwrap(),
+            ArbiterKind::Islip { iterations: 4 }
+        );
+        assert_eq!(
+            parse_arbiter("frame-fair").unwrap(),
+            ArbiterKind::FrameFair {
+                frame: mmr_arbiter::frame::DEFAULT_FRAME
+            }
+        );
+        assert!(parse_arbiter("coa:3").is_err());
+        assert_eq!(parse_class("cbr-med").unwrap(), TrafficClass::CbrMedium);
+        assert!(parse_class("gold").is_err());
+    }
+}

@@ -953,6 +953,7 @@ mod tests {
         let w = Workload {
             connections: vec![],
             sources: vec![],
+            windows: vec![],
             per_input_load: vec![0.0; 4],
             admission: Default::default(),
         };

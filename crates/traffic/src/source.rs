@@ -41,6 +41,52 @@ pub trait TrafficSource {
     }
 }
 
+/// A wrapper that retires its inner source at a departure cycle: flits
+/// whose generation time falls at or after `end` are never emitted, so
+/// the source reads as exhausted from that point on (churn departures).
+///
+/// `peek_next` stays monotone because the inner source's times are
+/// non-decreasing: once a peek crosses the cutoff every later peek does
+/// too, and the wrapper reports `None` forever after.
+pub struct ExpiringSource {
+    inner: Box<dyn TrafficSource + Send>,
+    end: RouterCycle,
+}
+
+impl ExpiringSource {
+    /// Wrap `inner`, suppressing every flit generated at or after `end`.
+    pub fn new(inner: Box<dyn TrafficSource + Send>, end: RouterCycle) -> Self {
+        ExpiringSource { inner, end }
+    }
+
+    /// The departure cycle.
+    pub fn end(&self) -> RouterCycle {
+        self.end
+    }
+}
+
+impl TrafficSource for ExpiringSource {
+    fn connection(&self) -> ConnectionId {
+        self.inner.connection()
+    }
+
+    fn peek_next(&self) -> Option<RouterCycle> {
+        self.inner.peek_next().filter(|&t| t < self.end)
+    }
+
+    fn emit(&mut self) -> Flit {
+        debug_assert!(self.peek_next().is_some(), "emit past departure");
+        self.inner.emit()
+    }
+
+    fn total_flits(&self) -> Option<u64> {
+        // The exact truncated count is unknown without draining the inner
+        // source; report "unbounded" and let the departure show up
+        // through `peek_next` exhaustion instead.
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +127,23 @@ mod tests {
         assert_eq!(s.drain_until(RouterCycle(15), &mut out), 0);
         assert_eq!(s.drain_until(RouterCycle(100), &mut out), 2);
         assert_eq!(s.peek_next(), None);
+    }
+
+    #[test]
+    fn expiring_source_retires_at_departure() {
+        let s = Scripted {
+            times: vec![0, 10, 20, 30],
+            pos: 0,
+        };
+        let mut e = ExpiringSource::new(Box::new(s), RouterCycle(20));
+        let mut out = Vec::new();
+        // Only the flits strictly before the departure cycle emerge.
+        assert_eq!(e.drain_until(RouterCycle(100), &mut out), 2);
+        assert_eq!(out.last().unwrap().generated_at, RouterCycle(10));
+        // From the cutoff on, the source reads as exhausted — forever.
+        assert_eq!(e.peek_next(), None);
+        assert_eq!(e.drain_until(RouterCycle(1_000), &mut out), 0);
+        assert_eq!(e.total_flits(), None);
+        assert_eq!(e.end(), RouterCycle(20));
     }
 }

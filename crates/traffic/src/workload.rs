@@ -51,12 +51,41 @@ impl AdmissionTally {
     }
 }
 
+/// The lifetime of one connection: its first emission cycle and, for
+/// churn departures, the cycle from which it emits nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveWindow {
+    /// First router cycle at which the connection may emit.
+    pub start: RouterCycle,
+    /// Departure cycle (`None` = active for the whole run).
+    pub end: Option<RouterCycle>,
+}
+
+impl ActiveWindow {
+    /// A window covering the whole run.
+    pub fn always() -> Self {
+        ActiveWindow {
+            start: RouterCycle(0),
+            end: None,
+        }
+    }
+
+    /// True if the connection is active at `cycle`.
+    pub fn contains(&self, cycle: u64) -> bool {
+        self.start.0 <= cycle && self.end.map(|e| cycle < e.0).unwrap_or(true)
+    }
+}
+
 /// An assembled workload: admitted connections plus their flit sources.
 pub struct Workload {
     /// Admitted connections; `connections[i].id.idx() == i`.
     pub connections: Vec<ConnectionSpec>,
     /// Flit sources, one per connection, same order.
     pub sources: Vec<BoxedSource>,
+    /// Per-connection activation/departure windows, same order (the
+    /// paper's builders produce `always()`; mix builders with ramp or
+    /// churn schedules record the real lifetimes here).
+    pub windows: Vec<ActiveWindow>,
     /// Achieved offered load fraction per input link (average bandwidth /
     /// link bandwidth).
     pub per_input_load: Vec<f64>,
@@ -71,6 +100,12 @@ impl Workload {
             return 0.0;
         }
         self.per_input_load.iter().sum::<f64>() / self.per_input_load.len() as f64
+    }
+
+    /// Number of connections active at `cycle` per their declared
+    /// windows.
+    pub fn active_at(&self, cycle: u64) -> usize {
+        self.windows.iter().filter(|w| w.contains(cycle)).count()
     }
 
     /// Number of connections.
@@ -129,6 +164,7 @@ impl Workload {
                 self.sources.push(Box::new(BestEffortSource::new(
                     id, per_pair, mean_flits, phase, tb, src_rng,
                 )));
+                self.windows.push(ActiveWindow::always());
             }
         }
     }
@@ -238,9 +274,11 @@ impl CbrMixBuilder {
             }
         }
         let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
+        let windows = vec![ActiveWindow::always(); connections.len()];
         Workload {
             connections,
             sources,
+            windows,
             per_input_load,
             admission,
         }
@@ -406,9 +444,261 @@ impl VbrMixBuilder {
             }
         }
         let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
+        let windows = vec![ActiveWindow::always(); connections.len()];
         Workload {
             connections,
             sources,
+            windows,
+            per_input_load,
+            admission,
+        }
+    }
+}
+
+/// Builder for declarative mixed workloads (the workload-language packs):
+/// a weighted CBR class mix like [`CbrMixBuilder`], optionally with a
+/// ramp schedule (connections activate in staged waves) and a churn
+/// window (a fraction of the base connections departs mid-run while
+/// replacement arrivals are admitted on top).
+///
+/// Ramp semantics: connection `i` in global admission order activates at
+/// the first step `(at_cycle, fraction)` with `i < round(fraction · n)`,
+/// so the number of active connections at each declared breakpoint is
+/// exactly `round(fraction · n)` (clamped to `n`).  Churn departures pick
+/// `round(departures · n)` base connections at evenly spaced indices and
+/// retire them at evenly spaced cycles inside the window; arrivals admit
+/// `round(arrivals · n)` extra connections through the CAC with start
+/// cycles staggered across the window.
+#[derive(Debug, Clone)]
+pub struct MixWorkloadBuilder {
+    ports: usize,
+    tb: TimeBase,
+    round: RoundConfig,
+    target_load: f64,
+    classes: Vec<(TrafficClass, Bandwidth, f64)>,
+    /// `(at_cycle, cumulative_fraction)` steps, non-decreasing in both.
+    ramp: Vec<(u64, f64)>,
+    /// `(start, end, departures_fraction, arrivals_fraction)`.
+    churn: Option<(u64, u64, f64, f64)>,
+}
+
+impl MixWorkloadBuilder {
+    /// Builder with the paper's default three-class mix and no schedule.
+    pub fn new(ports: usize, tb: TimeBase, round: RoundConfig) -> Self {
+        MixWorkloadBuilder {
+            ports,
+            tb,
+            round,
+            target_load: 0.5,
+            classes: vec![
+                (TrafficClass::CbrLow, Bandwidth::kbps(64.0), 1.0),
+                (TrafficClass::CbrMedium, Bandwidth::mbps(1.54), 1.0),
+                (TrafficClass::CbrHigh, Bandwidth::mbps(55.0), 1.0),
+            ],
+            ramp: Vec::new(),
+            churn: None,
+        }
+    }
+
+    /// Set the target offered load per input link.
+    pub fn target_load(mut self, load: f64) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be a fraction");
+        self.target_load = load;
+        self
+    }
+
+    /// Replace the class mix: `(class, bandwidth, weight)` triples.
+    pub fn classes(mut self, classes: Vec<(TrafficClass, Bandwidth, f64)>) -> Self {
+        assert!(!classes.is_empty());
+        self.classes = classes;
+        self
+    }
+
+    /// Install a ramp schedule of `(at_cycle, cumulative_fraction)` steps.
+    pub fn ramp(mut self, steps: Vec<(u64, f64)>) -> Self {
+        self.ramp = steps;
+        self
+    }
+
+    /// Install a churn window.
+    pub fn churn(mut self, start: u64, end: u64, departures: f64, arrivals: f64) -> Self {
+        assert!(end > start, "churn window must be non-empty");
+        assert!((0.0..=1.0).contains(&departures));
+        assert!(arrivals >= 0.0);
+        self.churn = Some((start, end, departures, arrivals));
+        self
+    }
+
+    /// Activation cycle of base connection `index` out of `total` under
+    /// the configured ramp (cycle 0 when no ramp is set).
+    pub fn activation_of(&self, total: usize, index: usize) -> u64 {
+        for &(at, fraction) in &self.ramp {
+            if index < ((fraction * total as f64).round() as usize).min(total) {
+                return at;
+            }
+        }
+        self.ramp.last().map(|s| s.0).unwrap_or(0)
+    }
+
+    fn pick_class(&self, rng: &mut SimRng) -> (TrafficClass, Bandwidth) {
+        let total: f64 = self.classes.iter().map(|c| c.2).sum();
+        let mut x = rng.uniform() * total;
+        for &(class, bw, w) in &self.classes {
+            if x < w {
+                return (class, bw);
+            }
+            x -= w;
+        }
+        let last = self.classes.last().unwrap();
+        (last.0, last.1)
+    }
+
+    #[allow(clippy::too_many_arguments)] // builder internals: three parallel output vecs
+    fn push_connection(
+        connections: &mut Vec<ConnectionSpec>,
+        sources: &mut Vec<BoxedSource>,
+        windows: &mut Vec<ActiveWindow>,
+        tb: &TimeBase,
+        rng: &mut SimRng,
+        input: usize,
+        output: usize,
+        class: TrafficClass,
+        bw: Bandwidth,
+        slots: u64,
+        window: ActiveWindow,
+    ) {
+        let id = ConnectionId(connections.len() as u32);
+        let iat = tb.flit_iat_router_cycles(bw.as_bps());
+        let phase = RouterCycle(window.start.0 + (rng.uniform() * iat) as u64);
+        connections.push(ConnectionSpec {
+            id,
+            input,
+            output,
+            class,
+            qos: QosSpec::cbr(bw),
+            kind: ConnectionKind::Cbr,
+            reserved_slots: slots,
+        });
+        let cbr: BoxedSource = Box::new(CbrSource::new(id, bw, phase, tb));
+        match window.end {
+            Some(end) => sources.push(Box::new(crate::source::ExpiringSource::new(cbr, end))),
+            None => sources.push(cbr),
+        }
+        windows.push(window);
+    }
+
+    /// Assemble the workload.
+    pub fn build(&self, rng: &mut SimRng) -> Workload {
+        let mut cac = AdmissionControl::new(self.ports, self.round, self.tb);
+        let mut admission = AdmissionTally::default();
+        let mut connections = Vec::new();
+        let mut sources: Vec<BoxedSource> = Vec::new();
+        let mut windows = Vec::new();
+        // Phase 1: admit the base mix exactly like `CbrMixBuilder`, but
+        // defer source construction until the base population is known
+        // (ramp activation depends on the final count).
+        let mut base: Vec<(usize, usize, TrafficClass, Bandwidth, u64)> = Vec::new();
+        for input in 0..self.ports {
+            let mut failures = 0;
+            while cac.input_load(input) < self.target_load && failures < MAX_PLACEMENT_FAILURES {
+                let (class, bw) = self.pick_class(rng);
+                let frac = bw.fraction_of(Bandwidth::bps(self.tb.link_bits_per_sec));
+                if cac.input_load(input) + frac > self.target_load + frac * 0.5 {
+                    failures += 1;
+                    continue;
+                }
+                let output = rng.index(self.ports);
+                match cac.admit(input, output, bw, bw) {
+                    Ok(slots) => {
+                        admission.accepted += 1;
+                        failures = 0;
+                        base.push((input, output, class, bw, slots));
+                    }
+                    Err(_) => {
+                        admission.rejected += 1;
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        let n = base.len();
+        // Phase 2: departure plan — evenly spaced base indices retire at
+        // evenly spaced cycles inside the churn window.
+        let mut ends = vec![None; n];
+        if let Some((start, end, departures, _)) = self.churn {
+            let k = (departures * n as f64).round() as usize;
+            let span = end - start;
+            for i in 0..k.min(n) {
+                let idx = (i * n) / k.max(1);
+                let at = start + ((i as u64 + 1) * span) / (k as u64 + 1);
+                ends[idx] = Some(RouterCycle(at.max(start + 1)));
+            }
+        }
+        // Phase 3: materialize base connections with ramp/churn windows.
+        for (i, &(input, output, class, bw, slots)) in base.iter().enumerate() {
+            let start = RouterCycle(self.activation_of(n, i));
+            // A connection must exist before it can depart.
+            let end = ends[i].map(|e| RouterCycle(e.0.max(start.0 + 1)));
+            Self::push_connection(
+                &mut connections,
+                &mut sources,
+                &mut windows,
+                &self.tb,
+                rng,
+                input,
+                output,
+                class,
+                bw,
+                slots,
+                ActiveWindow { start, end },
+            );
+        }
+        // Phase 4: churn arrivals — extra admissions on top of the base
+        // target, starting at staggered cycles inside the window.
+        if let Some((start, end, _, arrivals)) = self.churn {
+            let m = (arrivals * n as f64).round() as usize;
+            let span = end - start;
+            let mut admitted = 0usize;
+            let mut failures = 0;
+            while admitted < m && failures < MAX_PLACEMENT_FAILURES {
+                let (class, bw) = self.pick_class(rng);
+                let input = rng.index(self.ports);
+                let output = rng.index(self.ports);
+                match cac.admit(input, output, bw, bw) {
+                    Ok(slots) => {
+                        admission.accepted += 1;
+                        failures = 0;
+                        let at = start + ((admitted as u64 + 1) * span) / (m as u64 + 1);
+                        admitted += 1;
+                        Self::push_connection(
+                            &mut connections,
+                            &mut sources,
+                            &mut windows,
+                            &self.tb,
+                            rng,
+                            input,
+                            output,
+                            class,
+                            bw,
+                            slots,
+                            ActiveWindow {
+                                start: RouterCycle(at),
+                                end: None,
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        admission.rejected += 1;
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        let per_input_load = (0..self.ports).map(|i| cac.input_load(i)).collect();
+        Workload {
+            connections,
+            sources,
+            windows,
             per_input_load,
             admission,
         }
@@ -554,6 +844,95 @@ mod tests {
             constrained.mean_load(),
             unconstrained.mean_load()
         );
+    }
+
+    #[test]
+    fn mix_builder_without_schedule_is_always_active() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let w = MixWorkloadBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.6)
+            .build(&mut rng);
+        assert!(!w.is_empty());
+        assert_eq!(w.windows.len(), w.connections.len());
+        assert!(w.windows.iter().all(|&win| win == ActiveWindow::always()));
+        assert_eq!(w.active_at(0), w.len());
+        assert!((w.mean_load() - 0.6).abs() < 0.06);
+    }
+
+    #[test]
+    fn mix_builder_ramp_counts_match_breakpoints() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let steps = vec![(0u64, 0.25), (5_000u64, 0.5), (10_000u64, 1.0)];
+        let w = MixWorkloadBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.7)
+            .ramp(steps.clone())
+            .build(&mut rng);
+        let n = w.len();
+        for &(at, fraction) in &steps {
+            let expect = ((fraction * n as f64).round() as usize).min(n);
+            assert_eq!(w.active_at(at), expect, "breakpoint at cycle {at}");
+            if at > 0 {
+                let before = steps
+                    .iter()
+                    .filter(|s| s.0 < at)
+                    .map(|s| ((s.1 * n as f64).round() as usize).min(n))
+                    .max()
+                    .unwrap_or(0);
+                assert_eq!(w.active_at(at - 1), before, "just before cycle {at}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_builder_churn_departures_and_arrivals() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let w = MixWorkloadBuilder::new(4, tb(), RoundConfig::default())
+            .target_load(0.5)
+            .churn(8_000, 16_000, 0.25, 0.25)
+            .build(&mut rng);
+        let departing = w.windows.iter().filter(|win| win.end.is_some()).count();
+        let late_starts = w.windows.iter().filter(|win| win.start.0 > 0).count();
+        assert!(departing > 0, "expected departures");
+        assert!(late_starts > 0, "expected arrivals");
+        for win in &w.windows {
+            if let Some(end) = win.end {
+                assert!(end.0 > win.start.0);
+                assert!((8_000..=16_000).contains(&end.0));
+            }
+            if win.start.0 > 0 {
+                assert!((8_000..=16_000).contains(&win.start.0));
+            }
+        }
+        // Departures shrink the active population after the window.
+        assert_eq!(w.active_at(20_000), w.len() - departing);
+        // Departing sources stop emitting at their declared end.  A
+        // `None` peek means the wrapper already reads as exhausted —
+        // the source's first emission would land past its departure.
+        for (win, src) in w.windows.iter().zip(&w.sources) {
+            if let Some(end) = win.end {
+                if let Some(next) = src.peek_next() {
+                    assert!(next < end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_builder_is_deterministic() {
+        let build = || {
+            let mut rng = SimRng::seed_from_u64(12);
+            MixWorkloadBuilder::new(4, tb(), RoundConfig::default())
+                .target_load(0.6)
+                .ramp(vec![(0, 0.5), (4_000, 1.0)])
+                .churn(8_000, 12_000, 0.2, 0.1)
+                .build(&mut rng)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.connections, b.connections);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.per_input_load, b.per_input_load);
+        assert_eq!(a.admission, b.admission);
     }
 
     #[test]

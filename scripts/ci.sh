@@ -90,6 +90,20 @@ cargo run --release -q -p mmr-bench --bin ablation_frontier -- --gate
 test -s results/frontier.json
 test -s results/frontier.txt
 
+echo "== workload pack gate =="
+# Compile every declarative scenario pack under workloads/ (the
+# workload language, crates/core/src/workload_lang.rs), sweep it at
+# quick fidelity, and enforce its typed claims at the ensemble median.
+# `--list-packs` validates the documents without simulating (a
+# malformed pack fails CI right there); `--gate` exits non-zero on any
+# claim regression, naming the claim and its margin.
+cargo run --release -q -p mmr-bench --bin workload_runner -- --list-packs
+cargo run --release -q -p mmr-bench --bin workload_runner -- --gate
+test -s results/workload_paper_fig5.json
+test -s results/workload_wimax_classes.json
+test -s results/workload_noc_fair.json
+test -s results/workload_paper_fig5.html
+
 if [[ "${MMR_CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: property suites at 4x cases =="
     # MMR_PROPTEST_CASES multiplies every proptest!-suite's configured
@@ -97,7 +111,7 @@ if [[ "${MMR_CI_NIGHTLY:-0}" == "1" ]]; then
     # test name, so this replays the 1x prefix and extends it.
     MMR_PROPTEST_CASES=4 cargo test --release -q -p mmr-core \
         --test arbiter_properties --test qos_properties \
-        --test flow_control --test differential
+        --test flow_control --test differential --test workload_lang
 fi
 
 echo "== CI green =="

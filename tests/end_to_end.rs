@@ -173,3 +173,129 @@ fn line_network_end_to_end() {
     assert!(s.delivered_flits > 0);
     assert!((s.delivered_flits as f64 / s.generated_flits as f64) > 0.95);
 }
+
+#[test]
+fn mix_ramp_admits_exactly_at_each_breakpoint() {
+    // The declared ramp schedule is a contract: at every breakpoint the
+    // number of active connections equals the schedule's own accounting
+    // (round(fraction * population)), not merely "roughly more".
+    use mmr_core::config::{MixGroup, RampScheduleConfig, RampStepConfig};
+
+    let steps = [(0u64, 0.25f64), (4_000, 0.5), (8_000, 1.0)];
+    let ramp = RampScheduleConfig {
+        steps: steps
+            .iter()
+            .map(|&(at_cycle, fraction)| RampStepConfig { at_cycle, fraction })
+            .collect(),
+    };
+    let cfg = SimConfig {
+        workload: WorkloadSpec::Mix {
+            target_load: 0.5,
+            groups: vec![
+                MixGroup {
+                    class: TrafficClass::CbrLow,
+                    rate_bps: 64_000.0,
+                    weight: 3.0,
+                },
+                MixGroup {
+                    class: TrafficClass::CbrHigh,
+                    rate_bps: 6_000_000.0,
+                    weight: 1.0,
+                },
+            ],
+            ramp: Some(ramp.clone()),
+            churn: None,
+        },
+        warmup_cycles: 10_000,
+        run: RunLength::Cycles(20_000),
+        ..Default::default()
+    };
+    let w = build_workload(&cfg);
+    let n = w.len();
+    assert!(n > 8, "population too small to exercise the ramp ({n})");
+    for &(at_cycle, fraction) in &steps {
+        let expected = ramp.active_at(n, at_cycle);
+        assert_eq!(
+            w.active_at(at_cycle),
+            expected,
+            "breakpoint {at_cycle}: active != schedule"
+        );
+        assert_eq!(
+            expected,
+            ((fraction * n as f64).round() as usize).min(n),
+            "schedule accounting drifted from round(fraction * n)"
+        );
+        // Just before a later breakpoint the previous wave still holds.
+        if at_cycle > 0 {
+            assert!(
+                w.active_at(at_cycle - 1) <= expected,
+                "activation happened before its breakpoint"
+            );
+        }
+    }
+    assert_eq!(w.active_at(u64::MAX), n, "ramp must end fully active");
+
+    // The ramped workload still runs end to end.
+    let r = run_experiment(&cfg);
+    assert!(r.summary.delivered_flits > 0);
+    assert!(r.summary.throughput_ratio() > 0.9);
+}
+
+#[test]
+fn mix_churn_conserves_flits() {
+    // Departures and arrivals move flit generation around in time but
+    // never create or destroy flits: generated = delivered + backlog +
+    // lost, with warmup 0 so measurement covers the whole run.
+    use mmr_core::config::{ChurnConfig, MixGroup};
+
+    let cfg = SimConfig {
+        workload: WorkloadSpec::Mix {
+            target_load: 0.4,
+            groups: vec![
+                MixGroup {
+                    class: TrafficClass::CbrLow,
+                    rate_bps: 64_000.0,
+                    weight: 2.0,
+                },
+                MixGroup {
+                    class: TrafficClass::CbrMedium,
+                    rate_bps: 1_540_000.0,
+                    weight: 2.0,
+                },
+                MixGroup {
+                    class: TrafficClass::CbrHigh,
+                    rate_bps: 6_000_000.0,
+                    weight: 1.0,
+                },
+            ],
+            ramp: None,
+            churn: Some(ChurnConfig {
+                start: 3_000,
+                end: 9_000,
+                departures: 0.25,
+                arrivals: 0.2,
+            }),
+        },
+        warmup_cycles: 0,
+        run: RunLength::Cycles(30_000),
+        ..Default::default()
+    };
+    let r = run_experiment(&cfg);
+    let s = &r.summary;
+    let lost = s.faults.corrupted_flits + s.faults.dropped_flits;
+    assert_eq!(
+        s.generated_flits,
+        s.delivered_flits + s.backlog_flits as u64 + lost,
+        "churn broke flit conservation"
+    );
+    assert!(s.delivered_flits > 0);
+
+    // The population shrinks by exactly the departed count after the
+    // window closes, and late arrivals start inside it.
+    let w = build_workload(&cfg);
+    let n = w.len();
+    let active_before = w.active_at(0);
+    let active_after = w.active_at(29_999);
+    assert!(active_before > active_after, "no departures took effect");
+    assert!(n > active_before, "no churn arrivals were admitted");
+}

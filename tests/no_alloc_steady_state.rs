@@ -573,6 +573,59 @@ fn kernels_and_router_step_allocate_nothing_in_steady_state() {
         );
     }
 
+    // --- Scenario-pack steady state (Mix + ramp + churn) -----------------
+    // The workload language compiles onto MixWorkloadBuilder: staged
+    // activations and churn wrap sources in ExpiringSource and offset
+    // phases, but all of that is decided at build time.  With every ramp
+    // breakpoint and the whole churn window inside warm-up, the measured
+    // steady state — departed sources reading as exhausted, late arrivals
+    // active, the usual queues at their high-water marks — must make zero
+    // allocator calls per step.
+    {
+        use mmr_core::sim::units::Bandwidth;
+        use mmr_core::traffic::connection::TrafficClass;
+        use mmr_core::traffic::workload::MixWorkloadBuilder;
+        let cfg = RouterConfig::default();
+        let mut rng = SimRng::seed_from_u64(5);
+        let workload = MixWorkloadBuilder::new(cfg.ports, cfg.time, RoundConfig::default())
+            .target_load(0.4)
+            .classes(vec![
+                (TrafficClass::CbrLow, Bandwidth::kbps(64.0), 2.0),
+                (TrafficClass::CbrMedium, Bandwidth::mbps(1.54), 2.0),
+                (TrafficClass::CbrHigh, Bandwidth::mbps(6.0), 1.0),
+            ])
+            .ramp(vec![(0, 0.5), (1_000, 1.0)])
+            .churn(500, 3_500, 0.25, 0.2)
+            .build(&mut rng);
+        assert!(
+            workload.active_at(0) < workload.active_at(2_000),
+            "ramp must stage activations inside warm-up"
+        );
+        let arbiter_ports = cfg.ports;
+        let mut router = MmrRouter::new(
+            cfg,
+            workload,
+            ArbiterKind::Coa.instantiate(arbiter_ports),
+            Box::new(Siabp),
+            5,
+        );
+        let mut t = 0u64;
+        for _ in 0..6_000 {
+            router.step(FlitCycle(t), false);
+            t += 1;
+        }
+        let allocs = allocations_in(|| {
+            for _ in 0..2_000 {
+                router.step(FlitCycle(t), false);
+                t += 1;
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "pack (Mix+ramp+churn) router step allocated {allocs} times in steady state"
+        );
+    }
+
     // --- EventLog recording ---------------------------------------------
     // The debug event log formats into a reusable byte arena: recording
     // (including wrap-around eviction of old entries) makes no allocator
